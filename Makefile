@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build vet test race bench experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/netlb/ ./internal/resp/ ./cmd/cacheload/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure and the extension experiments.
+experiments:
+	$(GO) run ./cmd/harvest all
+
+# Short fuzz pass over the wire-format parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzReadValue -fuzztime=15s ./internal/resp/
+	$(GO) test -fuzz=FuzzParseNginxLine -fuzztime=15s ./internal/harvester/
+	$(GO) test -fuzz=FuzzCacheLogRoundTrip -fuzztime=15s ./internal/harvester/
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

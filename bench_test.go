@@ -1,0 +1,492 @@
+package repro
+
+// The benchmark harness: one benchmark per table and figure in the paper's
+// evaluation, plus the ablation benches DESIGN.md calls out and a few
+// microbenchmarks of the hot paths. Each table/figure benchmark runs the
+// corresponding experiments.* runner (at reduced-but-representative sizes
+// so `go test -bench=.` completes in minutes) and reports the headline
+// quantity as a custom metric, so the paper-shape numbers appear directly
+// in benchmark output.
+
+import (
+	"io"
+	"testing"
+
+	"net/http"
+	"time"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/experiments"
+	"repro/internal/healthsim"
+	"repro/internal/learn"
+	"repro/internal/netlb"
+	"repro/internal/ope"
+	"repro/internal/policy"
+	"repro/internal/resp"
+	"repro/internal/stats"
+)
+
+// BenchmarkFig1DataRequirement regenerates Fig. 1 (data needed to evaluate
+// K policies, CB vs A/B). Metric: the A/B-over-CB cost ratio at K=10^6.
+func BenchmarkFig1DataRequirement(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig1(experiments.DefaultFig1Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.K == 1e6 {
+				ratio = row.Ratio
+			}
+		}
+	}
+	b.ReportMetric(ratio, "AB/CB@K=1e6")
+}
+
+// BenchmarkFig2TheoreticalAccuracy regenerates Fig. 2 (Eq. 1 error vs N for
+// several ε). Metric: the ε=0.04 error at N=1.7M.
+func BenchmarkFig2TheoreticalAccuracy(b *testing.B) {
+	var err04 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(experiments.DefaultFig2Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Series {
+			if s.Eps != 0.04 {
+				continue
+			}
+			for j, n := range res.Params.Ns {
+				if n == 1.7e6 {
+					err04 = s.Errors[j]
+				}
+			}
+		}
+	}
+	b.ReportMetric(err04, "err@eps.04,N1.7M")
+}
+
+// BenchmarkFig3IPSError regenerates Fig. 3 (ips error vs test-set size on
+// machine health) at 120 resimulations per point. Metrics: the paper's
+// N=3500 median and 95th-percentile relative errors.
+func BenchmarkFig3IPSError(b *testing.B) {
+	p := experiments.DefaultFig3Params()
+	p.Resims = 120
+	p.TestNs = []int{500, 2000, 3500}
+	var med, p95 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.TestN == 3500 {
+				med, p95 = row.MedianRelErr, row.P95RelErr
+			}
+		}
+	}
+	b.ReportMetric(med, "median-relerr@3500")
+	b.ReportMetric(p95, "p95-relerr@3500")
+}
+
+// BenchmarkFig4Convergence regenerates Fig. 4 (CB training convergence).
+// Metrics: the relative gap to the full-feedback baseline at N=2000 and
+// N=10000 (paper: within 20% and 15%).
+func BenchmarkFig4Convergence(b *testing.B) {
+	var gap2k, gap10k float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(experiments.DefaultFig4Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			switch row.N {
+			case 2000:
+				gap2k = row.RelGap
+			case 10000:
+				gap10k = row.RelGap
+			}
+		}
+	}
+	b.ReportMetric(gap2k, "gap@2k")
+	b.ReportMetric(gap10k, "gap@10k")
+}
+
+// BenchmarkTable2LoadBalancing regenerates Table 2 (off-policy vs online
+// latency of LB policies). Metric: the send-to-1 online/offline breakage
+// factor (paper: 0.70/0.31 ≈ 2.3×).
+func BenchmarkTable2LoadBalancing(b *testing.B) {
+	p := experiments.DefaultTable2Params()
+	p.Config.NumRequests = 15000
+	p.Config.Warmup = 1500
+	var breakage float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Policy == "Send to 1" {
+				breakage = row.Online / row.Offline
+			}
+		}
+	}
+	b.ReportMetric(breakage, "sendto1-online/offline")
+}
+
+// BenchmarkTable3Caching regenerates Table 3 (eviction-policy hitrates).
+// Metric: the freq/size advantage over random in percentage points
+// (paper: 58.9 − 48.5 ≈ 10.4).
+func BenchmarkTable3Caching(b *testing.B) {
+	p := experiments.DefaultTable3Params()
+	p.Requests = 30000
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var random, fs float64
+		for _, row := range res.Rows {
+			switch row.Policy {
+			case "Random":
+				random = row.HitRate
+			case "Freq/size":
+				fs = row.HitRate
+			}
+		}
+		adv = 100 * (fs - random)
+	}
+	b.ReportMetric(adv, "freqsize-adv-pts")
+}
+
+// BenchmarkFig6Hierarchy regenerates Fig. 6 (hierarchical vs flat action
+// spaces). Metric: flat-over-hierarchical Eq. 1 error ratio.
+func BenchmarkFig6Hierarchy(b *testing.B) {
+	p := experiments.DefaultFig6Params()
+	p.Config.NumRequests = 10000
+	p.Config.Warmup = 1000
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.Levels.FlatError / res.Levels.HierarchicalError
+	}
+	b.ReportMetric(ratio, "flat/hier-error")
+}
+
+// BenchmarkEq1Verification measures the simultaneous-evaluation sweep:
+// every policy in a stump class evaluated on one log, with the worst-case
+// error checked against the Eq. 1 envelope. Metric: max |err| at the
+// largest N.
+func BenchmarkEq1Verification(b *testing.B) {
+	p := experiments.DefaultEq1Params()
+	p.Ns = []int{8000}
+	var maxErr float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Eq1(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxErr = res.Rows[len(res.Rows)-1].MaxAbsErr
+	}
+	b.ReportMetric(maxErr, "max-err@8k")
+}
+
+// BenchmarkAblationEstimators compares IPS/clip/SNIPS/DM/DR accuracy.
+func BenchmarkAblationEstimators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationEstimators(int64(i+1), 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPropensity compares propensity-inference methods.
+func BenchmarkAblationPropensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPropensity(int64(i+1), 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationExploration measures chaos-driven coverage.
+func BenchmarkAblationExploration(b *testing.B) {
+	var longest float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationExploration(int64(i+1), 10000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		longest = float64(res.Chaos.LongestRun)
+	}
+	b.ReportMetric(longest, "chaos-longest-run")
+}
+
+// BenchmarkAblationSampleWidth sweeps the Redis-style eviction sample size.
+func BenchmarkAblationSampleWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSampleWidth(int64(i+1), 20000, []int{2, 5, 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContinuousLoop measures the §3 deploy-harvest-retrain loop.
+// Metric: latency improvement from round 0 to the final round.
+func BenchmarkContinuousLoop(b *testing.B) {
+	p := experiments.DefaultContinuousParams()
+	p.Rounds = 3
+	p.Config.NumRequests = 8000
+	p.Config.Warmup = 800
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Continuous(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+		improvement = (first.OnlineLatency - last.OnlineLatency) / first.OnlineLatency
+	}
+	b.ReportMetric(improvement, "latency-improvement")
+}
+
+// BenchmarkDriftAdaptation measures the §5 A2-violation study. Metric: the
+// incremental learner's downtime advantage over the frozen policy after
+// the environment changes.
+func BenchmarkDriftAdaptation(b *testing.B) {
+	p := experiments.DefaultDriftParams()
+	p.PhaseN = 4000
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Drift(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv = res.StaticPhase2 - res.IncrementalPhase2
+	}
+	b.ReportMetric(adv, "downtime-saved-min")
+}
+
+// --- microbenchmarks of the hot paths ---
+
+// benchDataset builds a reusable exploration dataset.
+func benchDataset(n int) core.Dataset {
+	r := stats.NewRand(1)
+	ds := make(core.Dataset, n)
+	for i := range ds {
+		ds[i] = core.Datapoint{
+			Context:    core.Context{Features: core.Vector{r.Float64(), r.Float64()}, NumActions: 8},
+			Action:     core.Action(r.Intn(8)),
+			Reward:     r.Float64(),
+			Propensity: 1.0 / 8,
+		}
+	}
+	return ds
+}
+
+// BenchmarkIPSEstimate measures raw estimator throughput.
+func BenchmarkIPSEstimate(b *testing.B) {
+	ds := benchDataset(100000)
+	pol := policy.Constant{A: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (ope.IPS{}).Estimate(pol, ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(ds)))
+}
+
+// BenchmarkSNIPSEstimate measures the self-normalized variant.
+func BenchmarkSNIPSEstimate(b *testing.B) {
+	ds := benchDataset(100000)
+	pol := policy.Constant{A: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (ope.SNIPS{}).Estimate(pol, ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRewardModelFit measures ridge training on bandit data.
+func BenchmarkRewardModelFit(b *testing.B) {
+	ds := benchDataset(20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := learn.FitRewardModel(ds, learn.FitOptions{NumActions: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheOps measures Get/Set throughput under eviction pressure.
+func BenchmarkCacheOps(b *testing.B) {
+	w := cachesim.DefaultBigSmall()
+	cfg := cachesim.Config{MaxBytes: w.TotalBytes() / 2, SampleSize: 10}
+	c, err := cachesim.New(cfg, cachesim.RandomEvictor{R: stats.NewRand(1)}, stats.NewRand(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRand(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Advance(float64(i))
+		req := w.Draw(r)
+		if !c.Get(req.Key) {
+			if err := c.Set(req.Key, req.Size); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkDESEvents measures simulator event throughput.
+func BenchmarkDESEvents(b *testing.B) {
+	var sim des.Simulator
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.After(float64(i%64), func() {}); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			for sim.Step() {
+			}
+		}
+	}
+	for sim.Step() {
+	}
+}
+
+// BenchmarkHealthsimGenerate measures full-feedback episode generation.
+func BenchmarkHealthsimGenerate(b *testing.B) {
+	gen, err := healthsim.NewGenerator(stats.NewRand(1), healthsim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := gen.Generate(1000)
+		if len(ds) != 1000 {
+			b.Fatal("bad generate")
+		}
+	}
+}
+
+// BenchmarkDatasetJSONL measures dataset serialization round-trips.
+func BenchmarkDatasetJSONL(b *testing.B) {
+	ds := benchDataset(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ds.WriteJSONL(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRESPGetSet measures request/reply throughput of the cache
+// server over a real loopback TCP connection.
+func BenchmarkRESPGetSet(b *testing.B) {
+	cli, closeAll, err := startRESP(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer closeAll()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := "bench-key-" + string(rune('a'+i%16))
+		if err := cli.Set(key, "0123456789abcdef"); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := cli.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRESPPipelined measures the same workload batched 32 commands
+// per round trip.
+func BenchmarkRESPPipelined(b *testing.B) {
+	cli, closeAll, err := startRESP(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer closeAll()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 32 {
+		pipe := cli.Pipeline()
+		for j := 0; j < 32; j++ {
+			pipe.Queue("SET", "bench-key", "0123456789abcdef")
+		}
+		if _, err := pipe.Exec(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// startRESP brings up a cache server on loopback for the benches.
+func startRESP(maxBytes int64) (*resp.Client, func(), error) {
+	var srv *resp.Server
+	cache, err := cachesim.New(cachesim.Config{
+		MaxBytes:   maxBytes,
+		SampleSize: 5,
+		OnEvict:    func(key string) { srv.OnEvict(key) },
+	}, cachesim.RandomEvictor{R: stats.NewRand(1)}, stats.NewRand(2))
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err = resp.NewServer(cache)
+	if err != nil {
+		return nil, nil, err
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	cli, err := resp.Dial(addr.String(), 2*time.Second)
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	return cli, func() { cli.Close(); srv.Close() }, nil
+}
+
+// BenchmarkProxyRequest measures end-to-end latency through the HTTP
+// reverse proxy to a fast backend on loopback.
+func BenchmarkProxyRequest(b *testing.B) {
+	backend, err := netlb.StartBackend(0, time.Microsecond, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer backend.Close()
+	backend2, err := netlb.StartBackend(1, time.Microsecond, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer backend2.Close()
+	proxy, err := netlb.NewProxy([]string{backend.Addr(), backend2.Addr()},
+		policy.UniformRandom{R: stats.NewRand(1)}, stats.NewRand(2), io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := proxy.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer proxy.Close()
+	client := &http.Client{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(proxy.URL() + "/bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,77 @@
+// Command cached runs the Redis-like cache server: a byte-budgeted cache
+// with sampled eviction behind a RESP2 TCP listener. Point any sequential
+// RESP client (or this repository's resp.Client) at it.
+//
+// Usage:
+//
+//	cached [-addr HOST:PORT] [-maxbytes N] [-samples K]
+//	       [-policy random|lru|lfu|freqsize]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/cachesim"
+	"repro/internal/resp"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cached:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:6399", "listen address")
+	maxBytes := flag.Int64("maxbytes", 1<<20, "cache byte budget")
+	samples := flag.Int("samples", 5, "eviction candidates sampled per decision (Redis maxmemory-samples)")
+	polName := flag.String("policy", "random", "eviction policy: random|lru|lfu|freqsize")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	r := stats.NewRand(*seed)
+	var ev cachesim.Evictor
+	switch *polName {
+	case "random":
+		ev = cachesim.RandomEvictor{R: stats.Split(r)}
+	case "lru":
+		ev = cachesim.LRUEvictor{}
+	case "lfu":
+		ev = cachesim.LFUEvictor{}
+	case "freqsize":
+		ev = cachesim.FreqSizeEvictor{}
+	default:
+		return fmt.Errorf("unknown policy %q", *polName)
+	}
+
+	var srv *resp.Server
+	cache, err := cachesim.New(cachesim.Config{
+		MaxBytes:   *maxBytes,
+		SampleSize: *samples,
+		OnEvict:    func(key string) { srv.OnEvict(key) },
+	}, ev, stats.Split(r))
+	if err != nil {
+		return err
+	}
+	srv, err = resp.NewServer(cache)
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("cached (%s eviction, %d bytes, %d samples) listening on %s\n",
+		*polName, *maxBytes, *samples, bound)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	return nil
+}

@@ -1,0 +1,128 @@
+// Command cacheload drives a RESP cache server (cmd/cached, or any
+// sequentially-consistent subset of Redis) with the paper's big/small
+// workload over real TCP, read-through style: GET, and on a miss SET a
+// value of the item's size. It reports the server-side hitrate from INFO —
+// the "deploy and measure it in our prototype" step of §3, over the wire.
+//
+// Usage:
+//
+//	cached -policy freqsize &
+//	cacheload -addr 127.0.0.1:6399 -n 60000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cachesim"
+	"repro/internal/resp"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cacheload:", err)
+		os.Exit(1)
+	}
+}
+
+// run drives the workload and writes the report to w.
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("cacheload", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:6399", "cache server address")
+	n := fs.Int("n", 60000, "requests to send")
+	seed := fs.Int64("seed", 1, "workload RNG seed")
+	pipeline := fs.Int("pipeline", 32, "commands per pipelined batch (1 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("n must be positive")
+	}
+	if *pipeline < 1 {
+		return fmt.Errorf("pipeline must be ≥ 1")
+	}
+	cli, err := resp.Dial(*addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	if _, err := cli.Do("FLUSHALL"); err != nil {
+		return fmt.Errorf("flush: %w", err)
+	}
+
+	wload := cachesim.DefaultBigSmall()
+	r := stats.NewRand(*seed)
+	start := time.Now()
+	// Read-through over the wire. Pipelining batches the GETs; misses are
+	// SET in a follow-up batch.
+	batch := make([]cachesim.Request, 0, *pipeline)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		pipe := cli.Pipeline()
+		for _, req := range batch {
+			pipe.Queue("GET", req.Key)
+		}
+		replies, err := pipe.Exec()
+		if err != nil {
+			return err
+		}
+		setPipe := cli.Pipeline()
+		sets := 0
+		for i, reply := range replies {
+			if reply.Type == resp.Error {
+				return fmt.Errorf("server error: %s", reply.Str)
+			}
+			if reply.Null {
+				req := batch[i]
+				// Value payload sized so key+value ≈ the item size.
+				pad := int(req.Size) - len(req.Key)
+				if pad < 1 {
+					pad = 1
+				}
+				setPipe.Queue("SET", req.Key, strings.Repeat("x", pad))
+				sets++
+			}
+		}
+		if sets > 0 {
+			if _, err := setPipe.Exec(); err != nil {
+				return err
+			}
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for i := 0; i < *n; i++ {
+		batch = append(batch, wload.Draw(r))
+		if len(batch) >= *pipeline {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	info, err := cli.Do("INFO")
+	if err != nil {
+		return fmt.Errorf("info: %w", err)
+	}
+	fmt.Fprintf(w, "sent %d requests in %v (%.0f req/s, pipeline %d)\n",
+		*n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds(), *pipeline)
+	for _, line := range strings.Split(info.Str, "\r\n") {
+		for _, key := range []string{"keyspace_hits", "keyspace_misses", "evicted_keys", "hit_rate", "used_memory", "maxmemory"} {
+			if strings.HasPrefix(line, key+":") {
+				fmt.Fprintln(w, line)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/resp"
+	"repro/internal/stats"
+)
+
+// startServer brings up an in-process RESP cache server for the load test.
+func startServer(t *testing.T, ev cachesim.Evictor) string {
+	t.Helper()
+	w := cachesim.DefaultBigSmall()
+	var srv *resp.Server
+	cache, err := cachesim.New(cachesim.Config{
+		MaxBytes:   w.TotalBytes() / 2,
+		SampleSize: 10,
+		OnEvict:    func(key string) { srv.OnEvict(key) },
+	}, ev, stats.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err = resp.NewServer(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr.String()
+}
+
+// hitRateFrom extracts the hit_rate line from the report.
+func hitRateFrom(t *testing.T, report string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(report, "\n") {
+		if rest, ok := strings.CutPrefix(line, "hit_rate:"); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no hit_rate in report:\n%s", report)
+	return 0
+}
+
+func TestCacheloadEndToEnd(t *testing.T) {
+	addr := startServer(t, cachesim.RandomEvictor{R: stats.NewRand(1)})
+	var out bytes.Buffer
+	if err := run(&out, []string{"-addr", addr, "-n", "20000", "-pipeline", "32"}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"keyspace_hits:", "keyspace_misses:", "hit_rate:", "evicted_keys:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	// The wire-level hitrate should be in the Table-3 band for random
+	// eviction at half-working-set budget.
+	if hr := hitRateFrom(t, s); hr < 0.35 || hr > 0.60 {
+		t.Errorf("wire hitrate %v outside the Table-3 band", hr)
+	}
+}
+
+func TestCacheloadFreqSizeBeatsRandomOverWire(t *testing.T) {
+	// The Table 3 headline, end to end over TCP: the size-aware evictor's
+	// wire hitrate clearly beats random's.
+	runWith := func(ev cachesim.Evictor) float64 {
+		addr := startServer(t, ev)
+		var out bytes.Buffer
+		if err := run(&out, []string{"-addr", addr, "-n", "30000"}); err != nil {
+			t.Fatal(err)
+		}
+		return hitRateFrom(t, out.String())
+	}
+	random := runWith(cachesim.RandomEvictor{R: stats.NewRand(3)})
+	fs := runWith(cachesim.FreqSizeEvictor{})
+	if fs < random+0.05 {
+		t.Errorf("freq/size %v should beat random %v by ≥5 points over the wire", fs, random)
+	}
+}
+
+func TestCacheloadUnpipelined(t *testing.T) {
+	addr := startServer(t, cachesim.LRUEvictor{})
+	var out bytes.Buffer
+	if err := run(&out, []string{"-addr", addr, "-n", "500", "-pipeline", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pipeline 1") {
+		t.Errorf("report should note pipeline setting:\n%s", out.String())
+	}
+}
+
+func TestCacheloadValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{"-n", "0"}); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if err := run(&out, []string{"-pipeline", "0"}); err == nil {
+		t.Error("pipeline=0 should fail")
+	}
+	if err := run(&out, []string{"-addr", "127.0.0.1:1", "-n", "10"}); err == nil {
+		t.Error("dead server should fail")
+	}
+}

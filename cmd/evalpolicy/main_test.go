@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// buildDataset synthesizes a JSONL dataset where action 2 is clearly best.
+func buildDataset(t *testing.T, n int) *bytes.Buffer {
+	t.Helper()
+	r := stats.NewRand(1)
+	ds := make(core.Dataset, n)
+	for i := range ds {
+		a := core.Action(r.Intn(3))
+		reward := 0.3
+		if a == 2 {
+			reward = 0.8
+		}
+		ds[i] = core.Datapoint{
+			Context:    core.Context{Features: core.Vector{r.Float64()}, NumActions: 3},
+			Action:     a,
+			Reward:     reward + r.NormFloat64()*0.05,
+			Propensity: 1.0 / 3,
+		}
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestEvalPolicyConstantSet(t *testing.T) {
+	in := buildDataset(t, 20000)
+	var out bytes.Buffer
+	if err := run(in, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "best: always-2") {
+		t.Errorf("should pick always-2:\n%s", s)
+	}
+	if !strings.Contains(s, "certified winner") {
+		t.Errorf("20k points should certify:\n%s", s)
+	}
+}
+
+func TestEvalPolicySNIPS(t *testing.T) {
+	in := buildDataset(t, 5000)
+	var out bytes.Buffer
+	if err := run(in, &out, []string{"-estimator", "snips"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "snips") {
+		t.Errorf("output should name the estimator:\n%s", out.String())
+	}
+}
+
+func TestEvalPolicyStumps(t *testing.T) {
+	in := buildDataset(t, 5000)
+	var out bytes.Buffer
+	if err := run(in, &out, []string{"-policies", "stumps"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "best: stump") {
+		t.Errorf("stump winner expected:\n%s", out.String())
+	}
+}
+
+func TestEvalPolicyErrors(t *testing.T) {
+	if err := run(strings.NewReader(""), &bytes.Buffer{}, nil); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	in := buildDataset(t, 100)
+	if err := run(in, &bytes.Buffer{}, []string{"-estimator", "nope"}); err == nil {
+		t.Error("unknown estimator should fail")
+	}
+	in = buildDataset(t, 100)
+	if err := run(in, &bytes.Buffer{}, []string{"-policies", "nope"}); err == nil {
+		t.Error("unknown policy set should fail")
+	}
+	if err := run(strings.NewReader("not json"), &bytes.Buffer{}, nil); err == nil {
+		t.Error("malformed input should fail")
+	}
+	if err := run(nil, &bytes.Buffer{}, []string{"-i", "/nonexistent/path"}); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,193 @@
+// Command harvest regenerates the tables and figures of "Harvesting
+// Randomness to Optimize Distributed Systems" (HotNets 2017) from this
+// repository's substrates, printing the same rows/series the paper reports.
+//
+// Usage:
+//
+//	harvest [-seed N] [-quick] <experiment>
+//
+// where <experiment> is one of:
+//
+//	fig1     data needed to evaluate K policies: CB vs A/B testing
+//	fig2     theoretical accuracy (Eq. 1) vs N for several ε
+//	fig3     ips estimator error on machine health (1000 resimulations)
+//	fig4     CB training convergence vs the full-feedback baseline
+//	table2   load-balancing policies: off-policy vs online latency
+//	table3   cache-eviction policies: hitrates on the big/small workload
+//	fig6     hierarchical Front Door vs flat action space
+//	eq1      empirical verification of the Eq. 1 simultaneous bound
+//	loop     the §3 continuous deploy-harvest-retrain loop
+//	drift    the §5 A2-violation study (frozen vs incremental learner)
+//	rollout  staged rollout of send-to-1: exposure reveals the A1 bias
+//	zipf     workload contrast: Table 3 flips on uniform-size Zipf keys
+//	p99      tail latency: offline weighted-quantile p99 vs deployed p99
+//	longterm §5 capstone: chaos coverage + trajectory estimators recover
+//	         the sustained send-to-1 latency per-request ips cannot see
+//	ablate   the design-choice ablations (estimators, propensity
+//	         inference, exploration coverage, eviction sample width)
+//	all      everything above in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "root RNG seed (experiments are deterministic given a seed)")
+	quick := flag.Bool("quick", false, "reduce sample sizes for a fast smoke run")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: harvest [-seed N] [-quick] fig1|fig2|fig3|fig4|table2|table3|fig6|eq1|loop|drift|rollout|zipf|p99|longterm|ablate|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Arg(0), *seed, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "harvest:", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches one experiment (or all) to w.
+func run(w io.Writer, name string, seed int64, quick bool) error {
+	type writerTo interface {
+		WriteTo(io.Writer) (int64, error)
+	}
+	exec := func(res writerTo, err error) error {
+		if err != nil {
+			return err
+		}
+		if _, err := res.WriteTo(w); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w)
+		return err
+	}
+	switch name {
+	case "fig1":
+		p := experiments.DefaultFig1Params()
+		return exec(experiments.Fig1(p))
+	case "fig2":
+		return exec(experiments.Fig2(experiments.DefaultFig2Params()))
+	case "fig3":
+		p := experiments.DefaultFig3Params()
+		p.Seed = seed
+		if quick {
+			p.Resims = 100
+			p.TestNs = []int{250, 1000, 3500}
+		}
+		return exec(experiments.Fig3(p))
+	case "fig4":
+		p := experiments.DefaultFig4Params()
+		p.Seed = seed
+		return exec(experiments.Fig4(p))
+	case "table2":
+		p := experiments.DefaultTable2Params()
+		p.Seed = seed
+		if quick {
+			p.Config.NumRequests = 10000
+			p.Config.Warmup = 1000
+		}
+		return exec(experiments.Table2(p))
+	case "table3":
+		p := experiments.DefaultTable3Params()
+		p.Seed = seed
+		if quick {
+			p.Requests = 20000
+		}
+		return exec(experiments.Table3(p))
+	case "fig6":
+		p := experiments.DefaultFig6Params()
+		p.Seed = seed
+		if quick {
+			p.Config.NumRequests = 8000
+			p.Config.Warmup = 1000
+		}
+		return exec(experiments.Fig6(p))
+	case "eq1":
+		p := experiments.DefaultEq1Params()
+		p.Seed = seed
+		if quick {
+			p.Ns = []int{2000, 8000}
+		}
+		return exec(experiments.Eq1(p))
+	case "loop":
+		p := experiments.DefaultContinuousParams()
+		p.Seed = seed
+		if quick {
+			p.Rounds = 3
+			p.Config.NumRequests = 8000
+			p.Config.Warmup = 800
+		}
+		return exec(experiments.Continuous(p))
+	case "drift":
+		p := experiments.DefaultDriftParams()
+		p.Seed = seed
+		if quick {
+			p.PhaseN = 3000
+		}
+		return exec(experiments.Drift(p))
+	case "rollout":
+		p := experiments.DefaultRolloutParams()
+		p.Seed = seed
+		if quick {
+			p.Config.NumRequests = 8000
+			p.Config.Warmup = 800
+		}
+		return exec(experiments.Rollout(p))
+	case "zipf":
+		p := experiments.DefaultZipfContrastParams()
+		p.Seed = seed
+		if quick {
+			p.Requests = 20000
+		}
+		return exec(experiments.ZipfContrast(p))
+	case "p99":
+		p := experiments.DefaultP99Params()
+		p.Seed = seed
+		if quick {
+			p.Config.NumRequests = 10000
+			p.Config.Warmup = 1000
+		}
+		return exec(experiments.P99(p))
+	case "longterm":
+		p := experiments.DefaultLongTermParams()
+		p.Seed = seed
+		if quick {
+			p.N = 15000
+		}
+		return exec(experiments.LongTerm(p))
+	case "ablate":
+		n := 20000
+		requests := 60000
+		if quick {
+			n, requests = 5000, 20000
+		}
+		if err := exec(experiments.AblationEstimators(seed, n)); err != nil {
+			return err
+		}
+		if err := exec(experiments.AblationPropensity(seed, n)); err != nil {
+			return err
+		}
+		if err := exec(experiments.AblationExploration(seed, n)); err != nil {
+			return err
+		}
+		return exec(experiments.AblationSampleWidth(seed, requests, []int{2, 3, 5, 10, 20}))
+	case "all":
+		for _, sub := range []string{"fig1", "fig2", "fig3", "fig4", "table2", "table3", "fig6", "eq1", "loop", "drift", "rollout", "zipf", "p99", "longterm", "ablate"} {
+			if err := run(w, sub, seed, quick); err != nil {
+				return fmt.Errorf("%s: %w", sub, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}

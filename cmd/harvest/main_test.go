@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDispatchesEveryExperiment(t *testing.T) {
+	// Smoke-run the cheap experiments at full size and the expensive ones
+	// in quick mode, checking each prints its identifying header.
+	cases := []struct {
+		name   string
+		quick  bool
+		header string
+	}{
+		{"fig1", false, "Fig 1"},
+		{"fig2", false, "Fig 2"},
+		{"fig4", false, "Fig 4"},
+		{"table2", true, "Table 2"},
+		{"table3", true, "Table 3"},
+		{"fig6", true, "Fig 6"},
+		{"eq1", true, "Eq. 1"},
+		{"loop", true, "Continuous"},
+		{"drift", true, "A2 violation"},
+		{"rollout", true, "Staged rollout"},
+		{"zipf", true, "Workload contrast"},
+		{"p99", true, "Tail latency"},
+		{"longterm", true, "Long-term effects"},
+		{"ablate", true, "Ablation"},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := run(&buf, c.name, 1, c.quick); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !strings.Contains(buf.String(), c.header) {
+			t.Errorf("%s output missing %q:\n%s", c.name, c.header, buf.String())
+		}
+	}
+}
+
+func TestRunFig3Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig3", 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig 3") {
+		t.Errorf("missing header:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", 1, false); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

@@ -1,0 +1,64 @@
+// Command healthgen emits machine-health exploration datasets (JSONL) for
+// offline experimentation: either full-feedback-derived uniform exploration
+// (the paper's simulated-randomization protocol) or the raw full-feedback
+// rewards for every wait action.
+//
+// Usage:
+//
+//	healthgen [-n N] [-seed S] [-o PATH] [-normalize]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/healthsim"
+	"repro/internal/learn"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "healthgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 10000, "number of failure episodes")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	out := flag.String("o", "-", "output path (- for stdout)")
+	normalize := flag.Bool("normalize", false, "map rewards into [0,1] (1 = no downtime)")
+	flag.Parse()
+
+	if *n <= 0 {
+		return fmt.Errorf("n must be positive")
+	}
+	root := stats.NewRand(*seed)
+	gen, err := healthsim.NewGenerator(stats.Split(root), healthsim.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	full := gen.Generate(*n)
+	expl := learn.SimulateExploration(stats.Split(root), full)
+	if *normalize {
+		expl = healthsim.NormalizeRewards(expl, gen.MaxPossibleDowntime())
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := expl.WriteJSONL(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d exploration datapoints (9 wait actions, propensity 1/9)\n", len(expl))
+	return nil
+}

@@ -1,0 +1,118 @@
+// Command lbd runs the live HTTP load-balancing prototype: a set of
+// backends whose service time grows with in-flight requests, fronted by a
+// reverse proxy with a pluggable routing policy writing an Nginx-style
+// access log — the harvestable system of the paper's Nginx scenario.
+//
+// Usage:
+//
+//	lbd [-backends N] [-policy random|leastloaded|sendto0] [-log PATH]
+//	    [-requests N] [-rate R]
+//
+// With -requests > 0 the command generates that much load itself, prints
+// the measured latency, and exits; with -requests 0 it serves until
+// interrupted, printing the proxy address for external clients.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lbsim"
+	"repro/internal/netlb"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	numBackends := flag.Int("backends", 2, "number of backend servers")
+	polName := flag.String("policy", "random", "routing policy: random|leastloaded|sendto0")
+	logPath := flag.String("log", "access.log", "access log path (empty disables)")
+	requests := flag.Int("requests", 2000, "requests to self-generate (0 = serve until interrupted)")
+	rate := flag.Float64("rate", 200, "self-generated request rate per second")
+	base := flag.Duration("base", 2*time.Millisecond, "backend 0 base service time (each later backend +50%)")
+	slope := flag.Duration("slope", 500*time.Microsecond, "added service time per in-flight request")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	if *numBackends < 2 {
+		return fmt.Errorf("need at least 2 backends")
+	}
+	backends := make([]*netlb.Backend, *numBackends)
+	addrs := make([]string, *numBackends)
+	for i := range backends {
+		b := time.Duration(float64(*base) * (1 + 0.5*float64(i)))
+		be, err := netlb.StartBackend(i, b, *slope)
+		if err != nil {
+			return err
+		}
+		defer be.Close()
+		backends[i] = be
+		addrs[i] = be.Addr()
+		fmt.Printf("backend %d at %s (base %v)\n", i, be.Addr(), b)
+	}
+
+	var pol core.Policy
+	r := stats.NewRand(*seed)
+	switch *polName {
+	case "random":
+		pol = policy.UniformRandom{R: stats.Split(r)}
+	case "leastloaded":
+		pol = lbsim.LeastLoaded{}
+	case "sendto0":
+		pol = policy.Constant{A: 0}
+	default:
+		return fmt.Errorf("unknown policy %q", *polName)
+	}
+
+	var logW *os.File
+	if *logPath != "" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		logW = f
+	}
+	proxy, err := netlb.NewProxy(addrs, pol, stats.Split(r), logW)
+	if err != nil {
+		return err
+	}
+	addr, err := proxy.Start()
+	if err != nil {
+		return err
+	}
+	defer proxy.Close()
+	fmt.Printf("proxy (%s policy) at http://%s\n", *polName, addr)
+
+	if *requests <= 0 {
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt)
+		<-stop
+		return nil
+	}
+	res, err := netlb.GenerateLoad(proxy.URL(), *requests, *rate, stats.Split(r))
+	if err != nil {
+		return err
+	}
+	p99, err := res.P99()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("completed %d requests (%d errors): mean %v, p99 %v\n",
+		len(res.Latencies), res.Errors, res.Mean(), p99)
+	if *logPath != "" {
+		fmt.Printf("access log written to %s — harvest it with the harvester package\n", *logPath)
+	}
+	return nil
+}

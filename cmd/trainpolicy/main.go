@@ -1,0 +1,84 @@
+// Command trainpolicy fits a reward model from an exploration dataset
+// (JSONL, as produced by cmd/healthgen or any harvester output) and emits
+// the model as a JSON artifact — the optimize step of the methodology as a
+// standalone tool, producing something a serving system can load:
+//
+//	healthgen -n 50000 -normalize | trainpolicy -minimize=false > model.json
+//
+// With -report, the tool also scores the fitted model's greedy policy on
+// the training data with SNIPS (a quick sanity number; use a held-out
+// dataset and cmd/evalpolicy for honest evaluation).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/learn"
+	"repro/internal/ope"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout, os.Stderr, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trainpolicy:", err)
+		os.Exit(1)
+	}
+}
+
+// run reads a dataset from r, writes the model JSON to w and the optional
+// report to diag.
+func run(r io.Reader, w, diag io.Writer, args []string) error {
+	fs := flag.NewFlagSet("trainpolicy", flag.ContinueOnError)
+	input := fs.String("i", "-", "input dataset path (- for stdin)")
+	lambda := fs.Float64("lambda", 1e-3, "ridge regularization")
+	iw := fs.Bool("iw", false, "importance-weight the regression by 1/propensity")
+	minimize := fs.Bool("minimize", false, "rewards are costs (report argmin policy)")
+	report := fs.Bool("report", false, "print a SNIPS training-data sanity score to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := r
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	ds, err := core.ReadJSONL(in)
+	if err != nil {
+		return err
+	}
+	if len(ds) == 0 {
+		return fmt.Errorf("empty dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return fmt.Errorf("invalid dataset: %w", err)
+	}
+	model, err := learn.FitRewardModel(ds, learn.FitOptions{
+		Lambda:             *lambda,
+		ImportanceWeighted: *iw,
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(model); err != nil {
+		return err
+	}
+	if *report {
+		est, err := (ope.SNIPS{}).Estimate(model.GreedyPolicy(*minimize), ds)
+		if err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+		fmt.Fprintf(diag, "trained on %d datapoints; greedy policy SNIPS (training data): %s\n",
+			len(ds), est)
+	}
+	return nil
+}

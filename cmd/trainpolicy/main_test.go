@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/learn"
+	"repro/internal/stats"
+)
+
+func banditJSONL(t *testing.T, n int) *bytes.Buffer {
+	t.Helper()
+	r := stats.NewRand(1)
+	ds := make(core.Dataset, n)
+	for i := range ds {
+		x := core.Vector{r.Float64() * 2}
+		a := core.Action(r.Intn(2))
+		reward := 1 + x[0]
+		if a == 1 {
+			reward = 2 - x[0]
+		}
+		ds[i] = core.Datapoint{
+			Context:    core.Context{Features: x, NumActions: 2},
+			Action:     a,
+			Reward:     reward,
+			Propensity: 0.5,
+		}
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestTrainPolicyProducesLoadableModel(t *testing.T) {
+	in := banditJSONL(t, 8000)
+	var out, diag bytes.Buffer
+	if err := run(in, &out, &diag, []string{"-report"}); err != nil {
+		t.Fatal(err)
+	}
+	var model learn.RewardModel
+	if err := json.Unmarshal(out.Bytes(), &model); err != nil {
+		t.Fatalf("emitted model not loadable: %v\n%s", err, out.String())
+	}
+	if model.NumActions() != 2 {
+		t.Errorf("NumActions = %d", model.NumActions())
+	}
+	// The loaded model's greedy policy should match the world: action 0
+	// for large x, action 1 for small x.
+	g := model.GreedyPolicy(false)
+	if got := g.Act(&core.Context{Features: core.Vector{1.8}, NumActions: 2}); got != 0 {
+		t.Errorf("greedy(1.8) = %d, want 0", got)
+	}
+	if got := g.Act(&core.Context{Features: core.Vector{0.2}, NumActions: 2}); got != 1 {
+		t.Errorf("greedy(0.2) = %d, want 1", got)
+	}
+	if !strings.Contains(diag.String(), "SNIPS") {
+		t.Errorf("report missing: %q", diag.String())
+	}
+}
+
+func TestTrainPolicyValidation(t *testing.T) {
+	var out, diag bytes.Buffer
+	if err := run(strings.NewReader(""), &out, &diag, nil); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	if err := run(strings.NewReader("garbage"), &out, &diag, nil); err == nil {
+		t.Error("malformed input should fail")
+	}
+	if err := run(nil, &out, &diag, []string{"-i", "/nonexistent"}); err == nil {
+		t.Error("missing file should fail")
+	}
+}

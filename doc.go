@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "Harvesting
+// Randomness to Optimize Distributed Systems" (Lecuyer, Lockerman, Nelson,
+// Sen, Sharma, Slivkins — HotNets 2017): off-policy evaluation of systems
+// policies from the randomness those systems already emit, plus every
+// substrate the paper's evaluation depends on (a machine-health generator,
+// load-balancing simulators and a real HTTP reverse proxy, a Redis-like
+// cache with a RESP server, an A/B-testing comparator, the hierarchical
+// Front Door model, and chaos-style failure injection).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root package holds the benchmark harness (bench_test.go): one
+// benchmark per table/figure in the paper.
+package repro

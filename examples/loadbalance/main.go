@@ -1,0 +1,109 @@
+// Load balancing over real HTTP: Table 2's breakage, live.
+//
+// We start two real backend servers (backend 1 slower) and a reverse proxy
+// that routes uniformly at random, writing an Nginx-style access log. We
+// push Poisson traffic through the proxy, scavenge the log with the
+// harvester, and evaluate candidate policies offline with ips. Then we
+// *deploy* the tempting "send everything to the fast backend" policy and
+// watch it fall apart — the violation of CB assumption A1 (§5).
+//
+// Run: go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/harvester"
+	"repro/internal/lbsim"
+	"repro/internal/netlb"
+	"repro/internal/ope"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+func main() {
+	root := stats.NewRand(1)
+
+	// Two real HTTP backends; service time grows with in-flight requests
+	// and backend 1 carries an additive constant (Fig. 5, scaled to ms).
+	b0, err := netlb.StartBackend(0, 4*time.Millisecond, 1500*time.Microsecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b0.Close()
+	b1, err := netlb.StartBackend(1, 8*time.Millisecond, 1500*time.Microsecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b1.Close()
+
+	fmt.Println("phase 1: collect exploration data under random routing")
+	var logBuf strings.Builder
+	proxy, err := netlb.NewProxy(
+		[]string{b0.Addr(), b1.Addr()},
+		policy.UniformRandom{R: stats.Split(root)},
+		stats.Split(root), &logBuf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := proxy.Start(); err != nil {
+		log.Fatal(err)
+	}
+	loadRes, err := netlb.GenerateLoad(proxy.URL(), 1200, 500, stats.Split(root))
+	if err != nil {
+		log.Fatal(err)
+	}
+	randomMean := loadRes.Mean()
+	proxy.Close()
+	fmt.Printf("  %d requests, mean latency %v\n", len(loadRes.Latencies), randomMean)
+
+	fmt.Println("\nphase 2: scavenge the access log (step 1) and evaluate offline (step 3)")
+	entries, err := harvester.ScavengeNginx(strings.NewReader(logBuf.String()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, skipped, err := harvester.NginxToDataset(entries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  harvested %d datapoints (%d skipped)\n", len(ds), skipped)
+	sendTo0 := policy.Constant{A: 0}
+	est, err := (ope.IPS{}).Estimate(sendTo0, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	llEst, err := (ope.IPS{}).Estimate(lbsim.LeastLoaded{}, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  ips('send to fast backend') = %.1fms  ← looks great!\n", 1000*est.Value)
+	fmt.Printf("  ips('least loaded')         = %.1fms\n", 1000*llEst.Value)
+
+	fmt.Println("\nphase 3: actually deploy 'send to fast backend'")
+	proxy2, err := netlb.NewProxy(
+		[]string{b0.Addr(), b1.Addr()}, sendTo0, stats.Split(root), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := proxy2.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer proxy2.Close()
+	deployRes, err := netlb.GenerateLoad(proxy2.URL(), 1200, 500, stats.Split(root))
+	if err != nil {
+		log.Fatal(err)
+	}
+	deployMean := deployRes.Mean()
+	fmt.Printf("  deployed mean latency %v (offline estimate said %.1fms)\n",
+		deployMean, 1000*est.Value)
+
+	ratio := float64(deployMean) / (float64(time.Second) * est.Value)
+	fmt.Printf("\noffline evaluation was off by %.1fx — prior routing decisions shape the\n", ratio)
+	fmt.Println("context (server load), so CB assumption A1 fails and ips misleads (§5).")
+	if ratio < 1.3 {
+		log.Fatal("expected a clear offline/online gap")
+	}
+}

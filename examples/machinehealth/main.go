@@ -1,0 +1,89 @@
+// Machine health: the paper's §4 pipeline end to end.
+//
+// The Azure Compute scenario: a machine goes unresponsive and the
+// controller chooses how long to wait before rebooting. The deployed
+// policy waits the maximum time, which reveals the downtime of every
+// shorter wait — full feedback. We:
+//
+//  1. generate the full-feedback dataset (our synthetic substitute),
+//  2. simulate partial-feedback exploration from it (reveal one random
+//     action's reward per episode, with propensity 1/9),
+//  3. evaluate a candidate policy offline with ips and compare against
+//     the full-feedback ground truth (Fig. 3's mechanism), and
+//  4. train a CB policy from the exploration data and compare it with
+//     the idealized supervised model and the deployed default (Fig. 4).
+//
+// Run: go run ./examples/machinehealth
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/healthsim"
+	"repro/internal/learn"
+	"repro/internal/ope"
+	"repro/internal/stats"
+)
+
+func main() {
+	root := stats.NewRand(1)
+	gen, err := healthsim.NewGenerator(stats.Split(root), healthsim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Full-feedback data, as Azure's max-wait default produces.
+	train := gen.Generate(10000)
+	test := gen.Generate(5000)
+	fmt.Printf("generated %d training and %d test episodes (%d wait actions)\n",
+		len(train), len(test), healthsim.NumWaitActions)
+
+	// 2. Simulated exploration: one ⟨x, a, r, p⟩ tuple per episode.
+	expl := learn.SimulateExploration(stats.Split(root), train)
+
+	// 3. Off-policy evaluation of a fixed candidate: "wait 3 minutes"
+	// (action 2), scored on the normalized [0,1] reward scale.
+	candidate := core.PolicyFunc(func(*core.Context) core.Action { return 2 })
+	maxDown := gen.MaxPossibleDowntime()
+	explTest := learn.SimulateExploration(stats.Split(root), test)
+	est, err := (ope.IPS{}).Estimate(candidate, healthsim.NormalizeRewards(explTest, maxDown))
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := 0.0
+	for i := range test {
+		row := &test[i]
+		d := -row.Rewards[candidate.Act(&row.Context)]
+		truth += 1 - math.Min(d, maxDown)/maxDown
+	}
+	truth /= float64(len(test))
+	fmt.Printf("\noff-policy estimate of 'wait 3 min': %.4f (truth %.4f, rel err %.1f%%)\n",
+		est.Value, truth, 100*math.Abs(est.Value-truth)/truth)
+
+	// 4. Optimize: CB policy from exploration vs full-feedback baseline.
+	cbModel, err := learn.FitRewardModel(expl, learn.FitOptions{NumActions: healthsim.NumWaitActions})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ffModel, err := learn.FitFullFeedback(train, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cbDown := -test.MeanReward(cbModel.GreedyPolicy(false))
+	ffDown := -test.MeanReward(ffModel.GreedyPolicy(false))
+	defDown := -test.MeanReward(healthsim.DefaultPolicy())
+	optDown := -test.OptimalMeanReward(false)
+	fmt.Printf("\nmean downtime on held-out episodes (minutes):\n")
+	fmt.Printf("  deployed default (max wait)   %.2f\n", defDown)
+	fmt.Printf("  CB policy (exploration data)  %.2f  (%.1f%% above full feedback)\n",
+		cbDown, 100*(cbDown-ffDown)/ffDown)
+	fmt.Printf("  full-feedback supervised      %.2f\n", ffDown)
+	fmt.Printf("  omniscient lower bound        %.2f\n", optDown)
+	if cbDown >= defDown {
+		log.Fatal("CB policy should beat the deployed default")
+	}
+	fmt.Println("\nthe CB policy was found without deploying anything — that is the point.")
+}

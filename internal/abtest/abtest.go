@@ -1,0 +1,144 @@
+// Package abtest implements the randomized controlled experiment baseline
+// the paper compares against (Fig. 1): K policy variants each deployed on a
+// slice of live traffic, with per-variant statistics and two-sample tests.
+// Its key property — and the reason contextual bandits beat it — is that a
+// datapoint collected under variant i says nothing about variant j, so the
+// data cost grows linearly in K while off-policy evaluation's grows
+// logarithmically (ope.Eq1RequiredN vs ope.ABRequiredN).
+package abtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Experiment is a running A/B/n test over policy variants.
+type Experiment struct {
+	variants []core.Policy
+	names    []string
+	r        *rand.Rand
+	rewards  [][]float64
+}
+
+// New builds an experiment. names may be nil (variants get index names).
+func New(variants []core.Policy, names []string, r *rand.Rand) (*Experiment, error) {
+	if len(variants) < 2 {
+		return nil, fmt.Errorf("abtest: need at least 2 variants, got %d", len(variants))
+	}
+	if r == nil {
+		return nil, fmt.Errorf("abtest: nil rand")
+	}
+	if names == nil {
+		names = make([]string, len(variants))
+		for i := range names {
+			names[i] = fmt.Sprintf("variant-%d", i)
+		}
+	}
+	if len(names) != len(variants) {
+		return nil, fmt.Errorf("abtest: %d names for %d variants", len(names), len(variants))
+	}
+	return &Experiment{
+		variants: variants,
+		names:    names,
+		r:        r,
+		rewards:  make([][]float64, len(variants)),
+	}, nil
+}
+
+// Assign returns the variant index for the next interaction (uniform
+// traffic split — note this randomizes over *policies*, not actions, which
+// is exactly why the data cannot be reused across variants).
+func (e *Experiment) Assign() int { return e.r.Intn(len(e.variants)) }
+
+// Policy returns variant i's policy.
+func (e *Experiment) Policy(i int) core.Policy { return e.variants[i] }
+
+// Record stores an observed reward for variant i.
+func (e *Experiment) Record(i int, reward float64) error {
+	if i < 0 || i >= len(e.rewards) {
+		return fmt.Errorf("abtest: variant %d out of range", i)
+	}
+	e.rewards[i] = append(e.rewards[i], reward)
+	return nil
+}
+
+// VariantStats summarizes one arm.
+type VariantStats struct {
+	Name string
+	N    int
+	Mean float64
+	CI   stats.Interval
+}
+
+// Results returns per-variant statistics with 1-delta normal CIs.
+func (e *Experiment) Results(delta float64) []VariantStats {
+	out := make([]VariantStats, len(e.variants))
+	for i := range e.variants {
+		xs := e.rewards[i]
+		m := stats.Mean(xs)
+		r := stats.NormalApproxRadius(stats.StdErr(xs), delta)
+		if len(xs) < 2 {
+			r = 0
+		}
+		out[i] = VariantStats{
+			Name: e.names[i],
+			N:    len(xs),
+			Mean: m,
+			CI:   stats.Interval{Point: m, Lo: m - r, Hi: m + r},
+		}
+	}
+	return out
+}
+
+// Compare runs a two-sample z-test between variants i and j, returning the
+// z statistic and two-sided p-value.
+func (e *Experiment) Compare(i, j int) (z, p float64, err error) {
+	if i < 0 || i >= len(e.rewards) || j < 0 || j >= len(e.rewards) {
+		return 0, 0, fmt.Errorf("abtest: compare %d vs %d out of range", i, j)
+	}
+	return stats.TwoSampleZ(e.rewards[i], e.rewards[j])
+}
+
+// Environment is a simulatable world: given a policy and an interaction
+// index, it produces a reward. The healthsim and lbsim substrates provide
+// these for experiment code.
+type Environment func(p core.Policy, i int) float64
+
+// Simulate runs n interactions through the experiment against env,
+// assigning each interaction to one variant (the A/B protocol: a variant
+// only learns from its own traffic).
+func (e *Experiment) Simulate(env Environment, n int) error {
+	if env == nil {
+		return fmt.Errorf("abtest: nil environment")
+	}
+	if n <= 0 {
+		return fmt.Errorf("abtest: n=%d", n)
+	}
+	for i := 0; i < n; i++ {
+		v := e.Assign()
+		if err := e.Record(v, env(e.variants[v], i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Best returns the index of the variant with the highest (or lowest, when
+// minimize) mean, or an error if any variant has no data.
+func (e *Experiment) Best(minimize bool) (int, error) {
+	best := -1
+	var bestMean float64
+	for i, xs := range e.rewards {
+		if len(xs) == 0 {
+			return 0, fmt.Errorf("abtest: variant %d (%s) has no data", i, e.names[i])
+		}
+		m := stats.Mean(xs)
+		if best == -1 || (minimize && m < bestMean) || (!minimize && m > bestMean) {
+			best, bestMean = i, m
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,179 @@
+package abtest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ope"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+func twoVariants() []core.Policy {
+	return []core.Policy{policy.Constant{A: 0}, policy.Constant{A: 1}}
+}
+
+func TestNewValidation(t *testing.T) {
+	r := stats.NewRand(1)
+	if _, err := New(twoVariants()[:1], nil, r); err == nil {
+		t.Error("single variant should fail")
+	}
+	if _, err := New(twoVariants(), nil, nil); err == nil {
+		t.Error("nil rand should fail")
+	}
+	if _, err := New(twoVariants(), []string{"only-one"}, r); err == nil {
+		t.Error("name count mismatch should fail")
+	}
+}
+
+func TestAssignSplitsEvenly(t *testing.T) {
+	e, err := New(twoVariants(), nil, stats.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := [2]int{}
+	for i := 0; i < 100000; i++ {
+		counts[e.Assign()]++
+	}
+	frac := float64(counts[0]) / 100000
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("split = %v", frac)
+	}
+}
+
+func TestRecordAndResults(t *testing.T) {
+	e, err := New(twoVariants(), []string{"ctrl", "treat"}, stats.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := e.Record(0, 1.0); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Record(1, 2.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := e.Results(0.05)
+	if res[0].Name != "ctrl" || res[1].Name != "treat" {
+		t.Errorf("names: %+v", res)
+	}
+	if res[0].Mean != 1 || res[1].Mean != 2 {
+		t.Errorf("means: %+v", res)
+	}
+	if res[0].N != 100 {
+		t.Errorf("N = %d", res[0].N)
+	}
+	if err := e.Record(5, 1); err == nil {
+		t.Error("out-of-range variant should fail")
+	}
+}
+
+func TestCompareDetectsDifference(t *testing.T) {
+	e, err := New(twoVariants(), nil, stats.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRand(5)
+	for i := 0; i < 2000; i++ {
+		_ = e.Record(0, r.NormFloat64())
+		_ = e.Record(1, r.NormFloat64()+0.3)
+	}
+	z, p, err := e.Compare(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.001 || z >= 0 {
+		t.Errorf("z=%v p=%v, expected clear detection", z, p)
+	}
+	if _, _, err := e.Compare(0, 9); err == nil {
+		t.Error("out-of-range compare should fail")
+	}
+}
+
+func TestSimulateAndBest(t *testing.T) {
+	e, err := New(twoVariants(), nil, stats.NewRand(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Environment: action 1 earns 1, action 0 earns 0 (plus noise).
+	envR := stats.NewRand(7)
+	env := func(p core.Policy, i int) float64 {
+		ctx := &core.Context{NumActions: 2}
+		return float64(p.Act(ctx)) + envR.NormFloat64()*0.1
+	}
+	if err := e.Simulate(env, 2000); err != nil {
+		t.Fatal(err)
+	}
+	best, err := e.Best(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 1 {
+		t.Errorf("best = %d, want 1", best)
+	}
+	worst, err := e.Best(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst != 0 {
+		t.Errorf("worst = %d, want 0", worst)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	e, _ := New(twoVariants(), nil, stats.NewRand(8))
+	if err := e.Simulate(nil, 10); err == nil {
+		t.Error("nil env should fail")
+	}
+	if err := e.Simulate(func(core.Policy, int) float64 { return 0 }, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := e.Best(false); err == nil {
+		t.Error("Best with no data should fail")
+	}
+}
+
+func TestABDataCostExceedsCBCost(t *testing.T) {
+	// The Fig. 1 story told through this package and ope: to separate K
+	// policies to the same precision, the A/B experiment needs far more
+	// total traffic than off-policy evaluation of the same K policies on
+	// shared exploration data.
+	for _, k := range []float64{10, 1e3, 1e6} {
+		ab := ope.ABRequiredN(1, k, 0.01, 0.05)
+		cb := ope.Eq1RequiredN(2, 0.04, k, 0.01, 0.05)
+		if ab <= cb {
+			t.Errorf("K=%g: A/B cost %g should exceed CB cost %g", k, ab, cb)
+		}
+	}
+}
+
+func TestEmpiricalABConfidenceMatchesVariantCount(t *testing.T) {
+	// With fixed total traffic, adding variants shrinks per-variant N and
+	// widens CIs — the "only 100% of traffic to share" constraint.
+	run := func(k int) float64 {
+		variants := make([]core.Policy, k)
+		for i := range variants {
+			variants[i] = policy.Constant{A: core.Action(i % 2)}
+		}
+		e, err := New(variants, nil, stats.NewRand(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		envR := stats.NewRand(10)
+		env := func(p core.Policy, i int) float64 { return envR.NormFloat64() }
+		if err := e.Simulate(env, 10000); err != nil {
+			t.Fatal(err)
+		}
+		res := e.Results(0.05)
+		width := 0.0
+		for _, vs := range res {
+			width += vs.CI.Width()
+		}
+		return width / float64(len(res))
+	}
+	if w2, w20 := run(2), run(20); w20 <= w2 {
+		t.Errorf("mean CI width with 20 variants (%v) should exceed 2 variants (%v)", w20, w2)
+	}
+}

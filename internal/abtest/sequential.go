@@ -1,0 +1,93 @@
+package abtest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Sequential is an anytime-valid two-arm monitor: unlike a fixed-horizon
+// z-test, its confidence radius remains valid at *every* sample size
+// simultaneously, so the experimenter may peek after each observation and
+// stop the moment the arms separate — without inflating the false-positive
+// rate. Real experimentation platforms need exactly this ("experiments
+// also need to run long enough...", §1); naive repeated z-tests do not.
+//
+// The construction is a doubling-epoch union bound: within epoch k
+// (n ∈ [2^k, 2^{k+1})), each arm's mean is covered by a Hoeffding interval
+// at level δ_k = δ / (2·(k+1)·(k+2)); Σ_k δ_k ≤ δ/2 per arm. Radii are
+// computed at the epoch floor (conservative for every n in the epoch).
+type Sequential struct {
+	lo, hi float64
+	delta  float64
+	sums   [2]float64
+	counts [2]int
+}
+
+// NewSequential builds a monitor for rewards bounded in [lo, hi] with
+// overall error probability delta.
+func NewSequential(lo, hi, delta float64) (*Sequential, error) {
+	if hi <= lo {
+		return nil, fmt.Errorf("abtest: reward range [%v, %v]", lo, hi)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("abtest: delta %v out of (0,1)", delta)
+	}
+	return &Sequential{lo: lo, hi: hi, delta: delta}, nil
+}
+
+// Add records a reward for arm 0 or 1.
+func (s *Sequential) Add(arm int, reward float64) error {
+	if arm < 0 || arm > 1 {
+		return fmt.Errorf("abtest: arm %d", arm)
+	}
+	if reward < s.lo || reward > s.hi || math.IsNaN(reward) {
+		return fmt.Errorf("abtest: reward %v outside [%v, %v]", reward, s.lo, s.hi)
+	}
+	s.sums[arm] += reward
+	s.counts[arm]++
+	return nil
+}
+
+// N returns the per-arm observation counts.
+func (s *Sequential) N() (n0, n1 int) { return s.counts[0], s.counts[1] }
+
+// radius returns the anytime-valid confidence radius for an arm with n
+// observations.
+func (s *Sequential) radius(n int) float64 {
+	if n < 1 {
+		return math.Inf(1)
+	}
+	epoch := int(math.Floor(math.Log2(float64(n))))
+	floor := math.Pow(2, float64(epoch))
+	deltaK := s.delta / (2 * float64(epoch+1) * float64(epoch+2))
+	return stats.HoeffdingRadius(int(floor), s.lo, s.hi, deltaK)
+}
+
+// Intervals returns the current anytime-valid interval per arm.
+func (s *Sequential) Intervals() [2]stats.Interval {
+	var out [2]stats.Interval
+	for arm := 0; arm < 2; arm++ {
+		mean := 0.0
+		if s.counts[arm] > 0 {
+			mean = s.sums[arm] / float64(s.counts[arm])
+		}
+		r := s.radius(s.counts[arm])
+		out[arm] = stats.Interval{Point: mean, Lo: mean - r, Hi: mean + r}
+	}
+	return out
+}
+
+// Decided reports whether the arms have separated, and if so which arm is
+// better (higher mean). Safe to call after every Add.
+func (s *Sequential) Decided() (winner int, done bool) {
+	iv := s.Intervals()
+	if iv[0].Lo > iv[1].Hi {
+		return 0, true
+	}
+	if iv[1].Lo > iv[0].Hi {
+		return 1, true
+	}
+	return 0, false
+}

@@ -1,0 +1,144 @@
+package cachesim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestBigSmallValidate(t *testing.T) {
+	if err := DefaultBigSmall().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultBigSmall()
+	bad.NumLarge = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("NumLarge=0 should fail")
+	}
+	bad = DefaultBigSmall()
+	bad.SmallSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("SmallSize=0 should fail")
+	}
+	bad = DefaultBigSmall()
+	bad.LargeWeight = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("LargeWeight=0 should fail")
+	}
+}
+
+func TestBigSmallFrequencies(t *testing.T) {
+	w := DefaultBigSmall()
+	r := stats.NewRand(1)
+	large, small := 0, 0
+	perLarge := map[string]int{}
+	perSmall := map[string]int{}
+	n := 200000
+	for i := 0; i < n; i++ {
+		req := w.Draw(r)
+		if strings.HasPrefix(req.Key, "L") {
+			large++
+			perLarge[req.Key]++
+			if req.Size != w.LargeSize {
+				t.Fatalf("large size = %d", req.Size)
+			}
+		} else {
+			small++
+			perSmall[req.Key]++
+			if req.Size != w.SmallSize {
+				t.Fatalf("small size = %d", req.Size)
+			}
+		}
+	}
+	// Per-item frequency ratio should be ≈ LargeWeight (2).
+	meanLarge := float64(large) / float64(w.NumLarge)
+	meanSmall := float64(small) / float64(w.NumSmall)
+	ratio := meanLarge / meanSmall
+	if ratio < 1.85 || ratio > 2.15 {
+		t.Errorf("per-item frequency ratio = %v, want ≈2", ratio)
+	}
+	if len(perLarge) != w.NumLarge {
+		t.Errorf("only %d of %d large keys seen", len(perLarge), w.NumLarge)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	w := DefaultBigSmall()
+	want := int64(w.NumLarge)*w.LargeSize + int64(w.NumSmall)*w.SmallSize
+	if w.TotalBytes() != want {
+		t.Errorf("TotalBytes = %d, want %d", w.TotalBytes(), want)
+	}
+	if w.LargeSize != 4*w.SmallSize {
+		t.Errorf("paper parameter broken: large should be 4x small (got %d vs %d)", w.LargeSize, w.SmallSize)
+	}
+}
+
+func TestZipfWorkload(t *testing.T) {
+	w := &ZipfWorkload{NumKeys: 100, Size: 10, Exponent: 1}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRand(2)
+	counts := map[string]int{}
+	for i := 0; i < 50000; i++ {
+		req := w.Draw(r)
+		if req.Size != 10 {
+			t.Fatalf("size = %d", req.Size)
+		}
+		counts[req.Key]++
+	}
+	if counts["Z000000"] <= counts["Z000050"] {
+		t.Error("zipf should be head-heavy")
+	}
+	bad := &ZipfWorkload{}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-value zipf should fail validation")
+	}
+}
+
+func TestReplayComputesHitRate(t *testing.T) {
+	w := DefaultBigSmall()
+	cfg := Config{MaxBytes: w.TotalBytes() / 3, SampleSize: 5}
+	c := newCache(t, cfg, RandomEvictor{R: stats.NewRand(3)}, 4)
+	hr, err := Replay(c, w, stats.NewRand(5), 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr <= 0.1 || hr >= 0.95 {
+		t.Errorf("hit rate %v outside plausible band", hr)
+	}
+	if _, err := Replay(c, w, stats.NewRand(5), 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestTable3Ordering(t *testing.T) {
+	// The Table 3 shape: freq/size ≫ random ≈ lru, and lfu worse than
+	// random. (The CB policy is exercised in the experiments package.)
+	w := DefaultBigSmall()
+	run := func(ev Evictor, seed int64) float64 {
+		cfg := Table3CacheConfig(w)
+		cfg.LogAccesses, cfg.LogEvictions = false, false
+		c := newCache(t, cfg, ev, seed)
+		hr, err := Replay(c, w, stats.NewRand(seed+100), 60000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hr
+	}
+	random := run(RandomEvictor{R: stats.NewRand(10)}, 11)
+	lru := run(LRUEvictor{}, 12)
+	lfu := run(LFUEvictor{}, 13)
+	fs := run(FreqSizeEvictor{}, 14)
+
+	if fs < random+0.05 {
+		t.Errorf("freq/size %v should beat random %v by ≥5 points", fs, random)
+	}
+	if lfu >= random {
+		t.Errorf("lfu %v should lag random %v", lfu, random)
+	}
+	if diff := lru - random; diff > 0.05 || diff < -0.05 {
+		t.Errorf("lru %v should be within 5 points of random %v", lru, random)
+	}
+}

@@ -1,0 +1,245 @@
+// Package chaos implements the §5 "exploration coverage" idea from
+// "Harvesting Randomness to Optimize Distributed Systems" (HotNets 2017):
+// randomized reliability testing (à la Netflix's Chaos Monkey) triggers
+// uneven traffic and extreme conditions that per-request randomization
+// never produces — "a uniform random load balancing policy will almost
+// never choose the same server twenty times in a row", so data needed to
+// evaluate long-horizon policies (like send-to-1) simply doesn't exist in
+// ordinary logs.
+//
+// The package injects server outages into a routed request stream (the
+// system's failover response concentrates traffic on the survivors),
+// harvests the resulting exploration data with exact propensities, and
+// quantifies how much broader the coverage of action *sequences* becomes.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/lbsim"
+	"repro/internal/stats"
+)
+
+// Outage marks a server down during [Start, End) in request-index time.
+type Outage struct {
+	Server     int
+	Start, End int
+}
+
+// Schedule is a set of outages.
+type Schedule []Outage
+
+// Validate checks the schedule against a server count and horizon.
+func (s Schedule) Validate(numServers, horizon int) error {
+	for i, o := range s {
+		if o.Server < 0 || o.Server >= numServers {
+			return fmt.Errorf("chaos: outage %d targets server %d of %d", i, o.Server, numServers)
+		}
+		if o.Start < 0 || o.End <= o.Start || o.Start >= horizon {
+			return fmt.Errorf("chaos: outage %d window [%d,%d) invalid for horizon %d", i, o.Start, o.End, horizon)
+		}
+	}
+	return nil
+}
+
+// Down reports which servers are down at request index t.
+func (s Schedule) Down(t int, numServers int) []bool {
+	down := make([]bool, numServers)
+	for _, o := range s {
+		if t >= o.Start && t < o.End {
+			down[o.Server] = true
+		}
+	}
+	return down
+}
+
+// RandomSchedule draws staggered outages: the horizon is divided into
+// count slots and each slot hosts one outage of the given duration on a
+// random server. Staggering guarantees outages never overlap in time, so
+// at least one server is always healthy (durations are clamped to the slot
+// width).
+func RandomSchedule(seed int64, numServers, horizon, count, duration int) Schedule {
+	r := stats.NewRand(seed)
+	s := make(Schedule, 0, count)
+	slot := horizon / count
+	if slot < 2 {
+		slot = 2
+	}
+	for i := 0; i < count; i++ {
+		base := i * slot
+		if base >= horizon-1 {
+			break
+		}
+		d := duration
+		if d >= slot {
+			d = slot - 1
+		}
+		maxStart := base + slot - d
+		if maxStart > horizon-d {
+			maxStart = horizon - d
+		}
+		start := base
+		if maxStart > base {
+			start = base + r.Intn(maxStart-base)
+		}
+		s = append(s, Outage{
+			Server: r.Intn(numServers),
+			Start:  start,
+			End:    start + d,
+		})
+	}
+	return s
+}
+
+// Collect routes n requests through a uniform-random-over-healthy policy
+// under the outage schedule, harvesting ⟨x, a, r, p⟩ with exact
+// propensities (1/#healthy). Latencies follow the lbsim linear model with
+// connections decayed per request (a lightweight open-loop approximation —
+// coverage, not queueing fidelity, is the object here).
+func Collect(cfg lbsim.Config, sched Schedule, n int, seed int64) (core.Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(cfg.Servers)
+	if err := sched.Validate(k, n); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("chaos: n=%d", n)
+	}
+	r := stats.NewRand(seed)
+	conns := make([]float64, k)
+	connsInt := make([]int, k)
+	ds := make(core.Dataset, 0, n)
+	// Per-request service drain: with arrival rate λ and mean latency T,
+	// a request's connection slot persists ~T·λ request slots; approximate
+	// with exponential decay per step.
+	decay := 1 - 1/(cfg.ArrivalRate*0.5)
+	if decay < 0 {
+		decay = 0
+	}
+	for t := 0; t < n; t++ {
+		down := sched.Down(t, k)
+		healthy := 0
+		for _, d := range down {
+			if !d {
+				healthy++
+			}
+		}
+		if healthy == 0 {
+			return nil, fmt.Errorf("chaos: all servers down at t=%d", t)
+		}
+		// Uniform over healthy servers (failover-aware randomization).
+		pick := r.Intn(healthy)
+		a := -1
+		for s := 0; s < k; s++ {
+			if down[s] {
+				continue
+			}
+			if pick == 0 {
+				a = s
+				break
+			}
+			pick--
+		}
+		for s := 0; s < k; s++ {
+			connsInt[s] = int(conns[s])
+		}
+		ctx := lbsim.BuildContext(connsInt, 0, 1)
+		lat := cfg.Servers[a].Base + cfg.Servers[a].Slope*conns[a]
+		ds = append(ds, core.Datapoint{
+			Context:    ctx,
+			Action:     core.Action(a),
+			Reward:     lat,
+			Propensity: 1 / float64(healthy),
+			Seq:        int64(t),
+		})
+		conns[a]++
+		for s := 0; s < k; s++ {
+			conns[s] *= decay
+		}
+	}
+	return ds, nil
+}
+
+// Coverage quantifies how well a dataset explores action sequences.
+type Coverage struct {
+	// LongestRun is the longest run of consecutive identical actions.
+	LongestRun int
+	// RunsAtLeast[k] counts runs of length ≥ k for k in 1..MaxTracked.
+	RunsAtLeast []int
+	// ActionShareMax is the largest share any single action achieved in a
+	// sliding window of WindowSize (1.0 = some window was single-action).
+	ActionShareMax float64
+	WindowSize     int
+}
+
+// MaxTrackedRun bounds the RunsAtLeast histogram.
+const MaxTrackedRun = 32
+
+// MeasureCoverage computes sequence-coverage statistics over a dataset in
+// Seq order.
+func MeasureCoverage(ds core.Dataset, windowSize int) (Coverage, error) {
+	if len(ds) == 0 {
+		return Coverage{}, core.ErrNoData
+	}
+	if windowSize <= 0 {
+		windowSize = 20
+	}
+	sorted := make(core.Dataset, len(ds))
+	copy(sorted, ds)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+
+	cov := Coverage{RunsAtLeast: make([]int, MaxTrackedRun+1), WindowSize: windowSize}
+	run := 0
+	var prev core.Action = -1
+	flush := func() {
+		if run == 0 {
+			return
+		}
+		if run > cov.LongestRun {
+			cov.LongestRun = run
+		}
+		top := run
+		if top > MaxTrackedRun {
+			top = MaxTrackedRun
+		}
+		for k := 1; k <= top; k++ {
+			cov.RunsAtLeast[k]++
+		}
+	}
+	for i := range sorted {
+		a := sorted[i].Action
+		if a == prev {
+			run++
+		} else {
+			flush()
+			run = 1
+			prev = a
+		}
+	}
+	flush()
+
+	// Sliding-window max action share.
+	if len(sorted) >= windowSize {
+		counts := map[core.Action]int{}
+		for i := range sorted {
+			counts[sorted[i].Action]++
+			if i >= windowSize {
+				old := sorted[i-windowSize].Action
+				counts[old]--
+			}
+			if i >= windowSize-1 {
+				for _, c := range counts {
+					share := float64(c) / float64(windowSize)
+					if share > cov.ActionShareMax {
+						cov.ActionShareMax = share
+					}
+				}
+			}
+		}
+	}
+	return cov, nil
+}

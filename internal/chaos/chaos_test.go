@@ -1,0 +1,221 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lbsim"
+	"repro/internal/ope"
+)
+
+func TestScheduleValidate(t *testing.T) {
+	good := Schedule{{Server: 0, Start: 10, End: 20}}
+	if err := good.Validate(2, 100); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]Schedule{
+		"bad server":      {{Server: 5, Start: 0, End: 10}},
+		"negative start":  {{Server: 0, Start: -1, End: 10}},
+		"empty window":    {{Server: 0, Start: 10, End: 10}},
+		"past horizon":    {{Server: 0, Start: 200, End: 210}},
+		"inverted window": {{Server: 0, Start: 20, End: 10}},
+	}
+	for name, s := range cases {
+		if err := s.Validate(2, 100); err == nil {
+			t.Errorf("%s should fail", name)
+		}
+	}
+}
+
+func TestDown(t *testing.T) {
+	s := Schedule{{Server: 1, Start: 5, End: 10}}
+	if d := s.Down(4, 3); d[1] {
+		t.Error("server up before outage")
+	}
+	if d := s.Down(5, 3); !d[1] || d[0] || d[2] {
+		t.Errorf("down flags wrong: %v", d)
+	}
+	if d := s.Down(10, 3); d[1] {
+		t.Error("server up at End (half-open)")
+	}
+}
+
+func TestRandomSchedule(t *testing.T) {
+	s := RandomSchedule(1, 4, 1000, 10, 50)
+	if len(s) != 10 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if err := s.Validate(4, 1000); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range s {
+		if o.End-o.Start != 50 {
+			t.Errorf("duration = %d", o.End-o.Start)
+		}
+	}
+}
+
+func TestCollectPropensities(t *testing.T) {
+	cfg := lbsim.TwoServerFig5()
+	sched := Schedule{{Server: 1, Start: 100, End: 200}}
+	ds, err := Collect(cfg, sched, 500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 500 {
+		t.Fatalf("len = %d", len(ds))
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds {
+		d := &ds[i]
+		t0 := int(d.Seq)
+		inOutage := t0 >= 100 && t0 < 200
+		if inOutage {
+			if d.Propensity != 1 {
+				t.Fatalf("t=%d: propensity %v, want 1 (single healthy server)", t0, d.Propensity)
+			}
+			if d.Action != 0 {
+				t.Fatalf("t=%d: routed to down server", t0)
+			}
+		} else if d.Propensity != 0.5 {
+			t.Fatalf("t=%d: propensity %v, want 0.5", t0, d.Propensity)
+		}
+	}
+}
+
+func TestCollectAllDown(t *testing.T) {
+	cfg := lbsim.TwoServerFig5()
+	sched := Schedule{
+		{Server: 0, Start: 10, End: 20},
+		{Server: 1, Start: 10, End: 20},
+	}
+	if _, err := Collect(cfg, sched, 100, 3); err == nil {
+		t.Error("all-down window should fail")
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	cfg := lbsim.TwoServerFig5()
+	if _, err := Collect(cfg, nil, 0, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	bad := cfg
+	bad.ArrivalRate = 0
+	if _, err := Collect(bad, nil, 10, 1); err == nil {
+		t.Error("invalid config should fail")
+	}
+	if _, err := Collect(cfg, Schedule{{Server: 9, Start: 0, End: 5}}, 10, 1); err == nil {
+		t.Error("invalid schedule should fail")
+	}
+}
+
+func TestChaosExtendsRunCoverage(t *testing.T) {
+	// The §5 claim: with chaos, long same-action runs appear (all traffic
+	// on the survivor), giving trajectory estimators data they otherwise
+	// never see.
+	cfg := lbsim.TwoServerFig5()
+	plain, err := Collect(cfg, nil, 5000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := RandomSchedule(5, 2, 5000, 8, 150)
+	chaotic, err := Collect(cfg, sched, 5000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covPlain, err := MeasureCoverage(plain, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covChaos, err := MeasureCoverage(chaotic, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covPlain.LongestRun >= 20 {
+		t.Errorf("uniform random produced a %d-run; the premise fails", covPlain.LongestRun)
+	}
+	if covChaos.LongestRun < 100 {
+		t.Errorf("chaos longest run = %d, want ≥ outage length scale", covChaos.LongestRun)
+	}
+	if covChaos.RunsAtLeast[20] <= covPlain.RunsAtLeast[20] {
+		t.Errorf("chaos should create more ≥20 runs: %d vs %d",
+			covChaos.RunsAtLeast[20], covPlain.RunsAtLeast[20])
+	}
+	if covChaos.ActionShareMax != 1 {
+		t.Errorf("chaos max window share = %v, want 1 (single-action window)", covChaos.ActionShareMax)
+	}
+}
+
+func TestChaosEnablesSendTo1Evaluation(t *testing.T) {
+	// With outage data, the send-to-1 policy gets matched over long
+	// stretches, so its (overload-inflated) latency becomes visible to
+	// plain IPS — directly fixing Table 2's blind spot.
+	cfg := lbsim.TwoServerFig5()
+	plain, err := Collect(cfg, nil, 8000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := Schedule{{Server: 1, Start: 2000, End: 6000}}
+	chaotic, err := Collect(cfg, sched, 8000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendTo1 := core.PolicyFunc(func(*core.Context) core.Action { return 0 })
+	estPlain, err := (ope.IPS{}).Estimate(sendTo1, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estChaos, err := (ope.IPS{}).Estimate(sendTo1, chaotic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chaotic estimate includes overloaded-server-1 periods, so it
+	// should be distinctly higher (worse) than the plain estimate.
+	if estChaos.Value <= estPlain.Value*1.2 {
+		t.Errorf("chaos estimate %v should exceed plain %v by ≥20%%", estChaos.Value, estPlain.Value)
+	}
+}
+
+func TestMeasureCoverageBasics(t *testing.T) {
+	if _, err := MeasureCoverage(nil, 10); !errors.Is(err, core.ErrNoData) {
+		t.Error("empty should fail")
+	}
+	ds := core.Dataset{
+		{Action: 0, Seq: 0}, {Action: 0, Seq: 1}, {Action: 0, Seq: 2},
+		{Action: 1, Seq: 3}, {Action: 0, Seq: 4},
+	}
+	cov, err := MeasureCoverage(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.LongestRun != 3 {
+		t.Errorf("LongestRun = %d, want 3", cov.LongestRun)
+	}
+	// Runs: [0,0,0], [1], [0] → runs ≥1: 3, runs ≥2: 1, runs ≥3: 1.
+	if cov.RunsAtLeast[1] != 3 || cov.RunsAtLeast[2] != 1 || cov.RunsAtLeast[3] != 1 {
+		t.Errorf("RunsAtLeast = %v", cov.RunsAtLeast[:4])
+	}
+	if cov.ActionShareMax != 1 {
+		t.Errorf("window share = %v, want 1 (window [0,0])", cov.ActionShareMax)
+	}
+}
+
+func TestMeasureCoverageSortsBySeq(t *testing.T) {
+	// Same actions, scrambled order: coverage must honor Seq.
+	ds := core.Dataset{
+		{Action: 1, Seq: 3},
+		{Action: 0, Seq: 0},
+		{Action: 0, Seq: 2},
+		{Action: 0, Seq: 1},
+	}
+	cov, err := MeasureCoverage(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.LongestRun != 3 {
+		t.Errorf("LongestRun = %d, want 3 after Seq sort", cov.LongestRun)
+	}
+}

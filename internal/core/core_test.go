@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorDot(t *testing.T) {
+	cases := []struct {
+		v, w Vector
+		want float64
+	}{
+		{nil, nil, 0},
+		{Vector{1, 2}, Vector{3, 4}, 11},
+		{Vector{1, 2, 5}, Vector{3, 4}, 11}, // length mismatch: extra dims ignored
+		{Vector{1}, Vector{2, 100}, 2},
+	}
+	for _, c := range cases {
+		if got := c.v.Dot(c.w); got != c.want {
+			t.Errorf("%v·%v = %v, want %v", c.v, c.w, got, c.want)
+		}
+	}
+}
+
+func TestVectorCloneIndependent(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone should not alias")
+	}
+	if Vector(nil).Clone() != nil {
+		t.Error("Clone(nil) should be nil")
+	}
+}
+
+func TestVectorNormScaleAdd(t *testing.T) {
+	v := Vector{3, 4}
+	if v.Norm() != 5 {
+		t.Errorf("Norm = %v", v.Norm())
+	}
+	v.Scale(2)
+	if v[0] != 6 || v[1] != 8 {
+		t.Errorf("Scale: %v", v)
+	}
+	v.Add(Vector{1, 1, 100}) // trailing entry ignored
+	if v[0] != 7 || v[1] != 9 {
+		t.Errorf("Add: %v", v)
+	}
+}
+
+func TestContextValidate(t *testing.T) {
+	good := Context{Features: Vector{1}, NumActions: 3}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid context rejected: %v", err)
+	}
+	bad := Context{NumActions: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("0 actions should fail")
+	}
+	mismatch := Context{NumActions: 2, ActionFeatures: []Vector{{1}}}
+	if err := mismatch.Validate(); err == nil {
+		t.Error("action-feature length mismatch should fail")
+	}
+}
+
+func TestFeaturesFor(t *testing.T) {
+	shared := Context{Features: Vector{7}, NumActions: 2}
+	if got := shared.FeaturesFor(1); got[0] != 7 {
+		t.Errorf("shared features: %v", got)
+	}
+	perAction := Context{
+		Features:       Vector{7},
+		ActionFeatures: []Vector{{1}, {2}},
+		NumActions:     2,
+	}
+	if got := perAction.FeaturesFor(1); got[0] != 2 {
+		t.Errorf("per-action features: %v", got)
+	}
+}
+
+func TestDatapointValidate(t *testing.T) {
+	ok := Datapoint{
+		Context:    Context{NumActions: 3},
+		Action:     1,
+		Reward:     0.5,
+		Propensity: 0.3,
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid datapoint rejected: %v", err)
+	}
+	for name, d := range map[string]Datapoint{
+		"action too big":  {Context: Context{NumActions: 3}, Action: 3, Propensity: 0.5},
+		"action negative": {Context: Context{NumActions: 3}, Action: -1, Propensity: 0.5},
+		"zero propensity": {Context: Context{NumActions: 3}, Action: 0, Propensity: 0},
+		"p > 1":           {Context: Context{NumActions: 3}, Action: 0, Propensity: 1.5},
+		"NaN reward":      {Context: Context{NumActions: 3}, Action: 0, Propensity: 0.5, Reward: math.NaN()},
+		"Inf reward":      {Context: Context{NumActions: 3}, Action: 0, Propensity: 0.5, Reward: math.Inf(1)},
+	} {
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s should fail validation", name)
+		}
+	}
+}
+
+func TestDatasetValidateReportsIndex(t *testing.T) {
+	ds := Dataset{
+		{Context: Context{NumActions: 2}, Action: 0, Propensity: 0.5},
+		{Context: Context{NumActions: 2}, Action: 0, Propensity: 0}, // bad
+	}
+	err := ds.Validate()
+	if err == nil {
+		t.Fatal("should fail")
+	}
+	if want := "datapoint 1"; err.Error()[:len(want)] != want {
+		t.Errorf("error should name the index: %v", err)
+	}
+}
+
+func TestMinPropensityAndRewardRange(t *testing.T) {
+	if (Dataset{}).MinPropensity() != 0 {
+		t.Error("empty dataset min propensity should be 0")
+	}
+	ds := Dataset{
+		{Propensity: 0.5, Reward: 3},
+		{Propensity: 0.1, Reward: -1},
+		{Propensity: 0.9, Reward: 7},
+	}
+	if got := ds.MinPropensity(); got != 0.1 {
+		t.Errorf("MinPropensity = %v", got)
+	}
+	lo, hi := ds.RewardRange()
+	if lo != -1 || hi != 7 {
+		t.Errorf("RewardRange = %v, %v", lo, hi)
+	}
+	lo, hi = (Dataset{}).RewardRange()
+	if lo != 0 || hi != 0 {
+		t.Error("empty RewardRange should be 0,0")
+	}
+}
+
+type fixedStochastic struct {
+	dist []float64
+}
+
+func (f fixedStochastic) Act(ctx *Context) Action {
+	best := 0
+	for i, p := range f.dist {
+		if p > f.dist[best] {
+			best = i
+		}
+	}
+	return Action(best)
+}
+
+func (f fixedStochastic) Distribution(ctx *Context) []float64 { return f.dist }
+
+func TestActionProb(t *testing.T) {
+	ctx := &Context{NumActions: 3}
+	det := PolicyFunc(func(*Context) Action { return 2 })
+	if p := ActionProb(det, ctx, 2); p != 1 {
+		t.Errorf("matching deterministic: %v", p)
+	}
+	if p := ActionProb(det, ctx, 0); p != 0 {
+		t.Errorf("non-matching deterministic: %v", p)
+	}
+	st := fixedStochastic{dist: []float64{0.2, 0.3, 0.5}}
+	if p := ActionProb(st, ctx, 1); p != 0.3 {
+		t.Errorf("stochastic: %v", p)
+	}
+	if p := ActionProb(st, ctx, 5); p != 0 {
+		t.Errorf("out-of-range action: %v", p)
+	}
+}
+
+func TestTrajectoryReturn(t *testing.T) {
+	tr := Trajectory{{Reward: 1}, {Reward: 2}, {Reward: 4}}
+	if got := tr.Return(1); got != 7 {
+		t.Errorf("undisc return = %v", got)
+	}
+	if got := tr.Return(0.5); got != 1+1+1 {
+		t.Errorf("disc return = %v, want 3", got)
+	}
+	if got := (Trajectory{}).Return(1); got != 0 {
+		t.Errorf("empty return = %v", got)
+	}
+}
+
+func TestSplitTrajectories(t *testing.T) {
+	ds := Dataset{
+		{Tag: "b", Seq: 2, Reward: 20},
+		{Tag: "a", Seq: 1, Reward: 1},
+		{Tag: "b", Seq: 1, Reward: 10},
+		{Tag: "", Seq: 0, Reward: 99},
+		{Tag: "a", Seq: 2, Reward: 2},
+	}
+	trs := SplitTrajectories(ds)
+	if len(trs) != 3 {
+		t.Fatalf("got %d trajectories, want 3", len(trs))
+	}
+	// First-appearance order: b, a, then singleton.
+	if trs[0][0].Reward != 10 || trs[0][1].Reward != 20 {
+		t.Errorf("trajectory b mis-sorted: %+v", trs[0])
+	}
+	if trs[1][0].Reward != 1 || trs[1][1].Reward != 2 {
+		t.Errorf("trajectory a mis-sorted: %+v", trs[1])
+	}
+	if len(trs[2]) != 1 || trs[2][0].Reward != 99 {
+		t.Errorf("singleton: %+v", trs[2])
+	}
+	flat := Flatten(trs)
+	if len(flat) != len(ds) {
+		t.Errorf("Flatten lost data: %d != %d", len(flat), len(ds))
+	}
+}
+
+// Property: Dot is symmetric and linear in its first argument's scale.
+func TestDotProperties(t *testing.T) {
+	f := func(a, b []float64, c float64) bool {
+		va, vb := sanitize(a), sanitize(b)
+		c = math.Mod(c, 100)
+		if math.IsNaN(c) {
+			c = 1
+		}
+		if math.Abs(va.Dot(vb)-vb.Dot(va)) > 1e-6 {
+			return false
+		}
+		scaled := va.Clone().Scale(c)
+		return math.Abs(scaled.Dot(vb)-c*va.Dot(vb)) < 1e-6*(1+math.Abs(c*va.Dot(vb)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(xs []float64) Vector {
+	v := make(Vector, 0, len(xs))
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		v = append(v, math.Mod(x, 1000))
+	}
+	return v
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// wireDatapoint is the JSONL wire form of a Datapoint. Field names are short
+// because exploration datasets can run to millions of lines.
+type wireDatapoint struct {
+	X  []float64   `json:"x,omitempty"`
+	AF [][]float64 `json:"af,omitempty"`
+	K  int         `json:"k"`
+	A  int         `json:"a"`
+	R  float64     `json:"r"`
+	P  float64     `json:"p"`
+	S  int64       `json:"s,omitempty"`
+	T  string      `json:"t,omitempty"`
+}
+
+// WriteJSONL serializes the dataset as one JSON object per line.
+func (ds Dataset) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range ds {
+		d := &ds[i]
+		wd := wireDatapoint{
+			X: d.Context.Features,
+			K: d.Context.NumActions,
+			A: int(d.Action),
+			R: d.Reward,
+			P: d.Propensity,
+			S: d.Seq,
+			T: d.Tag,
+		}
+		if d.Context.ActionFeatures != nil {
+			wd.AF = make([][]float64, len(d.Context.ActionFeatures))
+			for j, v := range d.Context.ActionFeatures {
+				wd.AF[j] = v
+			}
+		}
+		if err := enc.Encode(&wd); err != nil {
+			return fmt.Errorf("core: encoding datapoint %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a dataset written by WriteJSONL. Blank lines are skipped.
+func ReadJSONL(r io.Reader) (Dataset, error) {
+	var ds Dataset
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var wd wireDatapoint
+		if err := json.Unmarshal(raw, &wd); err != nil {
+			return nil, fmt.Errorf("core: line %d: %w", line, err)
+		}
+		d := Datapoint{
+			Context: Context{
+				Features:   wd.X,
+				NumActions: wd.K,
+			},
+			Action:     Action(wd.A),
+			Reward:     wd.R,
+			Propensity: wd.P,
+			Seq:        wd.S,
+			Tag:        wd.T,
+		}
+		if wd.AF != nil {
+			d.Context.ActionFeatures = make([]Vector, len(wd.AF))
+			for j, v := range wd.AF {
+				d.Context.ActionFeatures[j] = v
+			}
+		}
+		ds = append(ds, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading dataset: %w", err)
+	}
+	return ds, nil
+}

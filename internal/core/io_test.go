@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleDataset() Dataset {
+	return Dataset{
+		{
+			Context: Context{
+				Features:   Vector{1, 2.5},
+				NumActions: 3,
+			},
+			Action:     1,
+			Reward:     0.75,
+			Propensity: 1.0 / 3,
+			Seq:        42,
+			Tag:        "traj-1",
+		},
+		{
+			Context: Context{
+				Features:       Vector{0},
+				ActionFeatures: []Vector{{1, 0}, {0, 1}},
+				NumActions:     2,
+			},
+			Action:     0,
+			Reward:     -2,
+			Propensity: 0.5,
+		},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	ds := sampleDataset()
+	var buf bytes.Buffer
+	if err := ds.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, ds)
+	}
+}
+
+func TestReadJSONLSkipsBlankLines(t *testing.T) {
+	input := `{"k":2,"a":0,"r":1,"p":0.5}
+
+{"k":2,"a":1,"r":2,"p":0.5}
+`
+	ds, err := ReadJSONL(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Errorf("got %d datapoints, want 2", len(ds))
+	}
+}
+
+func TestReadJSONLBadLineReportsNumber(t *testing.T) {
+	input := `{"k":2,"a":0,"r":1,"p":0.5}
+not-json`
+	_, err := ReadJSONL(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("should fail")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should name the line: %v", err)
+	}
+}
+
+func TestWriteEmptyDataset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Dataset{}).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty dataset should write nothing, got %q", buf.String())
+	}
+	ds, err := ReadJSONL(&buf)
+	if err != nil || len(ds) != 0 {
+		t.Errorf("reading empty: %v, %v", ds, err)
+	}
+}
+
+func TestRoundTripLarge(t *testing.T) {
+	var ds Dataset
+	for i := 0; i < 5000; i++ {
+		ds = append(ds, Datapoint{
+			Context:    Context{Features: Vector{float64(i)}, NumActions: 4},
+			Action:     Action(i % 4),
+			Reward:     float64(i) / 100,
+			Propensity: 0.25,
+			Seq:        int64(i),
+		})
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds) {
+		t.Fatalf("len %d != %d", len(got), len(ds))
+	}
+	if !reflect.DeepEqual(ds[4999], got[4999]) {
+		t.Errorf("last datapoint mismatch")
+	}
+}

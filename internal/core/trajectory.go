@@ -1,0 +1,64 @@
+package core
+
+import "sort"
+
+// Trajectory is an ordered sequence of datapoints whose decisions interact —
+// the setting of §5 where assumption A1 (i.i.d. contexts) breaks because a
+// decision changes the context seen by later decisions. The long-horizon
+// estimators in package ope weight whole trajectories instead of single
+// datapoints.
+type Trajectory []Datapoint
+
+// Return computes the trajectory's discounted return with discount gamma in
+// (0, 1]; gamma=1 gives the undiscounted sum of rewards.
+func (tr Trajectory) Return(gamma float64) float64 {
+	g := 1.0
+	total := 0.0
+	for i := range tr {
+		total += g * tr[i].Reward
+		g *= gamma
+	}
+	return total
+}
+
+// SplitTrajectories groups a flat dataset into trajectories by Tag, ordering
+// each trajectory by Seq. Datapoints with an empty tag become length-one
+// trajectories (the CB case). Group order follows first appearance so output
+// is deterministic.
+func SplitTrajectories(ds Dataset) []Trajectory {
+	var order []string
+	groups := make(map[string]Trajectory)
+	var singletons []Trajectory
+	for i := range ds {
+		d := ds[i]
+		if d.Tag == "" {
+			singletons = append(singletons, Trajectory{d})
+			continue
+		}
+		if _, ok := groups[d.Tag]; !ok {
+			order = append(order, d.Tag)
+		}
+		groups[d.Tag] = append(groups[d.Tag], d)
+	}
+	out := make([]Trajectory, 0, len(order)+len(singletons))
+	for _, tag := range order {
+		tr := groups[tag]
+		sort.SliceStable(tr, func(i, j int) bool { return tr[i].Seq < tr[j].Seq })
+		out = append(out, tr)
+	}
+	out = append(out, singletons...)
+	return out
+}
+
+// Flatten concatenates trajectories back into a single dataset.
+func Flatten(trs []Trajectory) Dataset {
+	n := 0
+	for _, tr := range trs {
+		n += len(tr)
+	}
+	ds := make(Dataset, 0, n)
+	for _, tr := range trs {
+		ds = append(ds, tr...)
+	}
+	return ds
+}

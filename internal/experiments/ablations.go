@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"math/rand"
+	"repro/internal/cachesim"
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/harvester"
+	"repro/internal/healthsim"
+
+	"repro/internal/lbsim"
+	"repro/internal/learn"
+	"repro/internal/ope"
+	"repro/internal/stats"
+)
+
+// EstimatorAblationRow compares one estimator's accuracy on the
+// machine-health scenario.
+type EstimatorAblationRow struct {
+	Estimator string
+	// AbsErr is |estimate − truth| on the normalized reward scale;
+	// StdErr the estimator's own reported standard error.
+	AbsErr, StdErr float64
+}
+
+// EstimatorAblationResult holds the comparison (DESIGN.md: "clipping /
+// self-normalization in IPS").
+type EstimatorAblationResult struct {
+	Rows  []EstimatorAblationRow
+	Truth float64
+}
+
+// AblationEstimators evaluates IPS, clipped IPS, SNIPS, DM, and DR on the
+// same healthsim exploration data against full-feedback ground truth.
+func AblationEstimators(seed int64, n int) (*EstimatorAblationResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("experiments: ablation n=%d", n)
+	}
+	root := stats.NewRand(seed)
+	gen, err := healthsim.NewGenerator(stats.Split(root), healthsim.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	maxDown := gen.MaxPossibleDowntime()
+	test := gen.Generate(n)
+	// Skewed logging (ε-greedy around the deployed max-wait default) so
+	// importance weights vary and clipping/self-normalization actually
+	// trade something; uniform logging would make every weight equal.
+	expl := healthsim.NormalizeRewards(simulateSkewedExploration(stats.Split(root), test, 0.2), maxDown)
+
+	// Candidate policy: a mid-wait stump to make matching nontrivial.
+	pol := core.PolicyFunc(func(ctx *core.Context) core.Action {
+		if ctx.Features[len(ctx.Features)-2] > 0.4 { // prior-failure share
+			return 0
+		}
+		return 4
+	})
+	truth := 0.0
+	for i := range test {
+		row := &test[i]
+		d := -row.Rewards[pol.Act(&row.Context)]
+		truth += 1 - math.Min(d, maxDown)/maxDown
+	}
+	truth /= float64(len(test))
+
+	model, err := learn.FitRewardModel(expl, learn.FitOptions{NumActions: healthsim.NumWaitActions})
+	if err != nil {
+		return nil, err
+	}
+	ests := []ope.Estimator{
+		ope.IPS{},
+		ope.ClippedIPS{Max: 25},
+		ope.SNIPS{},
+		ope.DirectMethod{Model: model},
+		ope.DoublyRobust{Model: model},
+	}
+	res := &EstimatorAblationResult{Truth: truth}
+	for _, e := range ests {
+		est, err := e.Estimate(pol, expl)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s: %w", e.Name(), err)
+		}
+		res.Rows = append(res.Rows, EstimatorAblationRow{
+			Estimator: e.Name(),
+			AbsErr:    math.Abs(est.Value - truth),
+			StdErr:    est.StdErr,
+		})
+	}
+	return res, nil
+}
+
+// WriteTo renders the estimator ablation.
+func (r *EstimatorAblationResult) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	c, err := fmt.Fprintf(w, "Ablation: estimators on machine health (truth=%.4f)\n%-12s %-10s %s\n",
+		r.Truth, "estimator", "|err|", "stderr")
+	total += int64(c)
+	if err != nil {
+		return total, err
+	}
+	for _, row := range r.Rows {
+		c, err := fmt.Fprintf(w, "%-12s %-10.4f %.4f\n", row.Estimator, row.AbsErr, row.StdErr)
+		total += int64(c)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// PropensityAblationRow compares one propensity-inference method.
+type PropensityAblationRow struct {
+	Method string
+	// AbsErr is the IPS error (vs the true-propensity IPS estimate) after
+	// re-inferring propensities with this method.
+	AbsErr float64
+}
+
+// PropensityAblationResult holds the step-2 comparison.
+type PropensityAblationResult struct {
+	Rows      []PropensityAblationRow
+	Reference float64
+}
+
+// AblationPropensity measures how each §3-step-2 inference method affects
+// the final IPS estimate on healthsim data (whose true propensities are
+// uniform, so "known" is exact).
+func AblationPropensity(seed int64, n int) (*PropensityAblationResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("experiments: ablation n=%d", n)
+	}
+	root := stats.NewRand(seed)
+	gen, err := healthsim.NewGenerator(stats.Split(root), healthsim.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	test := gen.Generate(n)
+	expl := healthsim.NormalizeRewards(
+		learn.SimulateExploration(stats.Split(root), test), gen.MaxPossibleDowntime())
+	pol := core.PolicyFunc(func(ctx *core.Context) core.Action { return 3 })
+	ref, err := (ope.IPS{}).Estimate(pol, expl)
+	if err != nil {
+		return nil, err
+	}
+	res := &PropensityAblationResult{Reference: ref.Value}
+	for _, inf := range []harvester.PropensityInferrer{
+		harvester.KnownPropensity{},
+		harvester.EmpiricalPropensity{},
+		harvester.LogisticPropensity{},
+	} {
+		ds, err := inf.Infer(expl)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s: %w", inf.Name(), err)
+		}
+		est, err := (ope.IPS{}).Estimate(pol, ds)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s ips: %w", inf.Name(), err)
+		}
+		res.Rows = append(res.Rows, PropensityAblationRow{
+			Method: inf.Name(),
+			AbsErr: math.Abs(est.Value - ref.Value),
+		})
+	}
+	return res, nil
+}
+
+// WriteTo renders the propensity ablation.
+func (r *PropensityAblationResult) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	c, err := fmt.Fprintf(w, "Ablation: propensity inference (reference ips=%.4f)\n%-12s %s\n",
+		r.Reference, "method", "|Δips|")
+	total += int64(c)
+	if err != nil {
+		return total, err
+	}
+	for _, row := range r.Rows {
+		c, err := fmt.Fprintf(w, "%-12s %.4f\n", row.Method, row.AbsErr)
+		total += int64(c)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ExplorationAblationResult compares sequence coverage with and without
+// chaos-style failure injection (§5 exploration coverage).
+type ExplorationAblationResult struct {
+	Plain, Chaos chaos.Coverage
+}
+
+// AblationExploration measures run-length coverage on the Fig. 5 setup.
+func AblationExploration(seed int64, n int) (*ExplorationAblationResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("experiments: ablation n=%d", n)
+	}
+	cfg := lbsim.TwoServerFig5()
+	plain, err := chaos.Collect(cfg, nil, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	sched := chaos.RandomSchedule(seed+1, len(cfg.Servers), n, 6, n/20)
+	chaotic, err := chaos.Collect(cfg, sched, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	covP, err := chaos.MeasureCoverage(plain, 20)
+	if err != nil {
+		return nil, err
+	}
+	covC, err := chaos.MeasureCoverage(chaotic, 20)
+	if err != nil {
+		return nil, err
+	}
+	return &ExplorationAblationResult{Plain: covP, Chaos: covC}, nil
+}
+
+// WriteTo renders the coverage comparison.
+func (r *ExplorationAblationResult) WriteTo(w io.Writer) (int64, error) {
+	s := fmt.Sprintf("Ablation: exploration coverage (uniform random vs + chaos)\n%-10s %-14s %-14s %s\n%-10s %-14d %-14d %.2f\n%-10s %-14d %-14d %.2f\n",
+		"source", "longest run", "runs ≥ 20", "max window share",
+		"plain", r.Plain.LongestRun, r.Plain.RunsAtLeast[20], r.Plain.ActionShareMax,
+		"chaos", r.Chaos.LongestRun, r.Chaos.RunsAtLeast[20], r.Chaos.ActionShareMax)
+	n, err := io.WriteString(w, s)
+	return int64(n), err
+}
+
+// SampleWidthRow is one Redis maxmemory-samples setting.
+type SampleWidthRow struct {
+	SampleSize int
+	// FreqSizeHitRate is the winning policy's hitrate at this width;
+	// EvictionLogged the number of logged decisions (data volume).
+	FreqSizeHitRate float64
+	EvictionsLogged int
+}
+
+// SampleWidthResult sweeps the eviction sample width.
+type SampleWidthResult struct {
+	Rows []SampleWidthRow
+}
+
+// AblationSampleWidth sweeps the candidate sample size (the paper's "reduce
+// the action space and data collection by considering only a random
+// subsample of the items").
+func AblationSampleWidth(seed int64, requests int, widths []int) (*SampleWidthResult, error) {
+	if requests <= 0 || len(widths) == 0 {
+		return nil, fmt.Errorf("experiments: ablation requests=%d widths=%v", requests, widths)
+	}
+	w := cachesim.DefaultBigSmall()
+	res := &SampleWidthResult{}
+	root := stats.NewRand(seed)
+	for _, width := range widths {
+		if width <= 0 {
+			return nil, fmt.Errorf("experiments: sample width %d", width)
+		}
+		cfg := cachesim.Table3CacheConfig(w)
+		cfg.SampleSize = width
+		c, err := cachesim.New(cfg, cachesim.FreqSizeEvictor{}, stats.Split(root))
+		if err != nil {
+			return nil, err
+		}
+		hr, err := cachesim.Replay(c, w, stats.Split(root), requests)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, SampleWidthRow{
+			SampleSize:      width,
+			FreqSizeHitRate: hr,
+			EvictionsLogged: len(c.EvictionLog()),
+		})
+	}
+	return res, nil
+}
+
+// WriteTo renders the sweep.
+func (r *SampleWidthResult) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	c, err := fmt.Fprintf(w, "Ablation: eviction sample width\n%-8s %-12s %s\n", "width", "hitrate", "evictions logged")
+	total += int64(c)
+	if err != nil {
+		return total, err
+	}
+	for _, row := range r.Rows {
+		c, err := fmt.Fprintf(w, "%-8d %-12.3f %d\n", row.SampleSize, row.FreqSizeHitRate, row.EvictionsLogged)
+		total += int64(c)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// simulateSkewedExploration reveals one action per full-feedback row under
+// an ε-greedy-around-the-default logging policy whose ε itself varies per
+// decision in [epsLo, 1] (as successive deployments with different
+// exploration budgets would produce). The varying ε gives the importance
+// weights a continuous tail, so clipping trades real variance against real
+// bias. Exact propensities are recorded.
+func simulateSkewedExploration(r *rand.Rand, ds learn.FullFeedbackDataset, epsLo float64) core.Dataset {
+	out := make(core.Dataset, len(ds))
+	for i := range ds {
+		row := &ds[i]
+		k := row.Context.NumActions
+		def := core.Action(k - 1)
+		eps := epsLo + (1-epsLo)*r.Float64()
+		var a core.Action
+		if r.Float64() < eps {
+			a = core.Action(r.Intn(k))
+		} else {
+			a = def
+		}
+		p := eps / float64(k)
+		if a == def {
+			p += 1 - eps
+		}
+		out[i] = core.Datapoint{
+			Context:    row.Context,
+			Action:     a,
+			Reward:     row.Rewards[a],
+			Propensity: p,
+			Seq:        int64(i),
+		}
+	}
+	return out
+}

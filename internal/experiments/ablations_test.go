@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAblationEstimators(t *testing.T) {
+	res, err := AblationEstimators(1, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]EstimatorAblationRow{}
+	for _, r := range res.Rows {
+		byName[r.Estimator] = r
+	}
+	// DR with a fitted model should have lower stderr than plain IPS, and
+	// clipping must cut variance too (that is its purpose).
+	if byName["dr"].StdErr >= byName["ips"].StdErr {
+		t.Errorf("dr stderr %v should beat ips %v", byName["dr"].StdErr, byName["ips"].StdErr)
+	}
+	if byName["ips-clip25"].StdErr >= byName["ips"].StdErr {
+		t.Errorf("clipping should cut stderr: %v vs %v", byName["ips-clip25"].StdErr, byName["ips"].StdErr)
+	}
+	// Everything should land within a plausible error band of the truth
+	// (clipping is allowed a little extra: it trades bias for variance).
+	for _, r := range res.Rows {
+		limit := 0.1
+		if r.Estimator == "ips-clip25" {
+			limit = 0.15
+		}
+		if r.AbsErr > limit {
+			t.Errorf("%s error %v implausibly large", r.Estimator, r.AbsErr)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationEstimators(1, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestAblationPropensity(t *testing.T) {
+	res, err := AblationPropensity(2, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// True propensities are uniform (1/9): every inference method
+		// should land close to the reference estimate.
+		if r.AbsErr > 0.05 {
+			t.Errorf("%s |Δips| = %v, want small", r.Method, r.AbsErr)
+		}
+	}
+	// "known" is exact by construction.
+	if res.Rows[0].Method != "known" || res.Rows[0].AbsErr != 0 {
+		t.Errorf("known method should be exact: %+v", res.Rows[0])
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationPropensity(2, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestAblationExploration(t *testing.T) {
+	res, err := AblationExploration(3, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chaos.LongestRun <= res.Plain.LongestRun {
+		t.Errorf("chaos longest run %d should exceed plain %d",
+			res.Chaos.LongestRun, res.Plain.LongestRun)
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationExploration(3, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestAblationSampleWidth(t *testing.T) {
+	res, err := AblationSampleWidth(4, 30000, []int{2, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Wider samples give the policy more leverage: hitrate should be
+	// monotone (weakly) in width for the freq/size policy.
+	if res.Rows[2].FreqSizeHitRate <= res.Rows[0].FreqSizeHitRate {
+		t.Errorf("width 10 hitrate %v should exceed width 2 %v",
+			res.Rows[2].FreqSizeHitRate, res.Rows[0].FreqSizeHitRate)
+	}
+	for _, r := range res.Rows {
+		if r.EvictionsLogged == 0 {
+			t.Errorf("width %d logged no evictions", r.SampleSize)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationSampleWidth(4, 0, []int{5}); err == nil {
+		t.Error("requests=0 should fail")
+	}
+	if _, err := AblationSampleWidth(4, 100, []int{0}); err == nil {
+		t.Error("width=0 should fail")
+	}
+}

@@ -1,0 +1,380 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFig1Shape(t *testing.T) {
+	res, err := Fig1(DefaultFig1Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// CB's requirement grows ~logarithmically; A/B's ~linearly in K. The
+	// advantage ratio must therefore grow monotonically with K.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Ratio <= res.Rows[i-1].Ratio {
+			t.Errorf("advantage ratio not growing at K=%g: %v <= %v",
+				res.Rows[i].K, res.Rows[i].Ratio, res.Rows[i-1].Ratio)
+		}
+		if res.Rows[i].NCB < res.Rows[i-1].NCB {
+			t.Errorf("CB requirement should be monotone in K")
+		}
+	}
+	// At K = 10^6 the A/B cost must be overwhelming (≥1000× CB's).
+	for _, row := range res.Rows {
+		if row.K == 1e6 && row.Ratio < 1e3 {
+			t.Errorf("K=1e6 advantage = %v, want ≥1000x", row.Ratio)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig 1") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig1Validation(t *testing.T) {
+	if _, err := Fig1(Fig1Params{}); err == nil {
+		t.Error("empty Ks should fail")
+	}
+	p := DefaultFig1Params()
+	p.Ks = []float64{0.5}
+	if _, err := Fig1(p); err == nil {
+		t.Error("K<1 should fail")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	res, err := Fig2(DefaultFig2Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		for i := 1; i < len(s.Errors); i++ {
+			if s.Errors[i] >= s.Errors[i-1] {
+				t.Errorf("eps=%v: error not decreasing in N", s.Eps)
+			}
+		}
+	}
+	// Higher ε gives lower error at fixed N (curves ordered).
+	for i := 1; i < len(res.Series); i++ {
+		if res.Series[i].Errors[0] >= res.Series[i-1].Errors[0] {
+			t.Errorf("higher eps should reduce error")
+		}
+	}
+	// Paper's diminishing returns: increasing N from 1.7M to 3.4M improves
+	// accuracy by less than 0.01 (for the ε=0.04 curve).
+	var e04 Fig2Series
+	for _, s := range res.Series {
+		if s.Eps == 0.04 {
+			e04 = s
+		}
+	}
+	p := res.Params
+	var i17, i34 = -1, -1
+	for i, n := range p.Ns {
+		if n == 1.7e6 {
+			i17 = i
+		}
+		if n == 3.4e6 {
+			i34 = i
+		}
+	}
+	if i17 < 0 || i34 < 0 {
+		t.Fatal("grid must contain 1.7M and 3.4M")
+	}
+	if improvement := e04.Errors[i17] - e04.Errors[i34]; improvement >= 0.01 || improvement <= 0 {
+		t.Errorf("1.7M→3.4M improvement = %v, want in (0, 0.01)", improvement)
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig2Validation(t *testing.T) {
+	if _, err := Fig2(Fig2Params{}); err == nil {
+		t.Error("empty params should fail")
+	}
+	p := DefaultFig2Params()
+	p.Epsilons = []float64{2}
+	if _, err := Fig2(p); err == nil {
+		t.Error("eps>1 should fail")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	p := DefaultFig3Params()
+	p.Resims = 120 // keep the test quick; the CLI uses 1000
+	p.TestNs = []int{250, 1000, 3500, 7000}
+	res, err := Fig3(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Error percentiles must shrink with N.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].P95RelErr >= res.Rows[i-1].P95RelErr {
+			t.Errorf("p95 error not shrinking: %v → %v at N=%d",
+				res.Rows[i-1].P95RelErr, res.Rows[i].P95RelErr, res.Rows[i].TestN)
+		}
+	}
+	// The paper's 3500-point claim: p95 below 20%, median single-digit-ish.
+	for _, row := range res.Rows {
+		if row.TestN == 3500 {
+			if row.P95RelErr >= 0.20 {
+				t.Errorf("N=3500 p95 rel err = %v, want < 0.20", row.P95RelErr)
+			}
+			if row.MedianRelErr >= 0.12 {
+				t.Errorf("N=3500 median rel err = %v, want < 0.12", row.MedianRelErr)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig3Validation(t *testing.T) {
+	p := DefaultFig3Params()
+	p.Resims = 0
+	if _, err := Fig3(p); err == nil {
+		t.Error("resims=0 should fail")
+	}
+	p = DefaultFig3Params()
+	p.TestNs = []int{0}
+	if _, err := Fig3(p); err == nil {
+		t.Error("testN=0 should fail")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	res, err := Fig4(DefaultFig4Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full-feedback baseline must beat the default policy and lose to
+	// the omniscient bound.
+	if res.FullFeedbackDowntime >= res.DefaultDowntime {
+		t.Errorf("full-feedback %v should beat default %v", res.FullFeedbackDowntime, res.DefaultDowntime)
+	}
+	if res.FullFeedbackDowntime < res.OptimalDowntime {
+		t.Errorf("full-feedback %v beats omniscient %v — impossible", res.FullFeedbackDowntime, res.OptimalDowntime)
+	}
+	// Paper claims: within 20% of full feedback by 2000 points, within 15%
+	// by 10000, and the gap shrinks along the curve.
+	for _, row := range res.Rows {
+		if row.N == 2000 && row.RelGap >= 0.20 {
+			t.Errorf("N=2000 gap = %v, want < 0.20", row.RelGap)
+		}
+		if row.N == 10000 && row.RelGap >= 0.15 {
+			t.Errorf("N=10000 gap = %v, want < 0.15", row.RelGap)
+		}
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.RelGap >= first.RelGap {
+		t.Errorf("gap should shrink: %v → %v", first.RelGap, last.RelGap)
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig4Validation(t *testing.T) {
+	p := DefaultFig4Params()
+	p.Checkpoints = []int{20000}
+	if _, err := Fig4(p); err == nil {
+		t.Error("checkpoint beyond budget should fail")
+	}
+	p = DefaultFig4Params()
+	p.ExplorationN = 0
+	if _, err := Fig4(p); err == nil {
+		t.Error("zero budget should fail")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2(DefaultTable2Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]Table2Row{}
+	for _, r := range res.Rows {
+		rows[r.Policy] = r
+	}
+	random, ll, send1, cb := rows["Random"], rows["Least loaded"], rows["Send to 1"], rows["CB policy"]
+
+	// Row 1: random's offline estimate matches its online value closely
+	// (evaluating the logging policy itself is easy).
+	if rel := abs(random.Offline-random.Online) / random.Online; rel > 0.05 {
+		t.Errorf("random offline %v vs online %v (rel %v)", random.Offline, random.Online, rel)
+	}
+	// Row 3: send-to-1 offline looks better than random, but online is
+	// far worse — the paper's breakage (0.31 vs 0.70).
+	if send1.Offline >= random.Online {
+		t.Errorf("send-to-1 offline %v should look better than random %v", send1.Offline, random.Online)
+	}
+	if send1.Online < 1.7*send1.Offline {
+		t.Errorf("send-to-1 online %v should be ≫ offline %v", send1.Online, send1.Offline)
+	}
+	// Rows 2/4: CB beats least loaded online; both beat random.
+	if cb.Online >= ll.Online {
+		t.Errorf("CB online %v should beat least-loaded %v", cb.Online, ll.Online)
+	}
+	if ll.Online >= random.Online {
+		t.Errorf("least-loaded %v should beat random %v", ll.Online, random.Online)
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Send to 1") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestTable2Validation(t *testing.T) {
+	p := DefaultTable2Params()
+	p.Config.ArrivalRate = 0
+	if _, err := Table2(p); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res, err := Table3(DefaultTable3Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]float64{}
+	for _, r := range res.Rows {
+		rows[r.Policy] = r.HitRate
+	}
+	random, lru, lfu, cb, fs := rows["Random"], rows["LRU"], rows["LFU"], rows["CB policy"], rows["Freq/size"]
+	// Paper Table 3 shape: only the size-aware policy beats random, by
+	// ~10 points; LFU clearly lags; LRU ≈ random; CB does not beat random.
+	if fs < random+0.05 {
+		t.Errorf("freq/size %v should beat random %v by ≥5 points", fs, random)
+	}
+	if lfu >= random {
+		t.Errorf("LFU %v should lag random %v", lfu, random)
+	}
+	if abs(lru-random) > 0.05 {
+		t.Errorf("LRU %v should be within 5 points of random %v", lru, random)
+	}
+	if cb > random+0.03 {
+		t.Errorf("CB %v should not beat random %v", cb, random)
+	}
+	if cb >= fs {
+		t.Errorf("CB %v must lose to the size-aware policy %v", cb, fs)
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable3Validation(t *testing.T) {
+	p := DefaultTable3Params()
+	p.Requests = 0
+	if _, err := Table3(p); err == nil {
+		t.Error("requests=0 should fail")
+	}
+	p = DefaultTable3Params()
+	p.Workload.NumLarge = 0
+	if _, err := Table3(p); err == nil {
+		t.Error("invalid workload should fail")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	res, err := Fig6(DefaultFig6Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	le := res.Levels
+	if le.HierarchicalError >= le.FlatError {
+		t.Errorf("hierarchy %v should beat flat %v", le.HierarchicalError, le.FlatError)
+	}
+	if le.EdgeEps <= le.FlatEps || le.ClusterEps <= le.FlatEps {
+		t.Errorf("per-level eps should exceed flat eps: %v/%v vs %v",
+			le.EdgeEps, le.ClusterEps, le.FlatEps)
+	}
+	// The deployed two-level CB should beat the all-random harvesting run.
+	if res.CBLatency >= res.MeanLatency {
+		t.Errorf("hierarchical CB %v should beat random %v", res.CBLatency, res.MeanLatency)
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestEq1EmpiricalVerification(t *testing.T) {
+	p := DefaultEq1Params()
+	p.Ns = []int{2000, 8000} // keep the test quick; CLI runs the full sweep
+	res, err := Eq1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// The theoretical envelope must hold for (almost) every member of
+		// the class — allow a handful of boundary violations.
+		if row.Violations > row.ClassSize/100 {
+			t.Errorf("N=%d: %d/%d class members exceed the Eq.1 bound",
+				row.N, row.Violations, row.ClassSize)
+		}
+		if row.MaxAbsErr <= row.MeanAbsErr {
+			t.Errorf("max err %v should exceed mean err %v", row.MaxAbsErr, row.MeanAbsErr)
+		}
+		if row.Eps != 1.0/9 {
+			t.Errorf("eps = %v, want 1/9", row.Eps)
+		}
+	}
+	// Worst-case error shrinks with N (the √N law over the whole class).
+	if res.Rows[1].MaxAbsErr >= res.Rows[0].MaxAbsErr {
+		t.Errorf("max err should shrink with N: %v → %v",
+			res.Rows[0].MaxAbsErr, res.Rows[1].MaxAbsErr)
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEq1Validation(t *testing.T) {
+	p := DefaultEq1Params()
+	p.Ns = nil
+	if _, err := Eq1(p); err == nil {
+		t.Error("empty Ns should fail")
+	}
+	p = DefaultEq1Params()
+	p.Ns = []int{0}
+	if _, err := Eq1(p); err == nil {
+		t.Error("N=0 should fail")
+	}
+}

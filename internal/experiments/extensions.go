@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/healthsim"
+	"repro/internal/lbsim"
+	"repro/internal/learn"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// ContinuousParams configures the continuous-optimization loop of §3:
+// "we may want to repeat steps 1-3 to continuously optimize the system."
+// Each round deploys the current policy (wrapped in ε-greedy so its traffic
+// stays harvestable), harvests the round's exploration data, retrains, and
+// deploys the improvement.
+type ContinuousParams struct {
+	Seed   int64
+	Rounds int
+	// Epsilon keeps every action explored in deployed rounds.
+	Epsilon float64
+	// Config is the load-balancing deployment.
+	Config lbsim.Config
+}
+
+// DefaultContinuousParams runs five rounds on the Table 2 setup.
+func DefaultContinuousParams() ContinuousParams {
+	cfg := lbsim.Table2Config()
+	cfg.NumRequests = 15000
+	cfg.Warmup = 1500
+	return ContinuousParams{Seed: 1, Rounds: 5, Epsilon: 0.2, Config: cfg}
+}
+
+// ContinuousRow is one deploy-harvest-retrain round.
+type ContinuousRow struct {
+	Round int
+	// OnlineLatency is the deployed policy's measured mean latency this
+	// round (including its ε exploration overhead).
+	OnlineLatency float64
+	// DataSoFar counts cumulative harvested datapoints.
+	DataSoFar int
+}
+
+// ContinuousResult is the loop's trajectory.
+type ContinuousResult struct {
+	Params ContinuousParams
+	Rows   []ContinuousRow
+}
+
+// Continuous runs the loop: round 0 deploys uniform random (the paper's
+// harvestable heuristic); each later round deploys the CB policy trained on
+// all data harvested so far, wrapped in ε-greedy.
+func Continuous(p ContinuousParams) (*ContinuousResult, error) {
+	if p.Rounds < 2 {
+		return nil, fmt.Errorf("experiments: continuous needs ≥2 rounds")
+	}
+	if p.Epsilon <= 0 || p.Epsilon >= 1 {
+		return nil, fmt.Errorf("experiments: continuous epsilon %v", p.Epsilon)
+	}
+	if err := p.Config.Validate(); err != nil {
+		return nil, err
+	}
+	root := stats.NewRand(p.Seed)
+	var all core.Dataset
+	var current core.Policy = policy.UniformRandom{R: stats.Split(root)}
+	res := &ContinuousResult{Params: p}
+	for round := 0; round < p.Rounds; round++ {
+		run, err := lbsim.Run(p.Config, current, root.Int63(), true)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: continuous round %d: %w", round, err)
+		}
+		all = append(all, run.Exploration...)
+		res.Rows = append(res.Rows, ContinuousRow{
+			Round:         round,
+			OnlineLatency: run.MeanLatency,
+			DataSoFar:     len(all),
+		})
+		cb, err := lbsim.FitCBPolicy(all)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: continuous retrain %d: %w", round, err)
+		}
+		current = &policy.EpsilonGreedy{Base: cb, Epsilon: p.Epsilon, R: stats.Split(root)}
+	}
+	return res, nil
+}
+
+// WriteTo renders the loop trajectory.
+func (r *ContinuousResult) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	c, err := fmt.Fprintf(w, "Continuous optimization loop (§3 steps 1-3 repeated, eps=%.2g)\n%-8s %-16s %s\n",
+		r.Params.Epsilon, "round", "online latency", "cumulative data")
+	total += int64(c)
+	if err != nil {
+		return total, err
+	}
+	for _, row := range r.Rows {
+		c, err := fmt.Fprintf(w, "%-8d %-16.3f %d\n", row.Round, row.OnlineLatency, row.DataSoFar)
+		total += int64(c)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// DriftParams configures the A2-violation study of §5: "A2 is violated,
+// for example, when the workload or environment changes. Like prior work,
+// we can address this by using incremental learning algorithms that
+// continuously update the policy."
+type DriftParams struct {
+	Seed int64
+	// PhaseN episodes are drawn per phase; the environment changes
+	// between phases (reboot costs collapse, shifting optimal waits).
+	PhaseN int
+	// Before/After are the two environment configurations.
+	Before, After healthsim.Config
+}
+
+// DefaultDriftParams shifts from expensive reboots (waiting pays) to cheap
+// reboots (waiting wastes).
+func DefaultDriftParams() DriftParams {
+	before := healthsim.DefaultConfig()
+	after := healthsim.DefaultConfig()
+	after.RebootBase = 1
+	after.RebootPerSKU = 0.2
+	return DriftParams{Seed: 1, PhaseN: 8000, Before: before, After: after}
+}
+
+// DriftResult compares a frozen policy against an incremental learner
+// across the environment change.
+type DriftResult struct {
+	Params DriftParams
+	// StaticPhase1/2: mean downtime of the phase-1-trained frozen policy
+	// in each phase. IncrementalPhase2: the continuously-updated
+	// learner's phase-2 downtime. OraclePhase2: a policy trained purely
+	// on phase-2 data (the adaptation ceiling).
+	StaticPhase1, StaticPhase2, IncrementalPhase2, OraclePhase2 float64
+}
+
+// Drift runs the study: train on phase 1, then let the world change; the
+// frozen policy degrades while the incremental learner keeps updating
+// through phase 2 and recovers most of the gap.
+func Drift(p DriftParams) (*DriftResult, error) {
+	if p.PhaseN <= 0 {
+		return nil, fmt.Errorf("experiments: drift PhaseN %d", p.PhaseN)
+	}
+	root := stats.NewRand(p.Seed)
+	gen1, err := healthsim.NewGenerator(stats.Split(root), p.Before)
+	if err != nil {
+		return nil, err
+	}
+	gen2, err := healthsim.NewGenerator(stats.Split(root), p.After)
+	if err != nil {
+		return nil, err
+	}
+	phase1 := gen1.Generate(p.PhaseN)
+	phase2 := gen2.Generate(p.PhaseN)
+	test2 := gen2.Generate(p.PhaseN / 2)
+
+	// The incremental learner interacts through both phases.
+	eg, err := learn.NewEpochGreedy(stats.Split(root), learn.EpochGreedyOptions{
+		NumActions: healthsim.NumWaitActions,
+		Dim:        gen1.Dim(),
+		C:          2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	interact := func(ds learn.FullFeedbackDataset) error {
+		for i := range ds {
+			row := &ds[i]
+			dist := eg.Distribution(&row.Context)
+			a := eg.Act(&row.Context)
+			if err := eg.Update(core.Datapoint{
+				Context:    row.Context,
+				Action:     a,
+				Reward:     row.Rewards[a],
+				Propensity: dist[a],
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := interact(phase1); err != nil {
+		return nil, err
+	}
+
+	// The static policy: batch CB on phase-1 exploration, then frozen.
+	expl1 := learn.SimulateExploration(stats.Split(root), phase1)
+	staticModel, err := learn.FitRewardModel(expl1, learn.FitOptions{NumActions: healthsim.NumWaitActions})
+	if err != nil {
+		return nil, err
+	}
+	static := staticModel.GreedyPolicy(false)
+
+	res := &DriftResult{Params: p}
+	test1 := gen1.Generate(p.PhaseN / 2)
+	res.StaticPhase1 = -test1.MeanReward(static)
+
+	// The world changes; the incremental learner keeps updating.
+	if err := interact(phase2); err != nil {
+		return nil, err
+	}
+	res.StaticPhase2 = -test2.MeanReward(static)
+	res.IncrementalPhase2 = -test2.MeanReward(eg.GreedyPolicy())
+
+	// Adaptation ceiling: batch CB trained purely on phase-2 data.
+	expl2 := learn.SimulateExploration(stats.Split(root), phase2)
+	oracleModel, err := learn.FitRewardModel(expl2, learn.FitOptions{NumActions: healthsim.NumWaitActions})
+	if err != nil {
+		return nil, err
+	}
+	res.OraclePhase2 = -test2.MeanReward(oracleModel.GreedyPolicy(false))
+	return res, nil
+}
+
+// WriteTo renders the drift comparison.
+func (r *DriftResult) WriteTo(w io.Writer) (int64, error) {
+	s := fmt.Sprintf("A2 violation (environment drift): mean downtime in minutes\n"+
+		"%-34s %.3f\n%-34s %.3f\n%-34s %.3f\n%-34s %.3f\n",
+		"static policy, before drift", r.StaticPhase1,
+		"static policy, after drift", r.StaticPhase2,
+		"incremental learner, after drift", r.IncrementalPhase2,
+		"phase-2-only oracle", r.OraclePhase2)
+	n, err := io.WriteString(w, s)
+	return int64(n), err
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestContinuousLoopImproves(t *testing.T) {
+	p := DefaultContinuousParams()
+	p.Rounds = 4
+	res, err := Continuous(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	// Round 0 deploys uniform random; later rounds deploy trained CB.
+	// The loop should cut latency substantially and data accumulates.
+	if last.OnlineLatency >= first.OnlineLatency*0.9 {
+		t.Errorf("loop should improve latency: %v → %v", first.OnlineLatency, last.OnlineLatency)
+	}
+	if last.DataSoFar <= first.DataSoFar {
+		t.Errorf("data should accumulate: %d → %d", first.DataSoFar, last.DataSoFar)
+	}
+	// Improvement should persist: the final round must remain better
+	// than round 0 (no collapse from training on self-collected data —
+	// the ε-greedy wrapper keeps the data usable).
+	for _, row := range res.Rows[1:] {
+		if row.OnlineLatency >= first.OnlineLatency {
+			t.Errorf("round %d regressed to %v (round 0: %v)", row.Round, row.OnlineLatency, first.OnlineLatency)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContinuousValidation(t *testing.T) {
+	p := DefaultContinuousParams()
+	p.Rounds = 1
+	if _, err := Continuous(p); err == nil {
+		t.Error("rounds<2 should fail")
+	}
+	p = DefaultContinuousParams()
+	p.Epsilon = 0
+	if _, err := Continuous(p); err == nil {
+		t.Error("epsilon=0 should fail")
+	}
+	p = DefaultContinuousParams()
+	p.Config.ArrivalRate = 0
+	if _, err := Continuous(p); err == nil {
+		t.Error("bad config should fail")
+	}
+}
+
+func TestDriftIncrementalAdapts(t *testing.T) {
+	res, err := Drift(DefaultDriftParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The frozen policy must degrade relative to what phase 2 allows: the
+	// incremental learner should clearly beat it after the drift.
+	if res.IncrementalPhase2 >= res.StaticPhase2 {
+		t.Errorf("incremental %v should beat static %v after drift",
+			res.IncrementalPhase2, res.StaticPhase2)
+	}
+	// And land within 15%% of the phase-2-only oracle.
+	if res.IncrementalPhase2 > res.OraclePhase2*1.15 {
+		t.Errorf("incremental %v too far from oracle %v", res.IncrementalPhase2, res.OraclePhase2)
+	}
+	// Sanity: downtime after the drift (cheap reboots) is lower across
+	// the board than before it.
+	if res.StaticPhase1 <= res.OraclePhase2 {
+		t.Errorf("phase-1 downtime %v should exceed phase-2 oracle %v (cheaper reboots)",
+			res.StaticPhase1, res.OraclePhase2)
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriftValidation(t *testing.T) {
+	p := DefaultDriftParams()
+	p.PhaseN = 0
+	if _, err := Drift(p); err == nil {
+		t.Error("PhaseN=0 should fail")
+	}
+}
+
+func TestRolloutRevealsBiasProgressively(t *testing.T) {
+	res, err := Rollout(DefaultRolloutParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	first := res.Rows[0]
+	last := res.Rows[len(res.Rows)-1]
+	// Share 0 (pure counterfactual): the misleading low estimate.
+	if first.Estimate >= res.TrueDeployed*0.7 {
+		t.Errorf("0%%-share estimate %v should badly undershoot truth %v",
+			first.Estimate, res.TrueDeployed)
+	}
+	// Share 1 (full deployment): the estimate equals the observed value.
+	if d := abs(last.Estimate-res.TrueDeployed) / res.TrueDeployed; d > 0.1 {
+		t.Errorf("100%%-share estimate %v should match truth %v", last.Estimate, res.TrueDeployed)
+	}
+	// Estimates rise monotonically with exposure (each step surfaces more
+	// of the feedback effect).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Estimate <= res.Rows[i-1].Estimate {
+			t.Errorf("estimate should rise with share: %v → %v at share %v",
+				res.Rows[i-1].Estimate, res.Rows[i].Estimate, res.Rows[i].Share)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRolloutValidation(t *testing.T) {
+	p := DefaultRolloutParams()
+	p.Shares = nil
+	if _, err := Rollout(p); err == nil {
+		t.Error("no shares should fail")
+	}
+	p = DefaultRolloutParams()
+	p.Shares = []float64{2}
+	if _, err := Rollout(p); err == nil {
+		t.Error("share>1 should fail")
+	}
+	p = DefaultRolloutParams()
+	p.Config.NumRequests = 0
+	if _, err := Rollout(p); err == nil {
+		t.Error("bad config should fail")
+	}
+}
+
+func TestLongTermEstimatorsFixTable2BlindSpot(t *testing.T) {
+	res, err := LongTerm(DefaultLongTermParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-request IPS undershoots the sustained truth badly (the Table 2
+	// failure)...
+	if res.PlainIPS >= res.Truth*0.8 {
+		t.Errorf("plain ips %v should badly undershoot truth %v", res.PlainIPS, res.Truth)
+	}
+	// ...while the window-level estimator, fed chaos-created runs, lands
+	// much closer: at least halving the gap.
+	gapIPS := res.Truth - res.PlainIPS
+	gapTraj := res.Truth - res.TrajIS
+	if gapTraj < 0 {
+		gapTraj = -gapTraj
+	}
+	if gapTraj > gapIPS/2 {
+		t.Errorf("trajectory IS gap %v should halve the ips gap %v (traj=%v truth=%v)",
+			gapTraj, gapIPS, res.TrajIS, res.Truth)
+	}
+	if res.TrajMatched == 0 {
+		t.Error("chaos should create matched windows")
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongTermValidation(t *testing.T) {
+	p := DefaultLongTermParams()
+	p.Horizon = 1
+	if _, err := LongTerm(p); err == nil {
+		t.Error("horizon<=1 should fail")
+	}
+	p = DefaultLongTermParams()
+	p.N = 0
+	if _, err := LongTerm(p); err == nil {
+		t.Error("N=0 should fail")
+	}
+}

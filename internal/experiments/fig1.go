@@ -1,0 +1,91 @@
+// Package experiments regenerates every table and figure in the evaluation
+// of "Harvesting Randomness to Optimize Distributed Systems" (HotNets
+// 2017). Each experiment is a pure function from a parameter struct to a
+// typed result that renders the same rows/series the paper reports; the
+// cmd/harvest CLI and the repository's benchmarks both call these runners.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/ope"
+)
+
+// Fig1Params configures the Fig. 1 data-requirement comparison ("the amount
+// of data N required to simultaneously evaluate K policies, using typical
+// constants").
+type Fig1Params struct {
+	// Ks are the policy-class sizes to sweep.
+	Ks []float64
+	// Eps is the exploration minimum propensity for the CB estimator.
+	Eps float64
+	// C is Eq. 1's constant; CAB the A/B bound's constant.
+	C, CAB float64
+	// Delta is the failure probability; TargetErr the CI size to reach.
+	Delta, TargetErr float64
+}
+
+// DefaultFig1Params mirrors the paper's "typical constants" caption
+// (δ = 0.01; ε = 0.04 as in the Azure edge-proxy example; target error
+// 0.05 for rewards in [0,1]).
+func DefaultFig1Params() Fig1Params {
+	ks := make([]float64, 0, 10)
+	for e := 0; e <= 9; e++ {
+		ks = append(ks, math.Pow(10, float64(e)))
+	}
+	return Fig1Params{
+		Ks: ks, Eps: 0.04, C: 2, CAB: 1, Delta: 0.01, TargetErr: 0.05,
+	}
+}
+
+// Fig1Row is one point of the figure.
+type Fig1Row struct {
+	K     float64
+	NCB   float64 // datapoints needed by off-policy evaluation (Eq. 1)
+	NAB   float64 // datapoints needed by A/B testing
+	Ratio float64 // NAB / NCB: the exponential advantage
+}
+
+// Fig1Result is the full sweep.
+type Fig1Result struct {
+	Params Fig1Params
+	Rows   []Fig1Row
+}
+
+// Fig1 computes the figure.
+func Fig1(p Fig1Params) (*Fig1Result, error) {
+	if len(p.Ks) == 0 {
+		return nil, fmt.Errorf("experiments: fig1 needs at least one K")
+	}
+	res := &Fig1Result{Params: p}
+	for _, k := range p.Ks {
+		if k < 1 {
+			return nil, fmt.Errorf("experiments: fig1 K=%v < 1", k)
+		}
+		ncb := ope.Eq1RequiredN(p.C, p.Eps, k, p.Delta, p.TargetErr)
+		nab := ope.ABRequiredN(p.CAB, k, p.Delta, p.TargetErr)
+		res.Rows = append(res.Rows, Fig1Row{K: k, NCB: ncb, NAB: nab, Ratio: nab / ncb})
+	}
+	return res, nil
+}
+
+// WriteTo renders the figure as a table.
+func (r *Fig1Result) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	c, err := fmt.Fprintf(w, "Fig 1: data required to evaluate K policies (eps=%.3g, delta=%.2g, err=%.2g)\n%-12s %-14s %-14s %s\n",
+		r.Params.Eps, r.Params.Delta, r.Params.TargetErr, "K", "N (CB)", "N (A/B)", "A/B / CB")
+	n += int64(c)
+	if err != nil {
+		return n, err
+	}
+	for _, row := range r.Rows {
+		c, err := fmt.Fprintf(w, "%-12.3g %-14.4g %-14.4g %.3gx\n", row.K, row.NCB, row.NAB, row.Ratio)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ope"
+)
+
+// Fig2Params configures the Fig. 2 theoretical-accuracy curves: Eq. 1 error
+// versus N for several exploration levels ε, over a policy class of size K.
+type Fig2Params struct {
+	// Epsilons are the exploration curves to draw (the paper shows the
+	// ε = 0.04 "Azure edge proxy over 25 clusters" example among them).
+	Epsilons []float64
+	// Ns is the x-axis grid of exploration datapoints.
+	Ns []float64
+	// K is the policy-class size (paper: 10^6); C, Delta as in Eq. 1.
+	K, C, Delta float64
+}
+
+// DefaultFig2Params mirrors the paper: K = 10^6, δ = 0.05, N up to several
+// million with the diminishing-returns region visible.
+func DefaultFig2Params() Fig2Params {
+	ns := []float64{1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5, 8.5e5, 1.7e6, 3.4e6, 5e6}
+	return Fig2Params{
+		Epsilons: []float64{0.01, 0.02, 0.04, 0.1},
+		Ns:       ns,
+		K:        1e6,
+		C:        2,
+		Delta:    0.05,
+	}
+}
+
+// Fig2Series is one ε curve.
+type Fig2Series struct {
+	Eps    float64
+	Errors []float64 // parallel to Params.Ns
+}
+
+// Fig2Result is the family of curves.
+type Fig2Result struct {
+	Params Fig2Params
+	Series []Fig2Series
+}
+
+// Fig2 computes the figure.
+func Fig2(p Fig2Params) (*Fig2Result, error) {
+	if len(p.Epsilons) == 0 || len(p.Ns) == 0 {
+		return nil, fmt.Errorf("experiments: fig2 needs epsilons and Ns")
+	}
+	res := &Fig2Result{Params: p}
+	for _, eps := range p.Epsilons {
+		if eps <= 0 || eps > 1 {
+			return nil, fmt.Errorf("experiments: fig2 eps=%v", eps)
+		}
+		s := Fig2Series{Eps: eps, Errors: make([]float64, len(p.Ns))}
+		for i, n := range p.Ns {
+			s.Errors[i] = ope.Eq1Error(p.C, eps, n, p.K, p.Delta)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// WriteTo renders the curves as a table (one column per ε).
+func (r *Fig2Result) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	c, err := fmt.Fprintf(w, "Fig 2: theoretical accuracy over %g policies (C=%g, delta=%g)\n%-12s",
+		r.Params.K, r.Params.C, r.Params.Delta, "N")
+	total += int64(c)
+	if err != nil {
+		return total, err
+	}
+	for _, s := range r.Series {
+		c, err := fmt.Fprintf(w, " err(eps=%.3g)", s.Eps)
+		total += int64(c)
+		if err != nil {
+			return total, err
+		}
+	}
+	c, err = fmt.Fprintln(w)
+	total += int64(c)
+	if err != nil {
+		return total, err
+	}
+	for i, n := range r.Params.Ns {
+		c, err := fmt.Fprintf(w, "%-12.4g", n)
+		total += int64(c)
+		if err != nil {
+			return total, err
+		}
+		for _, s := range r.Series {
+			c, err := fmt.Fprintf(w, " %-13.4f", s.Errors[i])
+			total += int64(c)
+			if err != nil {
+				return total, err
+			}
+		}
+		c, err = fmt.Fprintln(w)
+		total += int64(c)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/healthsim"
+	"repro/internal/learn"
+	"repro/internal/ope"
+	"repro/internal/stats"
+)
+
+// Fig3Params configures the Fig. 3 experiment: the error of the ips
+// estimator (relative to full-feedback ground truth) on a trained policy,
+// as the test set grows, with 5th/95th percentiles over many
+// partial-information simulations.
+type Fig3Params struct {
+	// Seed drives everything (population, training, resimulations).
+	Seed int64
+	// TrainN is the number of episodes used to train the evaluated policy.
+	TrainN int
+	// TestNs is the x-axis: test-set sizes.
+	TestNs []int
+	// Resims is the number of partial-information simulations per size
+	// (paper: 1000).
+	Resims int
+	// Config is the machine-health generative model.
+	Config healthsim.Config
+}
+
+// DefaultFig3Params mirrors the paper's setup (the 3500-point midpoint is
+// where the paper quotes "error below 20% with median error at 8%").
+func DefaultFig3Params() Fig3Params {
+	return Fig3Params{
+		Seed:   1,
+		TrainN: 8000,
+		TestNs: []int{250, 500, 1000, 2000, 3500, 7000, 14000},
+		Resims: 1000,
+		Config: healthsim.DefaultConfig(),
+	}
+}
+
+// Fig3Row is one test-set size's error distribution.
+type Fig3Row struct {
+	TestN int
+	// MedianRelErr / P5RelErr / P95RelErr describe |ips − truth|/|truth|
+	// over the resimulations (P95 is the top of the paper's error bars,
+	// i.e. δ = 0.05).
+	MedianRelErr, P5RelErr, P95RelErr float64
+	// Truth is the policy's ground-truth normalized reward on the test set.
+	Truth float64
+}
+
+// Fig3Result is the full curve.
+type Fig3Result struct {
+	Params Fig3Params
+	Rows   []Fig3Row
+}
+
+// Fig3 runs the experiment: train a CB policy on simulated exploration
+// data, then repeatedly re-simulate exploration on fresh test sets and
+// measure how far the ips estimate lands from the full-feedback truth.
+func Fig3(p Fig3Params) (*Fig3Result, error) {
+	if p.TrainN <= 0 || len(p.TestNs) == 0 || p.Resims <= 0 {
+		return nil, fmt.Errorf("experiments: fig3 params %+v", p)
+	}
+	root := stats.NewRand(p.Seed)
+	gen, err := healthsim.NewGenerator(stats.Split(root), p.Config)
+	if err != nil {
+		return nil, err
+	}
+	maxDown := gen.MaxPossibleDowntime()
+
+	// Train the policy the paper evaluates: CB on simulated exploration.
+	train := gen.Generate(p.TrainN)
+	expl := learn.SimulateExploration(stats.Split(root), train)
+	model, err := learn.FitRewardModel(expl, learn.FitOptions{NumActions: healthsim.NumWaitActions})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig3 training: %w", err)
+	}
+	policy := model.GreedyPolicy(false)
+
+	res := &Fig3Result{Params: p}
+	for _, testN := range p.TestNs {
+		if testN <= 0 {
+			return nil, fmt.Errorf("experiments: fig3 testN=%d", testN)
+		}
+		test := gen.Generate(testN)
+		// Ground truth on the normalized [0,1] reward scale.
+		truth := 0.0
+		for i := range test {
+			row := &test[i]
+			d := -row.Rewards[policy.Act(&row.Context)]
+			truth += 1 - math.Min(d, maxDown)/maxDown
+		}
+		truth /= float64(len(test))
+
+		relErrs := make([]float64, p.Resims)
+		simR := stats.Split(root)
+		for rep := 0; rep < p.Resims; rep++ {
+			explTest := learn.SimulateExploration(simR, test)
+			norm := healthsim.NormalizeRewards(explTest, maxDown)
+			est, err := (ope.IPS{}).Estimate(policy, norm)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig3 resim %d: %w", rep, err)
+			}
+			relErrs[rep] = math.Abs(est.Value-truth) / truth
+		}
+		qs, err := stats.QuantilesSorted(relErrs, 0.05, 0.5, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig3Row{
+			TestN:        testN,
+			P5RelErr:     qs[0],
+			MedianRelErr: qs[1],
+			P95RelErr:    qs[2],
+			Truth:        truth,
+		})
+	}
+	return res, nil
+}
+
+// WriteTo renders the curve.
+func (r *Fig3Result) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	c, err := fmt.Fprintf(w, "Fig 3: ips estimator error vs ground truth (machine health, %d resims)\n%-8s %-12s %-12s %-12s\n",
+		r.Params.Resims, "N", "p5 rel-err", "median", "p95 rel-err")
+	total += int64(c)
+	if err != nil {
+		return total, err
+	}
+	for _, row := range r.Rows {
+		c, err := fmt.Fprintf(w, "%-8d %-12.4f %-12.4f %-12.4f\n",
+			row.TestN, row.P5RelErr, row.MedianRelErr, row.P95RelErr)
+		total += int64(c)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/healthsim"
+	"repro/internal/learn"
+	"repro/internal/stats"
+)
+
+// Fig4Params configures the Fig. 4 experiment: convergence of CB training
+// on machine-health exploration data, relative to the idealized
+// full-feedback supervised model.
+type Fig4Params struct {
+	Seed int64
+	// ExplorationN is the total simulated exploration budget (paper:
+	// 10,000); Checkpoints are the learning-curve x-axis.
+	ExplorationN int
+	Checkpoints  []int
+	// TestN sizes the held-out full-feedback evaluation set.
+	TestN int
+	// Config is the machine-health generative model.
+	Config healthsim.Config
+}
+
+// DefaultFig4Params mirrors the paper: 10,000 exploration datapoints with
+// the 2,000-point "within 20%" checkpoint on the curve.
+func DefaultFig4Params() Fig4Params {
+	return Fig4Params{
+		Seed:         1,
+		ExplorationN: 10000,
+		Checkpoints:  []int{250, 500, 1000, 2000, 4000, 7000, 10000},
+		TestN:        6000,
+		Config:       healthsim.DefaultConfig(),
+	}
+}
+
+// Fig4Row is one learning-curve checkpoint.
+type Fig4Row struct {
+	N int
+	// CBDowntime is the mean test downtime (minutes) of the CB policy
+	// trained on the first N exploration datapoints.
+	CBDowntime float64
+	// RelGap is (CBDowntime − FullFeedbackDowntime)/FullFeedbackDowntime —
+	// the paper's "within 15% of a policy trained using supervised
+	// learning on the full feedback dataset".
+	RelGap float64
+}
+
+// Fig4Result is the learning curve plus its baselines.
+type Fig4Result struct {
+	Params Fig4Params
+	Rows   []Fig4Row
+	// FullFeedbackDowntime is the idealized supervised baseline;
+	// DefaultDowntime is the deployed max-wait policy; OptimalDowntime
+	// the omniscient lower bound.
+	FullFeedbackDowntime, DefaultDowntime, OptimalDowntime float64
+}
+
+// Fig4 runs the experiment.
+func Fig4(p Fig4Params) (*Fig4Result, error) {
+	if p.ExplorationN <= 0 || len(p.Checkpoints) == 0 || p.TestN <= 0 {
+		return nil, fmt.Errorf("experiments: fig4 params %+v", p)
+	}
+	root := stats.NewRand(p.Seed)
+	gen, err := healthsim.NewGenerator(stats.Split(root), p.Config)
+	if err != nil {
+		return nil, err
+	}
+	train := gen.Generate(p.ExplorationN)
+	test := gen.Generate(p.TestN)
+	expl := learn.SimulateExploration(stats.Split(root), train)
+
+	// The idealized baseline: supervised learning on full feedback.
+	ffModel, err := learn.FitFullFeedback(train, 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig4 full-feedback baseline: %w", err)
+	}
+	res := &Fig4Result{
+		Params:               p,
+		FullFeedbackDowntime: -test.MeanReward(ffModel.GreedyPolicy(false)),
+		DefaultDowntime:      -test.MeanReward(healthsim.DefaultPolicy()),
+		OptimalDowntime:      -test.OptimalMeanReward(false),
+	}
+
+	for _, n := range p.Checkpoints {
+		if n <= 0 || n > p.ExplorationN {
+			return nil, fmt.Errorf("experiments: fig4 checkpoint %d out of (0,%d]", n, p.ExplorationN)
+		}
+		model, err := learn.FitRewardModel(expl[:n], learn.FitOptions{NumActions: healthsim.NumWaitActions})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig4 checkpoint %d: %w", n, err)
+		}
+		cb := -test.MeanReward(model.GreedyPolicy(false))
+		res.Rows = append(res.Rows, Fig4Row{
+			N:          n,
+			CBDowntime: cb,
+			RelGap:     (cb - res.FullFeedbackDowntime) / res.FullFeedbackDowntime,
+		})
+	}
+	return res, nil
+}
+
+// WriteTo renders the learning curve.
+func (r *Fig4Result) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	c, err := fmt.Fprintf(w, "Fig 4: CB training convergence on machine health\nfull-feedback baseline: %.3f min | default (max wait): %.3f min | omniscient: %.3f min\n%-8s %-16s %s\n",
+		r.FullFeedbackDowntime, r.DefaultDowntime, r.OptimalDowntime,
+		"N", "CB downtime", "gap vs full-feedback")
+	total += int64(c)
+	if err != nil {
+		return total, err
+	}
+	for _, row := range r.Rows {
+		c, err := fmt.Fprintf(w, "%-8d %-16.3f %+.1f%%\n", row.N, row.CBDowntime, 100*row.RelGap)
+		total += int64(c)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

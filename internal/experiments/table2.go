@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/lbsim"
+	"repro/internal/ope"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// Table2Params configures the Table 2 experiment: mean request latency of
+// load-balancing policies, off-policy estimate vs online deployment, on the
+// Fig. 5 two-server setup.
+type Table2Params struct {
+	Seed int64
+	// Config is the simulated deployment (Table2Config by default: the
+	// Fig. 5 latency model plus request types, which give the CB policy
+	// its edge over least-loaded).
+	Config lbsim.Config
+}
+
+// DefaultTable2Params returns the paper-shaped configuration.
+func DefaultTable2Params() Table2Params {
+	return Table2Params{Seed: 1, Config: lbsim.Table2Config()}
+}
+
+// Table2Row is one policy's offline and online numbers.
+type Table2Row struct {
+	Policy  string
+	Offline float64 // ips estimate on exploration data (seconds)
+	Online  float64 // deployed mean latency (seconds)
+}
+
+// Table2Result is the table.
+type Table2Result struct {
+	Params Table2Params
+	Rows   []Table2Row
+}
+
+// Table2 runs the experiment: collect exploration data under uniform-random
+// routing (the deployed randomized heuristic), evaluate each candidate
+// policy offline with ips, then deploy each policy and measure it online.
+func Table2(p Table2Params) (*Table2Result, error) {
+	if err := p.Config.Validate(); err != nil {
+		return nil, err
+	}
+	root := stats.NewRand(p.Seed)
+	logging := policy.UniformRandom{R: stats.Split(root)}
+	logRun, err := lbsim.Run(p.Config, logging, root.Int63(), true)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table2 exploration run: %w", err)
+	}
+	cbPolicy, err := lbsim.FitCBPolicy(logRun.Exploration)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table2 CB training: %w", err)
+	}
+	candidates := []struct {
+		name string
+		pol  core.Policy
+	}{
+		{"Random", policy.UniformRandom{R: stats.Split(root)}},
+		{"Least loaded", lbsim.LeastLoaded{}},
+		{"Send to 1", policy.Constant{A: 0}},
+		{"CB policy", cbPolicy},
+	}
+	res := &Table2Result{Params: p}
+	for _, cand := range candidates {
+		est, err := (ope.IPS{}).Estimate(cand.pol, logRun.Exploration)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table2 offline %s: %w", cand.name, err)
+		}
+		online, err := lbsim.Run(p.Config, cand.pol, root.Int63(), false)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table2 online %s: %w", cand.name, err)
+		}
+		res.Rows = append(res.Rows, Table2Row{
+			Policy:  cand.name,
+			Offline: est.Value,
+			Online:  online.MeanLatency,
+		})
+	}
+	return res, nil
+}
+
+// WriteTo renders the table in the paper's layout.
+func (r *Table2Result) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	c, err := fmt.Fprintf(w, "Table 2: mean request latency of load balancing policies\n%-14s %-24s %s\n",
+		"Policy", "Off-policy evaluation", "Online evaluation")
+	total += int64(c)
+	if err != nil {
+		return total, err
+	}
+	for _, row := range r.Rows {
+		c, err := fmt.Fprintf(w, "%-14s %-24s %.2fs\n", row.Policy, fmt.Sprintf("%.2fs", row.Offline), row.Online)
+		total += int64(c)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

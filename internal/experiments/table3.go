@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cachesim"
+	"repro/internal/harvester"
+	"repro/internal/learn"
+	"repro/internal/stats"
+)
+
+// Table3Params configures the Table 3 experiment: hitrates of cache
+// eviction policies on the big/small item workload.
+type Table3Params struct {
+	Seed int64
+	// Requests per replay run.
+	Requests int
+	// Workload is the big/small mix; CacheBytes/SampleSize override the
+	// Table3CacheConfig defaults when non-zero.
+	Workload   cachesim.BigSmallWorkload
+	CacheBytes int64
+	SampleSize int
+	// Horizon caps the look-ahead reward for CB training.
+	Horizon float64
+}
+
+// DefaultTable3Params returns the paper-shaped configuration.
+func DefaultTable3Params() Table3Params {
+	return Table3Params{
+		Seed:     1,
+		Requests: 60000,
+		Workload: cachesim.DefaultBigSmall(),
+		Horizon:  2000,
+	}
+}
+
+// Table3Row is one eviction policy's hitrate.
+type Table3Row struct {
+	Policy  string
+	HitRate float64
+}
+
+// Table3Result is the table.
+type Table3Result struct {
+	Params Table3Params
+	Rows   []Table3Row
+}
+
+// cacheConfig materializes the run configuration.
+func (p *Table3Params) cacheConfig(logs bool) (cachesim.Config, error) {
+	if err := p.Workload.Validate(); err != nil {
+		return cachesim.Config{}, err
+	}
+	cfg := cachesim.Table3CacheConfig(p.Workload)
+	if p.CacheBytes > 0 {
+		cfg.MaxBytes = p.CacheBytes
+	}
+	if p.SampleSize > 0 {
+		cfg.SampleSize = p.SampleSize
+	}
+	cfg.LogAccesses, cfg.LogEvictions = logs, logs
+	return cfg, nil
+}
+
+// Table3 runs the experiment: collect exploration data under random
+// eviction (which also yields the Random row), harvest ⟨x,a,r,p⟩ with
+// look-ahead rewards, train the CB eviction model, then measure every
+// policy online.
+func Table3(p Table3Params) (*Table3Result, error) {
+	if p.Requests <= 0 || p.Horizon <= 0 {
+		return nil, fmt.Errorf("experiments: table3 params %+v", p)
+	}
+	root := stats.NewRand(p.Seed)
+
+	// Exploration run (doubles as the Random row).
+	logCfg, err := p.cacheConfig(true)
+	if err != nil {
+		return nil, err
+	}
+	randomCache, err := cachesim.New(logCfg, cachesim.RandomEvictor{R: stats.Split(root)}, stats.Split(root))
+	if err != nil {
+		return nil, err
+	}
+	randomHR, err := cachesim.Replay(randomCache, p.Workload, stats.Split(root), p.Requests)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table3 exploration replay: %w", err)
+	}
+	expl, err := harvester.HarvestEvictions(randomCache.EvictionLog(), randomCache.AccessLog(), p.Horizon)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table3 harvest: %w", err)
+	}
+	model, err := learn.FitRewardModel(expl, learn.FitOptions{Lambda: 1e-3})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table3 CB training: %w", err)
+	}
+
+	res := &Table3Result{Params: p}
+	res.Rows = append(res.Rows, Table3Row{Policy: "Random", HitRate: randomHR})
+	runCfg, err := p.cacheConfig(false)
+	if err != nil {
+		return nil, err
+	}
+	for _, cand := range []struct {
+		name string
+		ev   cachesim.Evictor
+	}{
+		{"LRU", cachesim.LRUEvictor{}},
+		{"LFU", cachesim.LFUEvictor{}},
+		{"CB policy", cachesim.CBEvictor{Model: model}},
+		{"Freq/size", cachesim.FreqSizeEvictor{}},
+	} {
+		c, err := cachesim.New(runCfg, cand.ev, stats.Split(root))
+		if err != nil {
+			return nil, err
+		}
+		hr, err := cachesim.Replay(c, p.Workload, stats.Split(root), p.Requests)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table3 %s replay: %w", cand.name, err)
+		}
+		res.Rows = append(res.Rows, Table3Row{Policy: cand.name, HitRate: hr})
+	}
+	return res, nil
+}
+
+// WriteTo renders the table in the paper's layout.
+func (r *Table3Result) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	c, err := fmt.Fprintf(w, "Table 3: hitrates of cache eviction policies (big/small workload)\n%-12s %s\n", "Policy", "Hit rate")
+	total += int64(c)
+	if err != nil {
+		return total, err
+	}
+	for _, row := range r.Rows {
+		c, err := fmt.Fprintf(w, "%-12s %.1f%%\n", row.Policy, 100*row.HitRate)
+		total += int64(c)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

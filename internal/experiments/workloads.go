@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/lbsim"
+	"repro/internal/ope"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// ZipfContrastParams configures the workload-contrast study: Table 3's
+// result (only size-aware eviction wins) is a property of the *big/small*
+// workload, not of caching per se. On a uniform-size Zipf workload the
+// frequency/size policy degenerates to LFU, and recency/frequency policies
+// beat random — showing the paper's "long-term opportunity cost" failure is
+// about sizes, not about CB being generally bad at caching.
+type ZipfContrastParams struct {
+	Seed     int64
+	Requests int
+	// NumKeys/Exponent parameterize the Zipf popularity; CacheShare is
+	// the budget as a fraction of the working set.
+	NumKeys    int
+	Exponent   float64
+	CacheShare float64
+}
+
+// DefaultZipfContrastParams uses a classic 1.0-exponent Zipf.
+func DefaultZipfContrastParams() ZipfContrastParams {
+	return ZipfContrastParams{
+		Seed: 1, Requests: 60000,
+		NumKeys: 2000, Exponent: 1.0, CacheShare: 0.2,
+	}
+}
+
+// ZipfContrastResult is the per-policy hitrate table.
+type ZipfContrastResult struct {
+	Params ZipfContrastParams
+	Rows   []Table3Row // reuse the (policy, hitrate) row shape
+}
+
+// ZipfContrast runs every eviction policy on the Zipf workload.
+func ZipfContrast(p ZipfContrastParams) (*ZipfContrastResult, error) {
+	if p.Requests <= 0 || p.NumKeys <= 0 || p.Exponent <= 0 || p.CacheShare <= 0 || p.CacheShare > 1 {
+		return nil, fmt.Errorf("experiments: zipf params %+v", p)
+	}
+	root := stats.NewRand(p.Seed)
+	w := &cachesim.ZipfWorkload{NumKeys: p.NumKeys, Size: 100, Exponent: p.Exponent}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	budget := int64(float64(p.NumKeys) * 100 * p.CacheShare)
+	res := &ZipfContrastResult{Params: p}
+	for _, cand := range []struct {
+		name string
+		ev   cachesim.Evictor
+	}{
+		{"Random", cachesim.RandomEvictor{R: stats.Split(root)}},
+		{"LRU", cachesim.LRUEvictor{}},
+		{"LFU", cachesim.LFUEvictor{}},
+		{"Freq/size", cachesim.FreqSizeEvictor{}},
+	} {
+		c, err := cachesim.New(cachesim.Config{MaxBytes: budget, SampleSize: 10}, cand.ev, stats.Split(root))
+		if err != nil {
+			return nil, err
+		}
+		hr, err := cachesim.Replay(c, w, stats.Split(root), p.Requests)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: zipf %s: %w", cand.name, err)
+		}
+		res.Rows = append(res.Rows, Table3Row{Policy: cand.name, HitRate: hr})
+	}
+	return res, nil
+}
+
+// WriteTo renders the contrast table.
+func (r *ZipfContrastResult) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	c, err := fmt.Fprintf(w, "Workload contrast: eviction hitrates on uniform-size Zipf(%.2g) keys\n%-12s %s\n",
+		r.Params.Exponent, "Policy", "Hit rate")
+	total += int64(c)
+	if err != nil {
+		return total, err
+	}
+	for _, row := range r.Rows {
+		c, err := fmt.Fprintf(w, "%-12s %.1f%%\n", row.Policy, 100*row.HitRate)
+		total += int64(c)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// P99Params configures the tail-latency study: Table 1 casts load
+// balancing's true reward as "[-] 99th percentile latency", with
+// per-request latency as the CB proxy. This experiment estimates each
+// policy's p99 *offline* with the weighted-quantile estimator and compares
+// against the deployed p99 — the same shape as Table 2, but at the tail,
+// where the send-to-1 breakage is even more violent.
+type P99Params struct {
+	Seed   int64
+	Config lbsim.Config
+}
+
+// DefaultP99Params uses the Fig. 5 setup.
+func DefaultP99Params() P99Params {
+	cfg := lbsim.TwoServerFig5()
+	cfg.NumRequests = 30000
+	cfg.Warmup = 3000
+	return P99Params{Seed: 1, Config: cfg}
+}
+
+// P99Row is one policy's offline and online p99.
+type P99Row struct {
+	Policy             string
+	OfflineP99, Online float64
+}
+
+// P99Result is the table.
+type P99Result struct {
+	Params P99Params
+	Rows   []P99Row
+}
+
+// P99 runs the experiment.
+func P99(p P99Params) (*P99Result, error) {
+	if err := p.Config.Validate(); err != nil {
+		return nil, err
+	}
+	root := stats.NewRand(p.Seed)
+	logRun, err := lbsim.Run(p.Config, policy.UniformRandom{R: stats.Split(root)}, root.Int63(), true)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: p99 exploration: %w", err)
+	}
+	res := &P99Result{Params: p}
+	for _, cand := range []struct {
+		name string
+		pol  core.Policy
+	}{
+		{"Random", policy.UniformRandom{R: stats.Split(root)}},
+		{"Least loaded", lbsim.LeastLoaded{}},
+		{"Send to 1", policy.Constant{A: 0}},
+	} {
+		est, err := (ope.QuantileIPS{Q: 0.99}).Estimate(cand.pol, logRun.Exploration)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: p99 offline %s: %w", cand.name, err)
+		}
+		online, err := lbsim.Run(p.Config, cand.pol, root.Int63(), false)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: p99 online %s: %w", cand.name, err)
+		}
+		res.Rows = append(res.Rows, P99Row{
+			Policy:     cand.name,
+			OfflineP99: est.Value,
+			Online:     online.P99Latency,
+		})
+	}
+	return res, nil
+}
+
+// WriteTo renders the table.
+func (r *P99Result) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	c, err := fmt.Fprintf(w, "Tail latency: offline weighted-quantile p99 vs deployed p99\n%-14s %-16s %s\n",
+		"Policy", "offline p99 (s)", "online p99 (s)")
+	total += int64(c)
+	if err != nil {
+		return total, err
+	}
+	for _, row := range r.Rows {
+		c, err := fmt.Fprintf(w, "%-14s %-16.3f %.3f\n", row.Policy, row.OfflineP99, row.Online)
+		total += int64(c)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestZipfContrastFlipsTable3(t *testing.T) {
+	res, err := ZipfContrast(DefaultZipfContrastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]float64{}
+	for _, r := range res.Rows {
+		rows[r.Policy] = r.HitRate
+	}
+	// On uniform sizes, recency/frequency carry real signal: LRU and LFU
+	// should beat random, and freq/size (≡ LFU here) should match LFU.
+	if rows["LRU"] <= rows["Random"] {
+		t.Errorf("zipf: LRU %v should beat random %v", rows["LRU"], rows["Random"])
+	}
+	if rows["LFU"] <= rows["Random"] {
+		t.Errorf("zipf: LFU %v should beat random %v", rows["LFU"], rows["Random"])
+	}
+	if d := abs(rows["Freq/size"] - rows["LFU"]); d > 0.02 {
+		t.Errorf("zipf: freq/size %v should coincide with LFU %v (uniform sizes)", rows["Freq/size"], rows["LFU"])
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfContrastValidation(t *testing.T) {
+	p := DefaultZipfContrastParams()
+	p.Requests = 0
+	if _, err := ZipfContrast(p); err == nil {
+		t.Error("requests=0 should fail")
+	}
+	p = DefaultZipfContrastParams()
+	p.CacheShare = 2
+	if _, err := ZipfContrast(p); err == nil {
+		t.Error("share>1 should fail")
+	}
+}
+
+func TestP99Shape(t *testing.T) {
+	res, err := P99(DefaultP99Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]P99Row{}
+	for _, r := range res.Rows {
+		rows[r.Policy] = r
+	}
+	random, send1 := rows["Random"], rows["Send to 1"]
+	// The logging policy's own tail evaluates correctly.
+	if d := abs(random.OfflineP99-random.Online) / random.Online; d > 0.15 {
+		t.Errorf("random offline p99 %v vs online %v", random.OfflineP99, random.Online)
+	}
+	// Send-to-1's tail breaks at least as hard as its mean did.
+	if send1.Online < 1.5*send1.OfflineP99 {
+		t.Errorf("send-to-1 online p99 %v should dwarf offline %v", send1.Online, send1.OfflineP99)
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestP99Validation(t *testing.T) {
+	p := DefaultP99Params()
+	p.Config.ArrivalRate = 0
+	if _, err := P99(p); err == nil {
+		t.Error("bad config should fail")
+	}
+}

@@ -1,0 +1,202 @@
+// Package frontdoor models the hierarchical load-balancing architecture of
+// Fig. 6 in "Harvesting Randomness to Optimize Distributed Systems"
+// (HotNets 2017): an edge proxy (Azure Front Door) balances requests over a
+// handful of service endpoints, and a standard load balancer inside each
+// endpoint's cluster distributes them over local servers.
+//
+// The point of the figure is statistical, not architectural: a flat design
+// choosing directly among E·S servers explores each action with probability
+// 1/(E·S), while the hierarchy explores with probability 1/E at the edge
+// and 1/S inside a cluster. Since the paper's Eq. 1 error scales as
+// √(1/(εN)), the hierarchy needs dramatically less data per level — this
+// package simulates both designs and measures exactly that.
+package frontdoor
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/lbsim"
+	"repro/internal/ope"
+	"repro/internal/stats"
+)
+
+// Config describes a two-level deployment: Clusters[e][s] is server s of
+// endpoint e.
+type Config struct {
+	Clusters [][]lbsim.ServerParams
+	// ArrivalRate is the Poisson request rate into the edge.
+	ArrivalRate float64
+	// NumRequests / Warmup as in lbsim.
+	NumRequests, Warmup int
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if len(c.Clusters) < 2 {
+		return fmt.Errorf("frontdoor: need ≥2 endpoints, got %d", len(c.Clusters))
+	}
+	width := len(c.Clusters[0])
+	for e, cl := range c.Clusters {
+		if len(cl) < 2 {
+			return fmt.Errorf("frontdoor: endpoint %d has %d servers, need ≥2", e, len(cl))
+		}
+		if len(cl) != width {
+			return fmt.Errorf("frontdoor: ragged clusters (%d vs %d servers)", len(cl), width)
+		}
+		for s, sp := range cl {
+			if sp.Base <= 0 || sp.Slope < 0 {
+				return fmt.Errorf("frontdoor: server [%d][%d] params %+v", e, s, sp)
+			}
+		}
+	}
+	if c.ArrivalRate <= 0 || c.NumRequests <= 0 || c.Warmup < 0 || c.Warmup >= c.NumRequests {
+		return fmt.Errorf("frontdoor: rate=%v n=%d warmup=%d", c.ArrivalRate, c.NumRequests, c.Warmup)
+	}
+	return nil
+}
+
+// DefaultConfig returns a 4-endpoint × 5-server deployment with mildly
+// heterogeneous servers.
+func DefaultConfig() Config {
+	clusters := make([][]lbsim.ServerParams, 4)
+	for e := range clusters {
+		cl := make([]lbsim.ServerParams, 5)
+		for s := range cl {
+			cl[s] = lbsim.ServerParams{
+				Base:  0.10 + 0.02*float64(e) + 0.01*float64(s),
+				Slope: 0.004,
+			}
+		}
+		clusters[e] = cl
+	}
+	return Config{
+		Clusters:    clusters,
+		ArrivalRate: 100,
+		NumRequests: 30000,
+		Warmup:      2000,
+	}
+}
+
+// Result carries the harvested datasets and measured latency.
+type Result struct {
+	MeanLatency float64
+	// EdgeData has one datapoint per request with the endpoint choice
+	// (action space E); ClusterData has the within-cluster server choice
+	// (action space S). FlatData has the combined choice (action space
+	// E·S) from the same run, for the flat-design comparison.
+	EdgeData, ClusterData, FlatData core.Dataset
+}
+
+// Run simulates uniform-random routing at both levels and harvests
+// per-level and flat exploration logs from the same decisions.
+func Run(cfg Config, seed int64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := len(cfg.Clusters)
+	s := len(cfg.Clusters[0])
+	var sim des.Simulator
+	r := stats.NewRand(seed)
+	conns := make([][]int, e)
+	for i := range conns {
+		conns[i] = make([]int, s)
+	}
+	var (
+		res      Result
+		latAccum stats.Welford
+	)
+	handle := func(i int) {
+		// Edge decision: uniform over endpoints.
+		endpoint := r.Intn(e)
+		// Cluster decision: uniform over the endpoint's servers.
+		server := r.Intn(s)
+		sp := cfg.Clusters[endpoint][server]
+		lat := sp.Base + sp.Slope*float64(conns[endpoint][server])
+		conns[endpoint][server]++
+		ep, sv := endpoint, server
+		if _, err := sim.After(lat, func() { conns[ep][sv]-- }); err != nil {
+			panic(err) // unreachable: lat > 0
+		}
+		if i < cfg.Warmup {
+			return
+		}
+		latAccum.Add(lat)
+		// Edge-level context: aggregate load per endpoint.
+		edgeLoads := make([]int, e)
+		for ei := range conns {
+			total := 0
+			for _, c := range conns[ei] {
+				total += c
+			}
+			edgeLoads[ei] = total
+		}
+		edgeCtx := lbsim.BuildContext(edgeLoads, 0, 1)
+		res.EdgeData = append(res.EdgeData, core.Datapoint{
+			Context:    edgeCtx,
+			Action:     core.Action(endpoint),
+			Reward:     lat,
+			Propensity: 1 / float64(e),
+			Seq:        int64(i),
+		})
+		// Cluster-level context: the chosen endpoint's server loads.
+		clusterCtx := lbsim.BuildContext(conns[endpoint], 0, 1)
+		res.ClusterData = append(res.ClusterData, core.Datapoint{
+			Context:    clusterCtx,
+			Action:     core.Action(server),
+			Reward:     lat,
+			Propensity: 1 / float64(s),
+			Seq:        int64(i),
+			Tag:        fmt.Sprintf("ep%d", endpoint),
+		})
+		// Flat-design view: one decision over E·S actions.
+		flat := make([]int, 0, e*s)
+		for ei := range conns {
+			flat = append(flat, conns[ei]...)
+		}
+		res.FlatData = append(res.FlatData, core.Datapoint{
+			Context:    lbsim.BuildContext(flat, 0, 1),
+			Action:     core.Action(endpoint*s + server),
+			Reward:     lat,
+			Propensity: 1 / float64(e*s),
+			Seq:        int64(i),
+		})
+	}
+	if _, err := des.NewPoissonArrivals(&sim, stats.Split(r), cfg.ArrivalRate, cfg.NumRequests, handle); err != nil {
+		return nil, err
+	}
+	if err := sim.RunAll(cfg.NumRequests*4 + 16); err != nil {
+		return nil, fmt.Errorf("frontdoor: %w", err)
+	}
+	res.MeanLatency = latAccum.Mean()
+	return &res, nil
+}
+
+// LevelErrors compares the Eq. 1 evaluation error of the hierarchical and
+// flat designs for a policy class of size K at confidence 1-delta, using
+// the min propensities actually observed in the harvested data.
+type LevelErrors struct {
+	EdgeEps, ClusterEps, FlatEps       float64
+	EdgeError, ClusterError, FlatError float64
+	HierarchicalError                  float64
+	N                                  int
+}
+
+// Errors computes LevelErrors for the run. C is Eq. 1's constant.
+func (r *Result) Errors(c, k, delta float64) LevelErrors {
+	n := float64(len(r.EdgeData))
+	le := LevelErrors{
+		EdgeEps:    r.EdgeData.MinPropensity(),
+		ClusterEps: r.ClusterData.MinPropensity(),
+		FlatEps:    r.FlatData.MinPropensity(),
+		N:          len(r.EdgeData),
+	}
+	le.EdgeError = ope.Eq1Error(c, le.EdgeEps, n, k, delta)
+	le.ClusterError = ope.Eq1Error(c, le.ClusterEps, n, k, delta)
+	le.FlatError = ope.Eq1Error(c, le.FlatEps, n, k, delta)
+	// A hierarchical policy's value decomposes into the two levels; the
+	// combined uncertainty is conservatively the sum of the level errors.
+	le.HierarchicalError = le.EdgeError + le.ClusterError
+	return le
+}

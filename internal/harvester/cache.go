@@ -1,0 +1,81 @@
+package harvester
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+)
+
+// HarvestEvictions joins a cache's eviction log with its access log to
+// build exploration data for the caching scenario (Table 1's CB row):
+//
+//   - context: the sampled candidate set, featurized per candidate
+//   - action:  which candidate was evicted
+//   - reward:  time until the evicted item was next requested — found by
+//     looking ahead in the access log (the paper's reconstruction), capped
+//     at horizon when the item never reappears
+//   - propensity: recorded at decision time (1/#candidates under random
+//     eviction)
+//
+// A longer time-to-next-access means the eviction was cheap, so reward is
+// maximized ([+] in Table 1).
+func HarvestEvictions(evictions []cachesim.EvictionRecord, accesses []cachesim.AccessRecord, horizon float64) (core.Dataset, error) {
+	if len(evictions) == 0 {
+		return nil, core.ErrNoData
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("harvester: horizon %v", horizon)
+	}
+	// Index access times per key, sorted (the access log is normally
+	// already time-ordered, but don't rely on it).
+	accessTimes := make(map[string][]float64, len(accesses))
+	for i := range accesses {
+		a := &accesses[i]
+		accessTimes[a.Key] = append(accessTimes[a.Key], a.Time)
+	}
+	for _, ts := range accessTimes {
+		sort.Float64s(ts)
+	}
+
+	ds := make(core.Dataset, 0, len(evictions))
+	for i := range evictions {
+		rec := &evictions[i]
+		if rec.Chosen < 0 || rec.Chosen >= len(rec.Candidates) {
+			return nil, fmt.Errorf("harvester: eviction %d chose %d of %d", i, rec.Chosen, len(rec.Candidates))
+		}
+		if !(rec.Propensity > 0) {
+			return nil, fmt.Errorf("harvester: eviction %d propensity %v", i, rec.Propensity)
+		}
+		victim := rec.Candidates[rec.Chosen]
+		reward := nextAccessGap(accessTimes[victim.Key], rec.Time, horizon)
+		ds = append(ds, core.Datapoint{
+			Context:    cachesim.ContextFromCandidates(rec.Candidates, rec.Time),
+			Action:     core.Action(rec.Chosen),
+			Reward:     reward,
+			Propensity: rec.Propensity,
+			Seq:        int64(i),
+		})
+	}
+	return ds, nil
+}
+
+// nextAccessGap returns min(t_next - evictTime, horizon) where t_next is
+// the first access strictly after evictTime, or horizon if none exists.
+func nextAccessGap(times []float64, evictTime, horizon float64) float64 {
+	idx := sort.SearchFloat64s(times, evictTime)
+	// Skip accesses at exactly evictTime (the miss that triggered the
+	// eviction shares its timestamp).
+	for idx < len(times) && times[idx] <= evictTime {
+		idx++
+	}
+	if idx >= len(times) {
+		return horizon
+	}
+	gap := times[idx] - evictTime
+	if gap > horizon {
+		return horizon
+	}
+	return gap
+}

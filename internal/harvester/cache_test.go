@@ -1,0 +1,157 @@
+package harvester
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/learn"
+	"repro/internal/stats"
+)
+
+func TestHarvestEvictionsRewardReconstruction(t *testing.T) {
+	evictions := []cachesim.EvictionRecord{
+		{
+			Time: 10,
+			Candidates: []cachesim.Candidate{
+				{Key: "a", Size: 1},
+				{Key: "b", Size: 2},
+			},
+			Chosen:     1, // evicted "b"
+			Propensity: 0.5,
+		},
+		{
+			Time: 20,
+			Candidates: []cachesim.Candidate{
+				{Key: "c", Size: 1},
+				{Key: "d", Size: 1},
+			},
+			Chosen:     0, // evicted "c", never accessed again
+			Propensity: 0.5,
+		},
+	}
+	accesses := []cachesim.AccessRecord{
+		{Time: 5, Key: "b"},
+		{Time: 10, Key: "b"}, // same-time access must not count
+		{Time: 17, Key: "b"}, // first access after eviction at t=10 → gap 7
+		{Time: 25, Key: "d"},
+	}
+	ds, err := HarvestEvictions(evictions, accesses, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("len = %d", len(ds))
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds[0].Reward != 7 {
+		t.Errorf("reward[0] = %v, want 7 (look-ahead gap)", ds[0].Reward)
+	}
+	if ds[1].Reward != 100 {
+		t.Errorf("reward[1] = %v, want horizon 100 (never re-accessed)", ds[1].Reward)
+	}
+	if ds[0].Action != 1 || ds[1].Action != 0 {
+		t.Errorf("actions = %d, %d", ds[0].Action, ds[1].Action)
+	}
+	if ds[0].Context.NumActions != 2 {
+		t.Errorf("context actions = %d", ds[0].Context.NumActions)
+	}
+}
+
+func TestHarvestEvictionsHorizonCap(t *testing.T) {
+	evictions := []cachesim.EvictionRecord{{
+		Time:       0,
+		Candidates: []cachesim.Candidate{{Key: "x", Size: 1}},
+		Chosen:     0,
+		Propensity: 1,
+	}}
+	accesses := []cachesim.AccessRecord{{Time: 500, Key: "x"}}
+	ds, err := HarvestEvictions(evictions, accesses, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds[0].Reward != 50 {
+		t.Errorf("reward = %v, want capped at 50", ds[0].Reward)
+	}
+}
+
+func TestHarvestEvictionsValidation(t *testing.T) {
+	if _, err := HarvestEvictions(nil, nil, 10); !errors.Is(err, core.ErrNoData) {
+		t.Error("empty should fail")
+	}
+	recs := []cachesim.EvictionRecord{{
+		Candidates: []cachesim.Candidate{{Key: "x"}},
+		Chosen:     5,
+		Propensity: 1,
+	}}
+	if _, err := HarvestEvictions(recs, nil, 10); err == nil {
+		t.Error("out-of-range chosen should fail")
+	}
+	recs[0].Chosen = 0
+	recs[0].Propensity = 0
+	if _, err := HarvestEvictions(recs, nil, 10); err == nil {
+		t.Error("zero propensity should fail")
+	}
+	recs[0].Propensity = 1
+	if _, err := HarvestEvictions(recs, nil, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+}
+
+// TestEndToEndCacheHarvestAndCB runs the full Table 3 CB pipeline: replay
+// the big/small workload under random eviction with logging, harvest
+// ⟨x,a,r,p⟩ via look-ahead, train a next-access model, and deploy it as a
+// CBEvictor. The learned policy should be in the same band as random (the
+// paper's point: greedy CB does NOT beat random here) but must run
+// correctly end to end.
+func TestEndToEndCacheHarvestAndCB(t *testing.T) {
+	w := cachesim.DefaultBigSmall()
+	cfg := cachesim.Table3CacheConfig(w)
+	c, err := cachesim.New(cfg, cachesim.RandomEvictor{R: stats.NewRand(1)}, stats.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cachesim.Replay(c, w, stats.NewRand(3), 40000); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := HarvestEvictions(c.EvictionLog(), c.AccessLog(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) < 1000 {
+		t.Fatalf("only %d eviction datapoints harvested", len(ds))
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	model, err := learn.FitRewardModel(ds, learn.FitOptions{Lambda: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deploy the CB evictor online.
+	cb, err := cachesim.New(cachesim.Config{MaxBytes: cfg.MaxBytes, SampleSize: cfg.SampleSize},
+		cachesim.CBEvictor{Model: model}, stats.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hrCB, err := cachesim.Replay(cb, w, stats.NewRand(5), 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hrRandom := c.HitRate()
+	// Paper Table 3's qualitative claim: the CB policy does NOT beat
+	// random — it greedily keeps the large items without considering the
+	// opportunity cost of the space. Our learned model discriminates a
+	// little more sharply than the paper's (it lands slightly below
+	// random rather than at it; see EXPERIMENTS.md), so the band is
+	// asymmetric: no better than random+3, no worse than random−12.
+	if hrCB > hrRandom+0.03 {
+		t.Errorf("CB hit rate %v should not beat random %v", hrCB, hrRandom)
+	}
+	if hrCB < hrRandom-0.12 {
+		t.Errorf("CB hit rate %v implausibly far below random %v", hrCB, hrRandom)
+	}
+}

@@ -1,0 +1,236 @@
+package harvester
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cachesim"
+)
+
+// The cache substrate's on-disk log format, in the spirit of the paper's
+// "we added custom logging for this purpose" Redis change. One record per
+// line:
+//
+//	A <time> <key> <size> <hit>                      — an access
+//	E <time> <chosen> <propensity> <cand>...         — an eviction
+//
+// where each <cand> is key:size:lastAccess:frequency:insertedAt. Keys are
+// %-quoted by strconv so whitespace and separators cannot corrupt a line.
+
+// WriteCacheLogs serializes access and eviction logs, interleaved by
+// timestamp order as the live system would emit them (both inputs are
+// already time-ordered; accesses first on ties).
+func WriteCacheLogs(w io.Writer, accesses []cachesim.AccessRecord, evictions []cachesim.EvictionRecord) error {
+	bw := bufio.NewWriter(w)
+	ai, ei := 0, 0
+	for ai < len(accesses) || ei < len(evictions) {
+		if ei >= len(evictions) || (ai < len(accesses) && accesses[ai].Time <= evictions[ei].Time) {
+			a := &accesses[ai]
+			hit := 0
+			if a.Hit {
+				hit = 1
+			}
+			if _, err := fmt.Fprintf(bw, "A %g %s %d %d\n", a.Time, strconv.Quote(a.Key), a.Size, hit); err != nil {
+				return err
+			}
+			ai++
+			continue
+		}
+		e := &evictions[ei]
+		if _, err := fmt.Fprintf(bw, "E %g %d %g", e.Time, e.Chosen, e.Propensity); err != nil {
+			return err
+		}
+		for _, c := range e.Candidates {
+			if _, err := fmt.Fprintf(bw, " %s:%d:%g:%d:%g",
+				strconv.Quote(c.Key), c.Size, c.LastAccess, c.Frequency, c.InsertedAt); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+		ei++
+	}
+	return bw.Flush()
+}
+
+// ScavengeCacheLogs parses a log written by WriteCacheLogs (or an
+// equivalent live system) back into typed records.
+func ScavengeCacheLogs(r io.Reader) ([]cachesim.AccessRecord, []cachesim.EvictionRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var (
+		accesses  []cachesim.AccessRecord
+		evictions []cachesim.EvictionRecord
+		lineNo    int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields, err := splitQuoted(line)
+		if err != nil {
+			return nil, nil, fmt.Errorf("harvester: line %d: %w", lineNo, err)
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "A":
+			if len(fields) != 5 {
+				return nil, nil, fmt.Errorf("harvester: line %d: access record has %d fields", lineNo, len(fields))
+			}
+			t, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("harvester: line %d: bad time %q", lineNo, fields[1])
+			}
+			key, err := strconv.Unquote(fields[2])
+			if err != nil {
+				return nil, nil, fmt.Errorf("harvester: line %d: bad key %q", lineNo, fields[2])
+			}
+			size, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("harvester: line %d: bad size %q", lineNo, fields[3])
+			}
+			accesses = append(accesses, cachesim.AccessRecord{
+				Time: t, Key: key, Size: size, Hit: fields[4] == "1",
+			})
+		case "E":
+			if len(fields) < 5 {
+				return nil, nil, fmt.Errorf("harvester: line %d: eviction record has %d fields", lineNo, len(fields))
+			}
+			t, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("harvester: line %d: bad time %q", lineNo, fields[1])
+			}
+			chosen, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, nil, fmt.Errorf("harvester: line %d: bad chosen %q", lineNo, fields[2])
+			}
+			p, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("harvester: line %d: bad propensity %q", lineNo, fields[3])
+			}
+			rec := cachesim.EvictionRecord{Time: t, Chosen: chosen, Propensity: p}
+			for _, f := range fields[4:] {
+				cand, err := parseCandidate(f)
+				if err != nil {
+					return nil, nil, fmt.Errorf("harvester: line %d: %w", lineNo, err)
+				}
+				rec.Candidates = append(rec.Candidates, cand)
+			}
+			if rec.Chosen < 0 || rec.Chosen >= len(rec.Candidates) {
+				return nil, nil, fmt.Errorf("harvester: line %d: chosen %d of %d candidates", lineNo, rec.Chosen, len(rec.Candidates))
+			}
+			evictions = append(evictions, rec)
+		default:
+			return nil, nil, fmt.Errorf("harvester: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("harvester: reading cache log: %w", err)
+	}
+	return accesses, evictions, nil
+}
+
+// splitQuoted splits a line on whitespace, but treats a double-quoted
+// segment (strconv.Quote output, possibly followed by :suffix fields) as
+// part of a single token — keys may contain spaces.
+func splitQuoted(line string) ([]string, error) {
+	var fields []string
+	i := 0
+	n := len(line)
+	for i < n {
+		for i < n && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		inQuote := false
+		for i < n {
+			c := line[i]
+			if inQuote {
+				if c == '\\' {
+					i += 2
+					continue
+				}
+				if c == '"' {
+					inQuote = false
+				}
+				i++
+				continue
+			}
+			if c == '"' {
+				inQuote = true
+				i++
+				continue
+			}
+			if c == ' ' || c == '\t' {
+				break
+			}
+			i++
+		}
+		if inQuote {
+			return nil, fmt.Errorf("unterminated quote in %q", line)
+		}
+		fields = append(fields, line[start:i])
+	}
+	return fields, nil
+}
+
+// parseCandidate decodes key:size:lastAccess:frequency:insertedAt, where
+// key is a Go-quoted string (which may itself contain colons).
+func parseCandidate(f string) (cachesim.Candidate, error) {
+	// The quoted key ends at the closing quote; find it by unquoting the
+	// prefix. Keys are produced by strconv.Quote so they start with '"'.
+	if !strings.HasPrefix(f, `"`) {
+		return cachesim.Candidate{}, fmt.Errorf("candidate %q: key not quoted", f)
+	}
+	end := 1
+	for end < len(f) {
+		if f[end] == '\\' {
+			end += 2
+			continue
+		}
+		if f[end] == '"' {
+			break
+		}
+		end++
+	}
+	if end >= len(f) {
+		return cachesim.Candidate{}, fmt.Errorf("candidate %q: unterminated key", f)
+	}
+	key, err := strconv.Unquote(f[:end+1])
+	if err != nil {
+		return cachesim.Candidate{}, fmt.Errorf("candidate %q: %v", f, err)
+	}
+	rest := strings.TrimPrefix(f[end+1:], ":")
+	parts := strings.Split(rest, ":")
+	if len(parts) != 4 {
+		return cachesim.Candidate{}, fmt.Errorf("candidate %q: %d numeric fields, want 4", f, len(parts))
+	}
+	size, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return cachesim.Candidate{}, fmt.Errorf("candidate %q: bad size", f)
+	}
+	last, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return cachesim.Candidate{}, fmt.Errorf("candidate %q: bad lastAccess", f)
+	}
+	freq, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return cachesim.Candidate{}, fmt.Errorf("candidate %q: bad frequency", f)
+	}
+	ins, err := strconv.ParseFloat(parts[3], 64)
+	if err != nil {
+		return cachesim.Candidate{}, fmt.Errorf("candidate %q: bad insertedAt", f)
+	}
+	return cachesim.Candidate{Key: key, Size: size, LastAccess: last, Frequency: freq, InsertedAt: ins}, nil
+}

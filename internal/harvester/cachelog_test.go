@@ -1,0 +1,172 @@
+package harvester
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cachesim"
+	"repro/internal/stats"
+)
+
+func sampleLogs() ([]cachesim.AccessRecord, []cachesim.EvictionRecord) {
+	accesses := []cachesim.AccessRecord{
+		{Time: 1, Key: "alpha", Size: 10, Hit: false},
+		{Time: 2, Key: "beta with space", Size: 20, Hit: true},
+		{Time: 4, Key: `colon:and"quote`, Size: 5, Hit: true},
+	}
+	evictions := []cachesim.EvictionRecord{
+		{
+			Time: 3,
+			Candidates: []cachesim.Candidate{
+				{Key: "alpha", Size: 10, LastAccess: 1, Frequency: 2, InsertedAt: 0.5},
+				{Key: "beta with space", Size: 20, LastAccess: 2, Frequency: 1, InsertedAt: 1.5},
+			},
+			Chosen:     1,
+			Propensity: 0.5,
+		},
+	}
+	return accesses, evictions
+}
+
+func TestCacheLogRoundTrip(t *testing.T) {
+	accesses, evictions := sampleLogs()
+	var buf bytes.Buffer
+	if err := WriteCacheLogs(&buf, accesses, evictions); err != nil {
+		t.Fatal(err)
+	}
+	gotA, gotE, err := ScavengeCacheLogs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(accesses, gotA) {
+		t.Errorf("accesses:\n got %+v\nwant %+v", gotA, accesses)
+	}
+	if !reflect.DeepEqual(evictions, gotE) {
+		t.Errorf("evictions:\n got %+v\nwant %+v", gotE, evictions)
+	}
+}
+
+func TestCacheLogInterleavedByTime(t *testing.T) {
+	accesses, evictions := sampleLogs()
+	var buf bytes.Buffer
+	if err := WriteCacheLogs(&buf, accesses, evictions); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Expected order by time: A(1), A(2), E(3), A(4).
+	wantTypes := []byte{'A', 'A', 'E', 'A'}
+	if len(lines) != len(wantTypes) {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i, l := range lines {
+		if l[0] != wantTypes[i] {
+			t.Errorf("line %d is %q, want type %c", i, l, wantTypes[i])
+		}
+	}
+}
+
+func TestScavengeCacheLogsMalformed(t *testing.T) {
+	cases := []string{
+		"X 1 foo",                      // unknown type
+		"A 1 \"k\" 10",                 // short access
+		"A abc \"k\" 10 1",             // bad time
+		"A 1 \"k\" abc 1",              // bad size
+		"A 1 nokey 10 1",               // unquoted key still parses? strconv.Unquote fails
+		"E 1 0 0.5",                    // eviction without candidates
+		"E 1 5 0.5 \"k\":1:0:1:0",      // chosen out of range
+		"E 1 0 0.5 \"k\":1:0:1",        // candidate missing field
+		"E 1 0 0.5 k:1:0:1:0",          // unquoted candidate key
+		"E 1 0 xx \"k\":1:0:1:0",       // bad propensity
+		"E 1 0 0.5 \"k\":aa:0:1:0",     // bad candidate size
+		`E 1 0 0.5 "unterminated:1:0:`, // unterminated quote
+	}
+	for _, line := range cases {
+		if _, _, err := ScavengeCacheLogs(strings.NewReader(line)); err == nil {
+			t.Errorf("line %q should fail", line)
+		}
+	}
+}
+
+func TestScavengeCacheLogsSkipsBlank(t *testing.T) {
+	input := "A 1 \"k\" 10 1\n\nA 2 \"k\" 10 0\n"
+	a, e, err := ScavengeCacheLogs(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 || len(e) != 0 {
+		t.Errorf("got %d accesses, %d evictions", len(a), len(e))
+	}
+}
+
+// TestCacheLogFileBasedPipeline is the full file-based flow: run the cache,
+// write its logs to a buffer (the "log file"), scavenge them back, and
+// check the harvested dataset matches the in-memory path exactly.
+func TestCacheLogFileBasedPipeline(t *testing.T) {
+	w := cachesim.DefaultBigSmall()
+	cfg := cachesim.Table3CacheConfig(w)
+	c, err := cachesim.New(cfg, cachesim.RandomEvictor{R: stats.NewRand(1)}, stats.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cachesim.Replay(c, w, stats.NewRand(3), 8000); err != nil {
+		t.Fatal(err)
+	}
+	var logFile bytes.Buffer
+	if err := WriteCacheLogs(&logFile, c.AccessLog(), c.EvictionLog()); err != nil {
+		t.Fatal(err)
+	}
+	accesses, evictions, err := ScavengeCacheLogs(&logFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := HarvestEvictions(evictions, accesses, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inMemory, err := HarvestEvictions(c.EvictionLog(), c.AccessLog(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromFile) != len(inMemory) {
+		t.Fatalf("file path %d datapoints, memory path %d", len(fromFile), len(inMemory))
+	}
+	for i := range fromFile {
+		if fromFile[i].Reward != inMemory[i].Reward ||
+			fromFile[i].Action != inMemory[i].Action ||
+			fromFile[i].Propensity != inMemory[i].Propensity {
+			t.Fatalf("datapoint %d differs: %+v vs %+v", i, fromFile[i], inMemory[i])
+		}
+	}
+}
+
+// Property: arbitrary keys (including separators and unicode) survive the
+// round trip.
+func TestCacheLogKeyRoundTripProperty(t *testing.T) {
+	f := func(key string, size uint16) bool {
+		if key == "" {
+			return true
+		}
+		accesses := []cachesim.AccessRecord{{Time: 1, Key: key, Size: int64(size) + 1, Hit: true}}
+		evictions := []cachesim.EvictionRecord{{
+			Time:       2,
+			Candidates: []cachesim.Candidate{{Key: key, Size: int64(size) + 1, Frequency: 1}},
+			Chosen:     0,
+			Propensity: 1,
+		}}
+		var buf bytes.Buffer
+		if err := WriteCacheLogs(&buf, accesses, evictions); err != nil {
+			return false
+		}
+		a, e, err := ScavengeCacheLogs(&buf)
+		if err != nil {
+			return false
+		}
+		return len(a) == 1 && len(e) == 1 && a[0].Key == key && e[0].Candidates[0].Key == key
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

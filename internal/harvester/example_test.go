@@ -1,0 +1,42 @@
+package harvester_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/harvester"
+	"repro/internal/ope"
+	"repro/internal/policy"
+)
+
+// ExampleScavengeNginx walks the three steps of §3 on two access-log
+// lines: scavenge ⟨x, a, r⟩, take p from the log (known from code
+// inspection), and evaluate a candidate policy offline.
+func ExampleScavengeNginx() {
+	log := `10.0.0.1:1 - - [06/Jul/2026:10:00:00 +0000] "GET /a HTTP/1.1" 200 10 "-" "-" rt=0.100000 upstream=0 conns=2|5 prop=0.500000
+10.0.0.1:2 - - [06/Jul/2026:10:00:01 +0000] "GET /b HTTP/1.1" 200 10 "-" "-" rt=0.300000 upstream=1 conns=2|5 prop=0.500000
+`
+	entries, err := harvester.ScavengeNginx(strings.NewReader(log))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ds, skipped, err := harvester.NginxToDataset(entries)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("harvested %d datapoints (%d skipped)\n", len(ds), skipped)
+
+	// Candidate: always route to upstream 0. Only the first logged line
+	// matches, weighted by 1/p = 2.
+	est, err := (ope.IPS{}).Estimate(policy.Constant{A: 0}, ds)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("ips estimate of send-to-0: %.2fs\n", est.Value)
+	// Output:
+	// harvested 2 datapoints (0 skipped)
+	// ips estimate of send-to-0: 0.10s
+}

@@ -1,0 +1,201 @@
+// Package harvester implements the paper's three-step methodology (§3):
+//
+//  1. Scavenge logs from an existing (live) system and extract ⟨x, a, r⟩
+//     for each request — parsers for Nginx-style access logs (the netlb
+//     proxy's format) and cache eviction logs live here.
+//  2. Infer the probability p of each decision — either known from code
+//     inspection (the log carries it), estimated empirically from action
+//     frequencies, or learned by a regression on ⟨x, a⟩ (multinomial
+//     logistic regression).
+//  3. Evaluate/optimize a policy offline on the resulting ⟨x, a, r, p⟩
+//     dataset — glue to the ope and learn packages.
+//
+// It also implements the paper's look-ahead reward reconstruction for
+// caching: "Determining the next time an evicted item is accessed (the
+// reward) ... we reconstruct this information during step 1 by looking
+// ahead in the logs to when the item next appears."
+package harvester
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lbsim"
+)
+
+// AccessEntry is one parsed Nginx-style access-log line from the netlb
+// proxy (combined format plus rt=/upstream=/conns=/prop= extensions).
+type AccessEntry struct {
+	Remote      string
+	Time        time.Time
+	Method      string
+	Path        string
+	Proto       string
+	Status      int
+	Bytes       int64
+	UserAgent   string
+	RequestTime float64 // seconds
+	Upstream    int
+	Conns       []int
+	Propensity  float64
+	// Type is the request class (netlb typed routing), or -1 when the log
+	// carries none.
+	Type int
+}
+
+// nginxRe matches: remote - - [time] "METHOD path PROTO" status bytes "ref" "ua" <extras>
+var nginxRe = regexp.MustCompile(
+	`^(\S+) - - \[([^\]]+)\] "(\S+) (\S+) (\S+)" (\d{3}) (\d+) "([^"]*)" "([^"]*)"(.*)$`)
+
+// ParseNginxLine parses one access-log line.
+func ParseNginxLine(line string) (*AccessEntry, error) {
+	m := nginxRe.FindStringSubmatch(line)
+	if m == nil {
+		return nil, fmt.Errorf("harvester: unrecognized access-log line %q", truncate(line, 120))
+	}
+	e := &AccessEntry{
+		Remote:    m[1],
+		Method:    m[3],
+		Path:      m[4],
+		Proto:     m[5],
+		UserAgent: m[9],
+		Upstream:  -1,
+		Type:      -1,
+	}
+	ts, err := time.Parse("02/Jan/2006:15:04:05 -0700", m[2])
+	if err != nil {
+		return nil, fmt.Errorf("harvester: bad timestamp %q: %w", m[2], err)
+	}
+	e.Time = ts
+	e.Status, err = strconv.Atoi(m[6])
+	if err != nil {
+		return nil, fmt.Errorf("harvester: bad status %q", m[6])
+	}
+	e.Bytes, err = strconv.ParseInt(m[7], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("harvester: bad bytes %q", m[7])
+	}
+	// Trailing key=value extras.
+	for _, field := range strings.Fields(m[10]) {
+		kv := strings.SplitN(field, "=", 2)
+		if len(kv) != 2 {
+			continue
+		}
+		switch kv[0] {
+		case "rt":
+			e.RequestTime, err = strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("harvester: bad rt %q", kv[1])
+			}
+		case "upstream":
+			e.Upstream, err = strconv.Atoi(kv[1])
+			if err != nil {
+				return nil, fmt.Errorf("harvester: bad upstream %q", kv[1])
+			}
+		case "conns":
+			parts := strings.Split(kv[1], "|")
+			e.Conns = make([]int, len(parts))
+			for i, p := range parts {
+				e.Conns[i], err = strconv.Atoi(p)
+				if err != nil {
+					return nil, fmt.Errorf("harvester: bad conns %q", kv[1])
+				}
+			}
+		case "prop":
+			e.Propensity, err = strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("harvester: bad prop %q", kv[1])
+			}
+		case "type":
+			e.Type, err = strconv.Atoi(kv[1])
+			if err != nil {
+				return nil, fmt.Errorf("harvester: bad type %q", kv[1])
+			}
+		}
+	}
+	return e, nil
+}
+
+// ScavengeNginx parses an access log into entries, skipping blank lines.
+// A malformed line aborts with its line number — silent data loss would
+// bias every downstream estimate.
+func ScavengeNginx(r io.Reader) ([]AccessEntry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var out []AccessEntry
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		e, err := ParseNginxLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, *e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("harvester: reading access log: %w", err)
+	}
+	return out, nil
+}
+
+// NginxToDataset converts parsed access entries into exploration data:
+// context from the logged per-upstream connection counts, action = the
+// upstream choice, reward = request time (a cost), propensity from the log
+// (step 2 "known from code inspection": the proxy logs its own
+// randomization). Entries with failed requests (non-2xx) or missing fields
+// are skipped and counted.
+func NginxToDataset(entries []AccessEntry) (core.Dataset, int, error) {
+	return NginxToTypedDataset(entries, 1)
+}
+
+// NginxToTypedDataset is NginxToDataset for logs with request types
+// (netlb's type= field): contexts carry the type one-hot, so contextual
+// policies can be trained and evaluated per request class. numTypes <= 1
+// ignores types; entries typed out of range are skipped.
+func NginxToTypedDataset(entries []AccessEntry, numTypes int) (core.Dataset, int, error) {
+	ds := make(core.Dataset, 0, len(entries))
+	skipped := 0
+	for i := range entries {
+		e := &entries[i]
+		if e.Status < 200 || e.Status > 299 || e.Upstream < 0 || len(e.Conns) == 0 || e.Propensity <= 0 {
+			skipped++
+			continue
+		}
+		if e.Upstream >= len(e.Conns) {
+			return nil, 0, fmt.Errorf("harvester: entry %d upstream %d with %d conns", i, e.Upstream, len(e.Conns))
+		}
+		reqType := 0
+		if numTypes > 1 {
+			if e.Type < 0 || e.Type >= numTypes {
+				skipped++
+				continue
+			}
+			reqType = e.Type
+		}
+		ds = append(ds, core.Datapoint{
+			Context:    lbsim.BuildContext(e.Conns, reqType, numTypes),
+			Action:     core.Action(e.Upstream),
+			Reward:     e.RequestTime,
+			Propensity: e.Propensity,
+			Seq:        int64(i),
+		})
+	}
+	return ds, skipped, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

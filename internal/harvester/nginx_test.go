@@ -1,0 +1,195 @@
+package harvester
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netlb"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+const sampleLine = `127.0.0.1:54321 - - [06/Jul/2026:10:30:00 +0000] "GET /api/x?q=1 HTTP/1.1" 200 42 "-" "Go-http-client/1.1" rt=0.012345 upstream=1 conns=3|7 prop=0.500000`
+
+func TestParseNginxLine(t *testing.T) {
+	e, err := ParseNginxLine(sampleLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Remote != "127.0.0.1:54321" {
+		t.Errorf("remote = %q", e.Remote)
+	}
+	if e.Method != "GET" || e.Path != "/api/x?q=1" || e.Proto != "HTTP/1.1" {
+		t.Errorf("request = %q %q %q", e.Method, e.Path, e.Proto)
+	}
+	if e.Status != 200 || e.Bytes != 42 {
+		t.Errorf("status/bytes = %d/%d", e.Status, e.Bytes)
+	}
+	if e.RequestTime != 0.012345 {
+		t.Errorf("rt = %v", e.RequestTime)
+	}
+	if e.Upstream != 1 {
+		t.Errorf("upstream = %d", e.Upstream)
+	}
+	if len(e.Conns) != 2 || e.Conns[0] != 3 || e.Conns[1] != 7 {
+		t.Errorf("conns = %v", e.Conns)
+	}
+	if e.Propensity != 0.5 {
+		t.Errorf("prop = %v", e.Propensity)
+	}
+	if e.Time.Year() != 2026 || e.Time.Month() != time.July {
+		t.Errorf("time = %v", e.Time)
+	}
+}
+
+func TestParseNginxLineMalformed(t *testing.T) {
+	cases := []string{
+		"not a log line",
+		`x - - [bad time] "GET / HTTP/1.1" 200 0 "-" "-"`,
+		`x - - [06/Jul/2026:10:30:00 +0000] "GET / HTTP/1.1" 200 0 "-" "-" rt=abc`,
+		`x - - [06/Jul/2026:10:30:00 +0000] "GET / HTTP/1.1" 200 0 "-" "-" upstream=one`,
+		`x - - [06/Jul/2026:10:30:00 +0000] "GET / HTTP/1.1" 200 0 "-" "-" conns=1|x`,
+		`x - - [06/Jul/2026:10:30:00 +0000] "GET / HTTP/1.1" 200 0 "-" "-" prop=zero`,
+	}
+	for _, line := range cases {
+		if _, err := ParseNginxLine(line); err == nil {
+			t.Errorf("line %q should fail", line)
+		}
+	}
+}
+
+func TestScavengeNginxReportsLineNumbers(t *testing.T) {
+	input := sampleLine + "\n\nbroken line\n"
+	_, err := ScavengeNginx(strings.NewReader(input))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want line 3", err)
+	}
+	ok, err := ScavengeNginx(strings.NewReader(sampleLine + "\n" + sampleLine + "\n"))
+	if err != nil || len(ok) != 2 {
+		t.Errorf("clean log: %d entries, %v", len(ok), err)
+	}
+}
+
+func TestNginxToDatasetSkipsFailures(t *testing.T) {
+	entries, err := ScavengeNginx(strings.NewReader(strings.Join([]string{
+		sampleLine,
+		strings.Replace(sampleLine, " 200 ", " 502 ", 1),
+		strings.Replace(sampleLine, "prop=0.500000", "prop=0.000000", 1),
+	}, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, skipped, err := NginxToDataset(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || skipped != 2 {
+		t.Errorf("kept %d skipped %d, want 1/2", len(ds), skipped)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := ds[0]
+	if d.Action != 1 || d.Reward != 0.012345 || d.Propensity != 0.5 {
+		t.Errorf("datapoint = %+v", d)
+	}
+	if d.Context.NumActions != 2 || d.Context.Features[0] != 3 || d.Context.Features[1] != 7 {
+		t.Errorf("context = %+v", d.Context)
+	}
+}
+
+func TestNginxToDatasetInconsistentUpstream(t *testing.T) {
+	line := strings.Replace(sampleLine, "upstream=1", "upstream=9", 1)
+	entries, err := ScavengeNginx(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NginxToDataset(entries); err == nil {
+		t.Error("upstream beyond conns length should fail")
+	}
+}
+
+// TestEndToEndHarvestFromLiveProxy is the §3 pipeline against a real HTTP
+// system: run traffic through the netlb proxy with a randomized policy,
+// scavenge its access log, and verify the harvested dataset's propensities
+// and rewards line up with reality.
+func TestEndToEndHarvestFromLiveProxy(t *testing.T) {
+	b0, err := netlb.StartBackend(0, 2*time.Millisecond, 300*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b0.Close()
+	b1, err := netlb.StartBackend(1, 4*time.Millisecond, 300*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b1.Close()
+
+	var logBuf strings.Builder
+	proxy, err := netlb.NewProxy(
+		[]string{b0.Addr(), b1.Addr()},
+		policy.UniformRandom{R: stats.NewRand(1)},
+		stats.NewRand(2),
+		&logBuf,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proxy.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	const n = 60
+	for i := 0; i < n; i++ {
+		resp, err := http.Get(proxy.URL() + "/harvest-me")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	entries, err := ScavengeNginx(strings.NewReader(logBuf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, skipped, err := NginxToDataset(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(ds) != n {
+		t.Fatalf("harvested %d (skipped %d), want %d", len(ds), skipped, n)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	slow, fast := 0.0, 0.0
+	nSlow, nFast := 0, 0
+	for i := range ds {
+		if ds[i].Propensity != 0.5 {
+			t.Fatalf("propensity = %v", ds[i].Propensity)
+		}
+		if ds[i].Reward <= 0 {
+			t.Fatalf("request time = %v", ds[i].Reward)
+		}
+		if ds[i].Action == 0 {
+			fast += ds[i].Reward
+			nFast++
+		} else {
+			slow += ds[i].Reward
+			nSlow++
+		}
+	}
+	if nFast == 0 || nSlow == 0 {
+		t.Fatal("random routing should hit both upstreams")
+	}
+	// Backend 1 is configured 2ms slower; harvested rewards must show it.
+	if slow/float64(nSlow) <= fast/float64(nFast) {
+		t.Errorf("harvested mean latencies: upstream1 %v should exceed upstream0 %v",
+			slow/float64(nSlow), fast/float64(nFast))
+	}
+}

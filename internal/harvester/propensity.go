@@ -1,0 +1,145 @@
+package harvester
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/learn"
+)
+
+// PropensityInferrer rewrites the Propensity field of a dataset — step 2 of
+// the methodology for logs that did not record decision probabilities.
+type PropensityInferrer interface {
+	// Infer returns a copy of ds with propensities filled in.
+	Infer(ds core.Dataset) (core.Dataset, error)
+	// Name identifies the method in experiment output.
+	Name() string
+}
+
+// KnownPropensity assigns a constant probability — "inferred from code
+// inspection" (§3), e.g. 1/K for a uniform-random heuristic over K actions.
+type KnownPropensity struct {
+	// P is the constant; if zero, 1/NumActions is used per datapoint.
+	P float64
+}
+
+// Name implements PropensityInferrer.
+func (KnownPropensity) Name() string { return "known" }
+
+// Infer implements PropensityInferrer.
+func (k KnownPropensity) Infer(ds core.Dataset) (core.Dataset, error) {
+	if len(ds) == 0 {
+		return nil, core.ErrNoData
+	}
+	out := make(core.Dataset, len(ds))
+	copy(out, ds)
+	for i := range out {
+		p := k.P
+		if p == 0 {
+			p = 1 / float64(out[i].Context.NumActions)
+		}
+		if !(p > 0) || p > 1 {
+			return nil, fmt.Errorf("harvester: known propensity %v invalid at %d", p, i)
+		}
+		out[i].Propensity = p
+	}
+	return out, nil
+}
+
+// EmpiricalPropensity estimates context-free propensities from the action
+// frequencies in the log itself — valid when the logging policy ignored
+// context (e.g. hash-based routing viewed as random, §2).
+type EmpiricalPropensity struct{}
+
+// Name implements PropensityInferrer.
+func (EmpiricalPropensity) Name() string { return "empirical" }
+
+// Infer implements PropensityInferrer.
+func (EmpiricalPropensity) Infer(ds core.Dataset) (core.Dataset, error) {
+	if len(ds) == 0 {
+		return nil, core.ErrNoData
+	}
+	k := 0
+	for i := range ds {
+		if ds[i].Context.NumActions > k {
+			k = ds[i].Context.NumActions
+		}
+	}
+	counts := make([]float64, k)
+	for i := range ds {
+		a := int(ds[i].Action)
+		if a < 0 || a >= k {
+			return nil, fmt.Errorf("harvester: action %d out of range at %d", a, i)
+		}
+		counts[a]++
+	}
+	// Laplace smoothing keeps unseen actions estimable.
+	total := float64(len(ds)) + float64(k)
+	freqs := make([]float64, k)
+	for a := range counts {
+		freqs[a] = (counts[a] + 1) / total
+	}
+	out := make(core.Dataset, len(ds))
+	copy(out, ds)
+	for i := range out {
+		out[i].Propensity = freqs[out[i].Action]
+	}
+	return out, nil
+}
+
+// LogisticPropensity learns P(a|x) by multinomial logistic regression on
+// the logged ⟨x, a⟩ pairs — the paper's "more robust approach is to do a
+// regression on the ⟨x, a, r⟩ data to learn the probability distribution
+// over actions."
+type LogisticPropensity struct {
+	// Opts tunes the underlying fit (zero value uses learn defaults).
+	Opts learn.MultinomialOptions
+	// Floor clips inferred propensities away from zero (default 1e-3) so
+	// a confident-but-wrong model cannot produce unbounded weights.
+	Floor float64
+}
+
+// Name implements PropensityInferrer.
+func (LogisticPropensity) Name() string { return "logistic" }
+
+// Infer implements PropensityInferrer.
+func (l LogisticPropensity) Infer(ds core.Dataset) (core.Dataset, error) {
+	if len(ds) == 0 {
+		return nil, core.ErrNoData
+	}
+	floor := l.Floor
+	if floor == 0 {
+		floor = 1e-3
+	}
+	xs := make([]core.Vector, len(ds))
+	as := make([]core.Action, len(ds))
+	k := 0
+	for i := range ds {
+		xs[i] = ds[i].Context.Features
+		as[i] = ds[i].Action
+		if ds[i].Context.NumActions > k {
+			k = ds[i].Context.NumActions
+		}
+	}
+	opts := l.Opts
+	if opts.NumActions == 0 {
+		opts.NumActions = k
+	}
+	model, err := learn.FitMultinomial(xs, as, opts)
+	if err != nil {
+		return nil, fmt.Errorf("harvester: propensity regression: %w", err)
+	}
+	out := make(core.Dataset, len(ds))
+	copy(out, ds)
+	for i := range out {
+		p := model.Probabilities(out[i].Context.Features)[out[i].Action]
+		if p < floor {
+			p = floor
+		}
+		if p > 1 {
+			p = 1
+		}
+		out[i].Propensity = p
+	}
+	return out, nil
+}

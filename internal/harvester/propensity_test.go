@@ -1,0 +1,178 @@
+package harvester
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/learn"
+	"repro/internal/ope"
+	"repro/internal/stats"
+)
+
+// genSkewedLog produces data where the logging policy depends on context:
+// P(a=1|x) = sigmoid(3x), so a logistic model can represent it exactly.
+// True propensities are recorded so tests can compare inference quality.
+func genSkewedLog(seed int64, n int) core.Dataset {
+	r := stats.NewRand(seed)
+	ds := make(core.Dataset, n)
+	for i := range ds {
+		x := r.Float64()*2 - 1
+		p1 := 1 / (1 + math.Exp(-3*x))
+		a := core.Action(0)
+		p := 1 - p1
+		if r.Float64() < p1 {
+			a, p = 1, p1
+		}
+		reward := 1.0
+		if a == 1 {
+			reward = 2 + x
+		}
+		ds[i] = core.Datapoint{
+			Context:    core.Context{Features: core.Vector{x}, NumActions: 2},
+			Action:     a,
+			Reward:     reward,
+			Propensity: p,
+		}
+	}
+	return ds
+}
+
+func TestKnownPropensity(t *testing.T) {
+	ds := genSkewedLog(1, 100)
+	out, err := KnownPropensity{P: 0.25}.Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i].Propensity != 0.25 {
+			t.Fatalf("propensity = %v", out[i].Propensity)
+		}
+	}
+	// Original untouched.
+	if ds[0].Propensity == 0.25 && ds[1].Propensity == 0.25 {
+		t.Error("Infer should not mutate input")
+	}
+	// Zero P → 1/NumActions.
+	out, err = KnownPropensity{}.Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Propensity != 0.5 {
+		t.Errorf("default propensity = %v, want 0.5", out[0].Propensity)
+	}
+	if _, err := (KnownPropensity{P: 2}).Infer(ds); err == nil {
+		t.Error("P>1 should fail")
+	}
+	if _, err := (KnownPropensity{}).Infer(nil); !errors.Is(err, core.ErrNoData) {
+		t.Error("empty should fail")
+	}
+}
+
+func TestEmpiricalPropensityMatchesFrequencies(t *testing.T) {
+	// Context-free skew: action 1 logged 70% of the time.
+	r := stats.NewRand(2)
+	ds := make(core.Dataset, 10000)
+	for i := range ds {
+		a := core.Action(0)
+		if r.Float64() < 0.7 {
+			a = 1
+		}
+		ds[i] = core.Datapoint{
+			Context: core.Context{Features: core.Vector{1}, NumActions: 2},
+			Action:  a,
+		}
+	}
+	out, err := (EmpiricalPropensity{}).Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		want := 0.3
+		if out[i].Action == 1 {
+			want = 0.7
+		}
+		if math.Abs(out[i].Propensity-want) > 0.02 {
+			t.Fatalf("propensity = %v, want ≈%v", out[i].Propensity, want)
+		}
+	}
+	if _, err := (EmpiricalPropensity{}).Infer(nil); !errors.Is(err, core.ErrNoData) {
+		t.Error("empty should fail")
+	}
+}
+
+func TestEmpiricalPropensityRejectsBadActions(t *testing.T) {
+	ds := core.Dataset{{Context: core.Context{NumActions: 2}, Action: -1}}
+	if _, err := (EmpiricalPropensity{}).Infer(ds); err == nil {
+		t.Error("negative action should fail")
+	}
+}
+
+func TestLogisticPropensityRecoversContextDependence(t *testing.T) {
+	ds := genSkewedLog(3, 12000)
+	out, err := (LogisticPropensity{
+		Opts: learn.MultinomialOptions{Epochs: 300, LR: 1},
+	}).Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check the inferred propensities against the true ones.
+	var errAccum stats.Welford
+	for i := range out {
+		errAccum.Add(math.Abs(out[i].Propensity - ds[i].Propensity))
+	}
+	if errAccum.Mean() > 0.08 {
+		t.Errorf("mean |p̂−p| = %v, want < 0.08", errAccum.Mean())
+	}
+}
+
+func TestLogisticPropensityFloor(t *testing.T) {
+	ds := genSkewedLog(4, 2000)
+	out, err := (LogisticPropensity{Floor: 0.05}.Infer(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i].Propensity < 0.05 || out[i].Propensity > 1 {
+			t.Fatalf("propensity %v violates floor/cap", out[i].Propensity)
+		}
+	}
+	if _, err := (LogisticPropensity{}).Infer(nil); !errors.Is(err, core.ErrNoData) {
+		t.Error("empty should fail")
+	}
+}
+
+func TestInferredPropensitiesYieldAccurateIPS(t *testing.T) {
+	// The step-2 quality bar: IPS with logistic-inferred propensities
+	// should agree with IPS using the true propensities.
+	ds := genSkewedLog(5, 20000)
+	pol := core.PolicyFunc(func(*core.Context) core.Action { return 1 })
+	truth, err := (ope.IPS{}).Estimate(pol, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferred, err := (LogisticPropensity{}).Infer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := (ope.IPS{}).Estimate(pol, inferred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Value-truth.Value) > 0.1*math.Abs(truth.Value) {
+		t.Errorf("inferred-propensity IPS %v vs true-propensity IPS %v", est.Value, truth.Value)
+	}
+}
+
+func TestInferrerNames(t *testing.T) {
+	for _, pair := range []struct{ got, want string }{
+		{KnownPropensity{}.Name(), "known"},
+		{EmpiricalPropensity{}.Name(), "empirical"},
+		{LogisticPropensity{}.Name(), "logistic"},
+	} {
+		if pair.got != pair.want {
+			t.Errorf("name = %q, want %q", pair.got, pair.want)
+		}
+	}
+}

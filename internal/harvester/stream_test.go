@@ -1,0 +1,150 @@
+package harvester
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lbsim"
+	"repro/internal/ope"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+func TestStreamNginxDeliversEntries(t *testing.T) {
+	input := sampleLine + "\n" + sampleLine + "\n"
+	var got []AccessEntry
+	err := StreamNginx(strings.NewReader(input), func(e AccessEntry) error {
+		got = append(got, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Upstream != 1 {
+		t.Errorf("streamed %d entries: %+v", len(got), got)
+	}
+}
+
+func TestStreamNginxStopsOnHandlerError(t *testing.T) {
+	boom := errors.New("boom")
+	input := sampleLine + "\n" + sampleLine + "\n"
+	calls := 0
+	err := StreamNginx(strings.NewReader(input), func(AccessEntry) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if calls != 1 {
+		t.Errorf("handler called %d times after error", calls)
+	}
+}
+
+func TestStreamNginxValidation(t *testing.T) {
+	if err := StreamNginx(strings.NewReader(""), nil); err == nil {
+		t.Error("nil handler should fail")
+	}
+	if err := StreamNginx(strings.NewReader("garbage"), func(AccessEntry) error { return nil }); err == nil {
+		t.Error("malformed line should fail")
+	}
+}
+
+func TestIncrementalEstimatorMatchesBatchIPS(t *testing.T) {
+	// The streaming estimate must agree with ope.IPS on the same data.
+	r := stats.NewRand(1)
+	ds := make(core.Dataset, 5000)
+	for i := range ds {
+		conns := []int{r.Intn(10), r.Intn(10)}
+		a := core.Action(r.Intn(2))
+		ds[i] = core.Datapoint{
+			Context:    lbsim.BuildContext(conns, 0, 1),
+			Action:     a,
+			Reward:     0.1 + 0.01*float64(conns[a]),
+			Propensity: 0.5,
+		}
+	}
+	pol := lbsim.LeastLoaded{}
+	batch, err := (ope.IPS{}).Estimate(pol, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ie, err := NewIncrementalEstimator(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds {
+		if err := ie.Add(ds[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, se, n := ie.Estimate()
+	if n != len(ds) {
+		t.Fatalf("n = %d", n)
+	}
+	if math.Abs(v-batch.Value) > 1e-9 {
+		t.Errorf("incremental %v != batch %v", v, batch.Value)
+	}
+	if math.Abs(se-batch.StdErr) > 1e-9 {
+		t.Errorf("incremental se %v != batch %v", se, batch.StdErr)
+	}
+	if ie.Matches() != batch.Matches {
+		t.Errorf("matches %d != %d", ie.Matches(), batch.Matches)
+	}
+}
+
+func TestIncrementalEstimatorFromStream(t *testing.T) {
+	// Full streaming path: log lines → entries → running estimate.
+	input := strings.Join([]string{
+		sampleLine, // upstream=1, rt=0.012345, conns 3|7, prop 0.5
+		strings.Replace(sampleLine, "upstream=1", "upstream=0", 1),
+		strings.Replace(sampleLine, " 200 ", " 502 ", 1), // skipped
+	}, "\n")
+	ie, err := NewIncrementalEstimator(policy.Constant{A: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	err = StreamNginx(strings.NewReader(input), func(e AccessEntry) error {
+		ok, err := ie.AddEntry(e)
+		if ok {
+			kept++
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 2 {
+		t.Fatalf("kept %d entries, want 2", kept)
+	}
+	v, _, n := ie.Estimate()
+	if n != 2 {
+		t.Fatalf("n = %d", n)
+	}
+	// Only the upstream=0 line matches Constant{0}: value = (0 + 2*0.012345)/2.
+	want := 0.012345
+	if math.Abs(v-want) > 1e-9 {
+		t.Errorf("estimate = %v, want %v", v, want)
+	}
+}
+
+func TestIncrementalEstimatorValidation(t *testing.T) {
+	if _, err := NewIncrementalEstimator(nil); err == nil {
+		t.Error("nil policy should fail")
+	}
+	ie, _ := NewIncrementalEstimator(policy.Constant{A: 0})
+	if err := ie.Add(core.Datapoint{Context: core.Context{NumActions: 2}, Propensity: 0}); err == nil {
+		t.Error("zero propensity should fail")
+	}
+	if v, se, n := ie.Estimate(); v != 0 || se != 0 || n != 0 {
+		t.Error("empty estimator should report zeros")
+	}
+	bad := AccessEntry{Status: 200, Upstream: 5, Conns: []int{1, 2}, Propensity: 0.5, RequestTime: 0.1}
+	if _, err := ie.AddEntry(bad); err == nil {
+		t.Error("inconsistent upstream should fail")
+	}
+}

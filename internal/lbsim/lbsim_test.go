@@ -1,0 +1,363 @@
+package lbsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ope"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := TwoServerFig5()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := map[string]func(*Config){
+		"one server":    func(c *Config) { c.Servers = c.Servers[:1] },
+		"zero base":     func(c *Config) { c.Servers[0].Base = 0 },
+		"neg slope":     func(c *Config) { c.Servers[1].Slope = -1 },
+		"zero rate":     func(c *Config) { c.ArrivalRate = 0 },
+		"zero requests": func(c *Config) { c.NumRequests = 0 },
+		"warmup >= n":   func(c *Config) { c.Warmup = c.NumRequests },
+	}
+	for name, mutate := range cases {
+		c := TwoServerFig5()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s should fail validation", name)
+		}
+	}
+}
+
+func TestRunValidatesInput(t *testing.T) {
+	cfg := TwoServerFig5()
+	if _, err := Run(cfg, nil, 1, false); err == nil {
+		t.Error("nil policy should fail")
+	}
+	bad := cfg
+	bad.ArrivalRate = -1
+	if _, err := Run(bad, LeastLoaded{}, 1, false); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestRandomRoutingSplitsEvenly(t *testing.T) {
+	cfg := TwoServerFig5()
+	cfg.NumRequests = 20000
+	res, err := Run(cfg, policy.UniformRandom{R: stats.NewRand(1)}, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.PerServer[0] + res.PerServer[1]
+	frac := float64(res.PerServer[0]) / float64(total)
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("server 1 fraction = %v, want ≈0.5", frac)
+	}
+	if res.Completed != total {
+		t.Errorf("Completed %d != per-server total %d", res.Completed, total)
+	}
+}
+
+func TestRandomRoutingNearTheory(t *testing.T) {
+	cfg := TwoServerFig5()
+	cfg.NumRequests = 40000
+	res, err := Run(cfg, policy.UniformRandom{R: stats.NewRand(3)}, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := cfg.ArrivalRate / 2
+	want := (EquilibriumLatency(cfg.Servers[0], half) + EquilibriumLatency(cfg.Servers[1], half)) / 2
+	if math.Abs(res.MeanLatency-want)/want > 0.15 {
+		t.Errorf("random mean latency = %v, theory ≈ %v", res.MeanLatency, want)
+	}
+}
+
+func TestSendToOneOverloads(t *testing.T) {
+	cfg := TwoServerFig5()
+	cfg.NumRequests = 40000
+	random, err := Run(cfg, policy.UniformRandom{R: stats.NewRand(5)}, 6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendTo1, err := Run(cfg, policy.Constant{A: 0}, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deployed send-to-1 should be much worse than random (paper: 0.70 vs 0.44).
+	if sendTo1.MeanLatency < random.MeanLatency*1.3 {
+		t.Errorf("send-to-1 online %v should be ≫ random %v", sendTo1.MeanLatency, random.MeanLatency)
+	}
+	want := EquilibriumLatency(cfg.Servers[0], cfg.ArrivalRate)
+	if math.Abs(sendTo1.MeanLatency-want)/want > 0.2 {
+		t.Errorf("send-to-1 latency = %v, theory ≈ %v", sendTo1.MeanLatency, want)
+	}
+}
+
+func TestLeastLoadedBeatsRandom(t *testing.T) {
+	cfg := TwoServerFig5()
+	cfg.NumRequests = 30000
+	random, err := Run(cfg, policy.UniformRandom{R: stats.NewRand(8)}, 9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := Run(cfg, LeastLoaded{}, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll.MeanLatency >= random.MeanLatency {
+		t.Errorf("least-loaded %v should beat random %v", ll.MeanLatency, random.MeanLatency)
+	}
+}
+
+func TestExplorationLogging(t *testing.T) {
+	cfg := TwoServerFig5()
+	cfg.NumRequests = 5000
+	cfg.Warmup = 500
+	res, err := Run(cfg, policy.UniformRandom{R: stats.NewRand(11)}, 12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Exploration) != cfg.NumRequests-cfg.Warmup {
+		t.Fatalf("logged %d datapoints, want %d", len(res.Exploration), cfg.NumRequests-cfg.Warmup)
+	}
+	if err := res.Exploration.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Exploration {
+		d := &res.Exploration[i]
+		if d.Propensity != 0.5 {
+			t.Fatalf("propensity = %v, want 0.5", d.Propensity)
+		}
+		if d.Reward <= 0 {
+			t.Fatalf("latency reward %v should be positive", d.Reward)
+		}
+		if len(d.Context.ActionFeatures) != 2 {
+			t.Fatalf("action features missing")
+		}
+	}
+}
+
+func TestDeterministicPolicyLogsPropensityOne(t *testing.T) {
+	cfg := TwoServerFig5()
+	cfg.NumRequests = 2000
+	cfg.Warmup = 100
+	res, err := Run(cfg, LeastLoaded{}, 13, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Exploration {
+		if res.Exploration[i].Propensity != 1 {
+			t.Fatalf("deterministic policy propensity = %v", res.Exploration[i].Propensity)
+		}
+	}
+}
+
+func TestTable2BreakageOfflineVsOnline(t *testing.T) {
+	// The paper's Table 2 in miniature: IPS on random-routing exploration
+	// data estimates "send to 1" as *better* than random, but deploying it
+	// is far worse. This is the A1 violation demonstration.
+	cfg := TwoServerFig5()
+	cfg.NumRequests = 30000
+	logRun, err := Run(cfg, policy.UniformRandom{R: stats.NewRand(14)}, 15, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := (ope.IPS{}).Estimate(policy.Constant{A: 0}, logRun.Exploration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online, err := Run(cfg, policy.Constant{A: 0}, 16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Value >= logRun.MeanLatency {
+		t.Errorf("offline estimate %v should look better (lower) than random %v", est.Value, logRun.MeanLatency)
+	}
+	if online.MeanLatency < 1.8*est.Value {
+		t.Errorf("online %v should be ≫ offline estimate %v (breakage factor ≥1.8)", online.MeanLatency, est.Value)
+	}
+}
+
+func TestWeightedRandom(t *testing.T) {
+	w := &WeightedRandom{Weights: []float64{3, 1}, R: stats.NewRand(17)}
+	ctx := BuildContext([]int{0, 0}, 0, 1)
+	d := w.Distribution(&ctx)
+	if math.Abs(d[0]-0.75) > 1e-12 || math.Abs(d[1]-0.25) > 1e-12 {
+		t.Errorf("distribution = %v", d)
+	}
+	counts := [2]int{}
+	for i := 0; i < 20000; i++ {
+		counts[w.Act(&ctx)]++
+	}
+	if math.Abs(float64(counts[0])/20000-0.75) > 0.02 {
+		t.Errorf("empirical split %v", counts)
+	}
+	// Degenerate weights fall back to uniform distribution.
+	z := &WeightedRandom{Weights: []float64{0, 0}, R: stats.NewRand(18)}
+	d = z.Distribution(&ctx)
+	if d[0] != 0.5 || d[1] != 0.5 {
+		t.Errorf("zero-weight fallback = %v", d)
+	}
+}
+
+func TestBuildContext(t *testing.T) {
+	ctx := BuildContext([]int{3, 7}, 0, 1)
+	if ctx.NumActions != 2 {
+		t.Fatalf("NumActions = %d", ctx.NumActions)
+	}
+	if ctx.Features[0] != 3 || ctx.Features[1] != 7 {
+		t.Errorf("shared features = %v", ctx.Features)
+	}
+	if ctx.ActionFeatures[0][0] != 3 || ctx.ActionFeatures[0][1] != 1 || ctx.ActionFeatures[0][2] != 0 {
+		t.Errorf("af[0] = %v", ctx.ActionFeatures[0])
+	}
+	if ctx.ActionFeatures[1][0] != 7 || ctx.ActionFeatures[1][2] != 1 {
+		t.Errorf("af[1] = %v", ctx.ActionFeatures[1])
+	}
+	if err := ctx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquilibriumLatency(t *testing.T) {
+	s := ServerParams{Base: 0.2, Slope: 0.04}
+	if got := EquilibriumLatency(s, 0); got != 0.2 {
+		t.Errorf("no load: %v", got)
+	}
+	if got := EquilibriumLatency(s, 12.5); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("half load: %v, want 0.4", got)
+	}
+	if !math.IsInf(EquilibriumLatency(s, 25), 1) {
+		t.Error("at capacity should be +Inf")
+	}
+}
+
+func TestLeastLoadedTieBreak(t *testing.T) {
+	ctx := BuildContext([]int{2, 2}, 0, 1)
+	if got := (LeastLoaded{}).Act(&ctx); got != 0 {
+		t.Errorf("tie should go to server 0, got %d", got)
+	}
+	ctx = BuildContext([]int{5, 2}, 0, 1)
+	if got := (LeastLoaded{}).Act(&ctx); got != 1 {
+		t.Errorf("want 1, got %d", got)
+	}
+}
+
+func TestRunDeterministicGivenSeeds(t *testing.T) {
+	cfg := TwoServerFig5()
+	cfg.NumRequests = 3000
+	a, err := Run(cfg, policy.UniformRandom{R: stats.NewRand(20)}, 21, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, policy.UniformRandom{R: stats.NewRand(20)}, 21, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanLatency != b.MeanLatency || a.P99Latency != b.P99Latency {
+		t.Error("same seeds should reproduce identical runs")
+	}
+}
+
+func TestCBPolicyBeatsLeastLoaded(t *testing.T) {
+	// §5: "CB is still able to optimize a good policy from the exploration
+	// data and outperform least loaded" — the CB policy learns each
+	// server's latency model and greedily picks the lowest predicted
+	// latency, which accounts for server 2's additive constant that
+	// least-loaded ignores.
+	cfg := Table2Config()
+	cfg.NumRequests = 30000
+	logRun, err := Run(cfg, policy.UniformRandom{R: stats.NewRand(22)}, 23, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := FitCBPolicy(logRun.Exploration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbRes, err := Run(cfg, cb, 24, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := Run(cfg, LeastLoaded{}, 25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cbRes.MeanLatency >= ll.MeanLatency {
+		t.Errorf("CB %v should beat least-loaded %v", cbRes.MeanLatency, ll.MeanLatency)
+	}
+}
+
+func TestTypedContextShape(t *testing.T) {
+	ctx := BuildContext([]int{3, 7}, 1, 2)
+	// Shared: [conns0, conns1, typeOneHot0, typeOneHot1].
+	if len(ctx.Features) != 4 || ctx.Features[3] != 1 || ctx.Features[2] != 0 {
+		t.Errorf("shared features = %v", ctx.Features)
+	}
+	// Per-action: [conns_s, onehot(2), onehot(s)×onehot(type)(4)].
+	if len(ctx.ActionFeatures[0]) != FeatureDim(2, 2) {
+		t.Fatalf("af dim = %d, want %d", len(ctx.ActionFeatures[0]), FeatureDim(2, 2))
+	}
+	// Server 0, type 1 → index 1+2+0*2+1 = 4.
+	if ctx.ActionFeatures[0][4] != 1 {
+		t.Errorf("af[0] = %v", ctx.ActionFeatures[0])
+	}
+	// Server 1, type 1 → index 1+2+1*2+1 = 6.
+	if ctx.ActionFeatures[1][6] != 1 {
+		t.Errorf("af[1] = %v", ctx.ActionFeatures[1])
+	}
+}
+
+func TestTable2ConfigValid(t *testing.T) {
+	cfg := Table2Config()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Affinity shape mismatches must be rejected.
+	bad := Table2Config()
+	bad.Affinity = bad.Affinity[:1]
+	if err := bad.Validate(); err == nil {
+		t.Error("affinity row count mismatch should fail")
+	}
+	bad2 := Table2Config()
+	bad2.Affinity[0] = []float64{0}
+	if err := bad2.Validate(); err == nil {
+		t.Error("affinity type count mismatch should fail")
+	}
+	bad3 := Table2Config()
+	bad3.Affinity[0][0] = -1
+	if err := bad3.Validate(); err == nil {
+		t.Error("negative affinity should fail")
+	}
+}
+
+func TestAffinityRaisesLatencyForMismatchedType(t *testing.T) {
+	cfg := Table2Config()
+	cfg.NumRequests = 10000
+	cfg.Warmup = 1000
+	res, err := Run(cfg, policy.UniformRandom{R: stats.NewRand(30)}, 31, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average latency of (server 0, type 1) datapoints should exceed
+	// (server 0, type 0) by roughly the affinity penalty.
+	var match, mismatch stats.Welford
+	for i := range res.Exploration {
+		d := &res.Exploration[i]
+		if d.Action != 0 {
+			continue
+		}
+		// Type one-hot lives at shared indices [2,3].
+		if d.Context.Features[2] == 1 {
+			match.Add(d.Reward)
+		} else {
+			mismatch.Add(d.Reward)
+		}
+	}
+	diff := mismatch.Mean() - match.Mean()
+	if math.Abs(diff-0.20) > 0.03 {
+		t.Errorf("type penalty = %v, want ≈0.20", diff)
+	}
+}

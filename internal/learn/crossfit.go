@@ -1,0 +1,65 @@
+package learn
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// CrossFitRewardPredictions produces out-of-fold reward predictions for
+// every (datapoint, action) pair: the data is split into folds, one model
+// is trained per fold on the *other* folds, and each datapoint is predicted
+// by the model that never saw it.
+//
+// This is the standard fix for the subtle failure of model-based
+// estimators: a reward model fitted on the same data it corrects can
+// memorize its noise (the DR correction term then vanishes exactly where
+// it is needed), quietly re-biasing a "doubly robust" estimate. Cross-
+// fitting restores independence at the cost of folds× training time.
+// Feed the result to ope.AlignedDR.
+func CrossFitRewardPredictions(data core.Dataset, folds int, opts FitOptions) ([][]float64, error) {
+	if len(data) == 0 {
+		return nil, core.ErrNoData
+	}
+	if folds < 2 {
+		return nil, fmt.Errorf("learn: cross-fitting needs ≥2 folds, got %d", folds)
+	}
+	if folds > len(data) {
+		return nil, fmt.Errorf("learn: %d folds for %d datapoints", folds, len(data))
+	}
+	k := opts.NumActions
+	if k == 0 {
+		for i := range data {
+			if data[i].Context.NumActions > k {
+				k = data[i].Context.NumActions
+			}
+		}
+	}
+	preds := make([][]float64, len(data))
+	train := make(core.Dataset, 0, len(data))
+	for f := 0; f < folds; f++ {
+		train = train[:0]
+		for i := range data {
+			if i%folds != f {
+				train = append(train, data[i])
+			}
+		}
+		foldOpts := opts
+		foldOpts.NumActions = k
+		model, err := FitRewardModel(train, foldOpts)
+		if err != nil {
+			return nil, fmt.Errorf("learn: cross-fit fold %d: %w", f, err)
+		}
+		for i := range data {
+			if i%folds != f {
+				continue
+			}
+			row := make([]float64, k)
+			for a := 0; a < k; a++ {
+				row[a] = model.Predict(&data[i].Context, core.Action(a))
+			}
+			preds[i] = row
+		}
+	}
+	return preds, nil
+}

@@ -1,0 +1,119 @@
+package learn
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// CSCOptions configures the cost-sensitive classification reduction.
+type CSCOptions struct {
+	// NumActions fixes the action count (0 infers from data).
+	NumActions int
+	// Lambda is the ridge strength for the per-action score regressions
+	// (default 1e-3).
+	Lambda float64
+	// Model optionally supplies a reward model for doubly-robust cost
+	// imputation; nil uses pure IPS imputation.
+	Model interface {
+		Predict(ctx *core.Context, a core.Action) float64
+	}
+	// Minimize treats rewards as costs.
+	Minimize bool
+}
+
+// CSCPolicy is the trained reduction: per-action linear scores over shared
+// context features, played greedily.
+type CSCPolicy struct {
+	weights  []core.Vector
+	minimize bool
+}
+
+// Act implements core.Policy.
+func (p *CSCPolicy) Act(ctx *core.Context) core.Action {
+	best := core.Action(0)
+	bestV := p.Score(ctx, 0)
+	for a := 1; a < ctx.NumActions; a++ {
+		v := p.Score(ctx, core.Action(a))
+		if (p.minimize && v < bestV) || (!p.minimize && v > bestV) {
+			best, bestV = core.Action(a), v
+		}
+	}
+	return best
+}
+
+// Score returns the learned value estimate for (ctx, a).
+func (p *CSCPolicy) Score(ctx *core.Context, a core.Action) float64 {
+	if int(a) >= len(p.weights) || p.weights[a] == nil {
+		return 0
+	}
+	return PredictLinear(p.weights[a], ctx.Features)
+}
+
+// FitCSC trains a policy by the classic contextual-bandit reduction to
+// cost-sensitive classification (Langford & Zhang; Dudík et al.): for every
+// datapoint, impute a full vector of per-action values
+//
+//	v̂_a(x_t) = model(x_t, a) + 1{a_t=a}·(r_t − model(x_t, a_t))/p_t
+//
+// (pure IPS when model is nil: v̂_a = 1{a_t=a}·r_t/p_t), then fit one
+// regressor per action on the imputed values — every action's regressor
+// sees every row, unlike reward regression which only sees the rows where
+// its action was taken — and play the argmax (argmin for costs).
+//
+// With a good model this is the doubly robust policy optimizer; with none
+// it is still consistent thanks to the propensity weighting.
+func FitCSC(data core.Dataset, opts CSCOptions) (*CSCPolicy, error) {
+	if len(data) == 0 {
+		return nil, core.ErrNoData
+	}
+	k := opts.NumActions
+	if k == 0 {
+		for i := range data {
+			if data[i].Context.NumActions > k {
+				k = data[i].Context.NumActions
+			}
+		}
+	}
+	lambda := opts.Lambda
+	if lambda == 0 {
+		lambda = 1e-3
+	}
+	xs := make([]core.Vector, len(data))
+	for i := range data {
+		xs[i] = data[i].Context.Features
+	}
+	rg := Ridge{Lambda: lambda}
+	weights := make([]core.Vector, k)
+	ys := make([]float64, len(data))
+	for a := 0; a < k; a++ {
+		for i := range data {
+			d := &data[i]
+			if !(d.Propensity > 0) {
+				return nil, fmt.Errorf("learn: csc datapoint %d propensity %v", i, d.Propensity)
+			}
+			if int(d.Action) < 0 || int(d.Action) >= k {
+				return nil, fmt.Errorf("learn: csc datapoint %d action %d out of [0,%d)", i, d.Action, k)
+			}
+			base := 0.0
+			if opts.Model != nil {
+				base = opts.Model.Predict(&d.Context, core.Action(a))
+			}
+			v := base
+			if int(d.Action) == a {
+				correction := d.Reward
+				if opts.Model != nil {
+					correction -= opts.Model.Predict(&d.Context, d.Action)
+				}
+				v += correction / d.Propensity
+			}
+			ys[i] = v
+		}
+		w, err := rg.Fit(xs, ys, nil)
+		if err != nil {
+			return nil, fmt.Errorf("learn: csc action %d: %w", a, err)
+		}
+		weights[a] = w
+	}
+	return &CSCPolicy{weights: weights, minimize: opts.Minimize}, nil
+}

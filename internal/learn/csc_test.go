@@ -1,0 +1,138 @@
+package learn
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func TestFitCSCLearnsContextualPolicy(t *testing.T) {
+	ds := genBandit(1, 8000, 3)
+	pol, err := FitCSC(ds, CSCOptions{NumActions: 3, Lambda: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// perActionTruth: action 1 best below x≈2/3, action 0 above.
+	if got := pol.Act(&core.Context{Features: core.Vector{0.1}, NumActions: 3}); got != 1 {
+		t.Errorf("csc(0.1) = %d, want 1", got)
+	}
+	if got := pol.Act(&core.Context{Features: core.Vector{1.9}, NumActions: 3}); got != 0 {
+		t.Errorf("csc(1.9) = %d, want 0", got)
+	}
+}
+
+func TestFitCSCWithSkewedLogging(t *testing.T) {
+	// The reduction's whole point: propensity weighting keeps it
+	// consistent when the logging policy is biased toward one action.
+	r := stats.NewRand(2)
+	ds := make(core.Dataset, 20000)
+	for i := range ds {
+		x := core.Vector{r.Float64() * 2}
+		var a core.Action
+		var p float64
+		if r.Float64() < 0.85 {
+			a, p = 0, 0.85+0.15/3
+		} else {
+			a, p = core.Action(1+r.Intn(2)), 0.15/3
+		}
+		ds[i] = core.Datapoint{
+			Context:    core.Context{Features: x, NumActions: 3},
+			Action:     a,
+			Reward:     perActionTruth(x, a),
+			Propensity: p,
+		}
+	}
+	pol, err := FitCSC(ds, CSCOptions{NumActions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Action 1 is rarely logged but is the right answer for small x.
+	if got := pol.Act(&core.Context{Features: core.Vector{0.1}, NumActions: 3}); got != 1 {
+		t.Errorf("csc under skew (0.1) = %d, want 1", got)
+	}
+}
+
+func TestFitCSCDoublyRobustVariant(t *testing.T) {
+	ds := genBandit(3, 6000, 3)
+	model, err := FitRewardModel(ds, FitOptions{Lambda: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := FitCSC(ds, CSCOptions{NumActions: 3, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate both variants on fresh contexts against the truth.
+	evalPolicy := func(p core.Policy) float64 {
+		r := stats.NewRand(99)
+		var w stats.Welford
+		for i := 0; i < 5000; i++ {
+			x := core.Vector{r.Float64() * 2}
+			ctx := core.Context{Features: x, NumActions: 3}
+			w.Add(perActionTruth(x, p.Act(&ctx)))
+		}
+		return w.Mean()
+	}
+	pure, err := FitCSC(ds, CSCOptions{NumActions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vDR, vIPS := evalPolicy(pol), evalPolicy(pure)
+	// Both should be close to optimal; DR at least as good - small slack.
+	if vDR < vIPS-0.02 {
+		t.Errorf("dr-csc %v should not lag ips-csc %v", vDR, vIPS)
+	}
+}
+
+func TestFitCSCMinimize(t *testing.T) {
+	// Costs instead of rewards: argmin flips the choice.
+	r := stats.NewRand(4)
+	ds := make(core.Dataset, 4000)
+	for i := range ds {
+		a := core.Action(r.Intn(2))
+		cost := 1.0
+		if a == 1 {
+			cost = 5.0
+		}
+		ds[i] = core.Datapoint{
+			Context:    core.Context{Features: core.Vector{1}, NumActions: 2},
+			Action:     a,
+			Reward:     cost,
+			Propensity: 0.5,
+		}
+	}
+	pol, err := FitCSC(ds, CSCOptions{NumActions: 2, Minimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pol.Act(&core.Context{Features: core.Vector{1}, NumActions: 2}); got != 0 {
+		t.Errorf("min-csc = %d, want 0 (cheaper action)", got)
+	}
+}
+
+func TestFitCSCValidation(t *testing.T) {
+	if _, err := FitCSC(nil, CSCOptions{}); !errors.Is(err, core.ErrNoData) {
+		t.Error("empty should fail")
+	}
+	noP := core.Dataset{{Context: core.Context{Features: core.Vector{1}, NumActions: 2}, Action: 0, Propensity: 0}}
+	if _, err := FitCSC(noP, CSCOptions{}); err == nil {
+		t.Error("zero propensity should fail")
+	}
+	badA := core.Dataset{{Context: core.Context{Features: core.Vector{1}, NumActions: 2}, Action: 5, Propensity: 0.5}}
+	if _, err := FitCSC(badA, CSCOptions{NumActions: 2}); err == nil {
+		t.Error("out-of-range action should fail")
+	}
+}
+
+func TestCSCScoreUnknownAction(t *testing.T) {
+	p := &CSCPolicy{weights: []core.Vector{{1, 0}}}
+	ctx := &core.Context{Features: core.Vector{2}, NumActions: 3}
+	if got := p.Score(ctx, 2); got != 0 {
+		t.Errorf("missing action score = %v, want 0", got)
+	}
+	// Act never indexes out of range even when NumActions exceeds the
+	// trained action count.
+	_ = p.Act(ctx)
+}

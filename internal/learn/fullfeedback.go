@@ -1,0 +1,132 @@
+package learn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// FullFeedbackRow is one observation where the reward of *every* action is
+// known — the machine-health setting of §4, where waiting the maximum time
+// reveals what would have happened for every shorter wait ("similar to a
+// supervised learning dataset").
+type FullFeedbackRow struct {
+	Context core.Context
+	// Rewards has one entry per action.
+	Rewards []float64
+}
+
+// FullFeedbackDataset is a supervised dataset with complete counterfactuals.
+type FullFeedbackDataset []FullFeedbackRow
+
+// Validate checks structural invariants.
+func (ds FullFeedbackDataset) Validate() error {
+	for i := range ds {
+		r := &ds[i]
+		if err := r.Context.Validate(); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+		if len(r.Rewards) != r.Context.NumActions {
+			return fmt.Errorf("row %d: %d rewards for %d actions", i, len(r.Rewards), r.Context.NumActions)
+		}
+	}
+	return nil
+}
+
+// BestAction returns the ground-truth optimal action of row i (argmax, or
+// argmin when minimize).
+func (r *FullFeedbackRow) BestAction(minimize bool) core.Action {
+	best := 0
+	for a := 1; a < len(r.Rewards); a++ {
+		if (minimize && r.Rewards[a] < r.Rewards[best]) ||
+			(!minimize && r.Rewards[a] > r.Rewards[best]) {
+			best = a
+		}
+	}
+	return core.Action(best)
+}
+
+// MeanReward returns the dataset-average reward the policy would obtain —
+// the exact ground truth the paper uses to score offline estimates (Fig. 3)
+// and learned policies (Fig. 4).
+func (ds FullFeedbackDataset) MeanReward(p core.Policy) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range ds {
+		r := &ds[i]
+		a := p.Act(&r.Context)
+		if int(a) < len(r.Rewards) {
+			sum += r.Rewards[a]
+		}
+	}
+	return sum / float64(len(ds))
+}
+
+// OptimalMeanReward returns the reward of the omniscient per-row-best policy.
+func (ds FullFeedbackDataset) OptimalMeanReward(minimize bool) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range ds {
+		r := &ds[i]
+		sum += r.Rewards[r.BestAction(minimize)]
+	}
+	return sum / float64(len(ds))
+}
+
+// FitFullFeedback trains the idealized supervised baseline of Fig. 4: every
+// action's regressor sees every row. It returns a RewardModel whose greedy
+// policy is the full-feedback model the CB learner is compared against.
+func FitFullFeedback(ds FullFeedbackDataset, lambda float64) (*RewardModel, error) {
+	if len(ds) == 0 {
+		return nil, core.ErrNoData
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if lambda == 0 {
+		lambda = 1e-3
+	}
+	rg := Ridge{Lambda: lambda}
+	k := ds[0].Context.NumActions
+	m := &RewardModel{perAction: make([]core.Vector, k)}
+	xs := make([]core.Vector, len(ds))
+	ys := make([]float64, len(ds))
+	for a := 0; a < k; a++ {
+		for i := range ds {
+			xs[i] = ds[i].Context.Features
+			ys[i] = ds[i].Rewards[a]
+		}
+		w, err := rg.Fit(xs, ys, nil)
+		if err != nil {
+			return nil, fmt.Errorf("learn: full-feedback action %d: %w", a, err)
+		}
+		m.perAction[a] = w
+	}
+	return m, nil
+}
+
+// SimulateExploration converts full-feedback rows into partial-feedback
+// exploration data by revealing only the reward of a randomly chosen action
+// — exactly the paper's protocol for Figs. 3–4 ("simulating randomized
+// data"): each row yields one ⟨x, a, r, p⟩ tuple with uniform propensity.
+func SimulateExploration(r *rand.Rand, ds FullFeedbackDataset) core.Dataset {
+	out := make(core.Dataset, len(ds))
+	for i := range ds {
+		row := &ds[i]
+		k := row.Context.NumActions
+		a := core.Action(r.Intn(k))
+		out[i] = core.Datapoint{
+			Context:    row.Context,
+			Action:     a,
+			Reward:     row.Rewards[a],
+			Propensity: 1 / float64(k),
+			Seq:        int64(i),
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+// Package learn provides the optimization side of the paper's methodology:
+// reward-model regression (ridge, SGD), importance-weighted learning from
+// bandit data, a greedy contextual-bandit learner (the route the paper's §5
+// credits for beating least-loaded: "the CB algorithm learns a good
+// estimator of each server's latency based on context, and greedily picking
+// the lowest latency yields a good policy"), an epoch-greedy online learner,
+// multinomial logistic regression for propensity inference (§3 step 2), and
+// the full-feedback supervised baseline of Fig. 4.
+package learn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a normal-equations solve meets a singular
+// (or numerically hopeless) system.
+var ErrSingular = errors.New("learn: singular system")
+
+// solve solves the square linear system A x = b in place using Gaussian
+// elimination with partial pivoting. A and b are overwritten.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("learn: solve dimensions %dx? vs %d", n, len(b))
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		maxAbs := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > maxAbs {
+				maxAbs, pivot = v, r
+			}
+		}
+		if maxAbs < 1e-12 {
+			return nil, fmt.Errorf("%w: pivot %d is %g", ErrSingular, col, maxAbs)
+		}
+		if pivot != col {
+			a[col], a[pivot] = a[pivot], a[col]
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}

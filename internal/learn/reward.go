@@ -1,0 +1,166 @@
+package learn
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// RewardModel is a learned predictor of reward given (context, action). It
+// satisfies ope.RewardModel and powers the greedy CB policy.
+//
+// Two parameterizations are supported, chosen automatically from the data:
+//
+//   - per-action: contexts carry only shared features; the model keeps one
+//     ridge weight vector per action (machine health: k wait times).
+//   - shared: contexts carry per-action feature vectors; the model keeps a
+//     single weight vector applied to FeaturesFor(a) (load balancing: each
+//     server described by its own load features).
+type RewardModel struct {
+	perAction []core.Vector // one row per action, or nil in shared mode
+	shared    core.Vector   // single weight vector, or nil in per-action mode
+	// fallback predicts the global mean reward for actions with no data.
+	fallback float64
+}
+
+// FitOptions controls reward-model fitting.
+type FitOptions struct {
+	// Lambda is the ridge regularization (default 1e-3 if zero).
+	Lambda float64
+	// ImportanceWeighted weights each datapoint by 1/propensity so the
+	// regression targets the uniform-over-actions distribution rather than
+	// the logging distribution. Harmless with uniform logging; important
+	// with skewed logging.
+	ImportanceWeighted bool
+	// NumActions fixes the action count in per-action mode; 0 infers the
+	// maximum NumActions in the data.
+	NumActions int
+}
+
+// FitRewardModel trains a RewardModel on bandit data (each datapoint only
+// labels the action actually taken).
+func FitRewardModel(data core.Dataset, opts FitOptions) (*RewardModel, error) {
+	if len(data) == 0 {
+		return nil, core.ErrNoData
+	}
+	lambda := opts.Lambda
+	if lambda == 0 {
+		lambda = 1e-3
+	}
+	rg := Ridge{Lambda: lambda}
+
+	mean := 0.0
+	for i := range data {
+		mean += data[i].Reward
+	}
+	mean /= float64(len(data))
+
+	sharedMode := data[0].Context.ActionFeatures != nil
+	m := &RewardModel{fallback: mean}
+
+	if sharedMode {
+		xs := make([]core.Vector, 0, len(data))
+		ys := make([]float64, 0, len(data))
+		var ws []float64
+		if opts.ImportanceWeighted {
+			ws = make([]float64, 0, len(data))
+		}
+		for i := range data {
+			d := &data[i]
+			xs = append(xs, d.Context.FeaturesFor(d.Action))
+			ys = append(ys, d.Reward)
+			if ws != nil {
+				if !(d.Propensity > 0) {
+					return nil, fmt.Errorf("learn: datapoint %d propensity %v", i, d.Propensity)
+				}
+				ws = append(ws, 1/d.Propensity)
+			}
+		}
+		w, err := rg.Fit(xs, ys, ws)
+		if err != nil {
+			return nil, fmt.Errorf("learn: shared reward fit: %w", err)
+		}
+		m.shared = w
+		return m, nil
+	}
+
+	k := opts.NumActions
+	if k == 0 {
+		for i := range data {
+			if data[i].Context.NumActions > k {
+				k = data[i].Context.NumActions
+			}
+		}
+	}
+	m.perAction = make([]core.Vector, k)
+	// Bucket rows by action.
+	type bucket struct {
+		xs []core.Vector
+		ys []float64
+		ws []float64
+	}
+	buckets := make([]bucket, k)
+	for i := range data {
+		d := &data[i]
+		a := int(d.Action)
+		if a < 0 || a >= k {
+			return nil, fmt.Errorf("learn: datapoint %d action %d out of [0,%d)", i, a, k)
+		}
+		b := &buckets[a]
+		b.xs = append(b.xs, d.Context.Features)
+		b.ys = append(b.ys, d.Reward)
+		if opts.ImportanceWeighted {
+			if !(d.Propensity > 0) {
+				return nil, fmt.Errorf("learn: datapoint %d propensity %v", i, d.Propensity)
+			}
+			b.ws = append(b.ws, 1/d.Propensity)
+		}
+	}
+	for a := 0; a < k; a++ {
+		b := &buckets[a]
+		if len(b.xs) == 0 {
+			continue // Predict falls back to the global mean.
+		}
+		w, err := rg.Fit(b.xs, b.ys, b.ws)
+		if err != nil {
+			return nil, fmt.Errorf("learn: action %d fit: %w", a, err)
+		}
+		m.perAction[a] = w
+	}
+	return m, nil
+}
+
+// Predict implements ope.RewardModel.
+func (m *RewardModel) Predict(ctx *core.Context, a core.Action) float64 {
+	if m.shared != nil {
+		return PredictLinear(m.shared, ctx.FeaturesFor(a))
+	}
+	if int(a) < len(m.perAction) && m.perAction[a] != nil {
+		return PredictLinear(m.perAction[a], ctx.Features)
+	}
+	return m.fallback
+}
+
+// GreedyPolicy returns the policy that plays the best predicted action —
+// argmax of Predict, or argmin when minimize is true (latency-like rewards
+// logged as costs).
+func (m *RewardModel) GreedyPolicy(minimize bool) core.Policy {
+	return &greedy{model: m, minimize: minimize}
+}
+
+type greedy struct {
+	model    *RewardModel
+	minimize bool
+}
+
+func (g *greedy) Act(ctx *core.Context) core.Action {
+	best := core.Action(0)
+	bestV := g.model.Predict(ctx, 0)
+	for a := 1; a < ctx.NumActions; a++ {
+		v := g.model.Predict(ctx, core.Action(a))
+		if (g.minimize && v < bestV) || (!g.minimize && v > bestV) {
+			best, bestV = core.Action(a), v
+		}
+	}
+	return best
+}

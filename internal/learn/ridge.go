@@ -1,0 +1,99 @@
+package learn
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Ridge fits weighted ridge regression by the normal equations:
+// w = (XᵀWX + λI)⁻¹ XᵀWy. Inputs are augmented with a bias feature
+// internally (the bias is the last weight and is not regularized away —
+// λ applies to all coordinates for simplicity; with the small λ used here
+// the distinction is immaterial).
+type Ridge struct {
+	// Lambda is the L2 regularization strength; 0 gives ordinary least
+	// squares (and risks ErrSingular on collinear features).
+	Lambda float64
+}
+
+// Fit returns the weight vector (length dim+1; last entry is the bias).
+// weights may be nil for uniform weighting; otherwise it must match len(xs).
+func (rg Ridge) Fit(xs []core.Vector, ys, weights []float64) (core.Vector, error) {
+	if len(xs) == 0 {
+		return nil, core.ErrNoData
+	}
+	if len(ys) != len(xs) {
+		return nil, fmt.Errorf("learn: %d targets for %d rows", len(ys), len(xs))
+	}
+	if weights != nil && len(weights) != len(xs) {
+		return nil, fmt.Errorf("learn: %d weights for %d rows", len(weights), len(xs))
+	}
+	dim := 0
+	for _, x := range xs {
+		if len(x) > dim {
+			dim = len(x)
+		}
+	}
+	d := dim + 1 // bias column
+	// Accumulate XᵀWX and XᵀWy.
+	xtx := make([][]float64, d)
+	for i := range xtx {
+		xtx[i] = make([]float64, d)
+	}
+	xty := make([]float64, d)
+	row := make([]float64, d)
+	for i, x := range xs {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		if w == 0 {
+			continue
+		}
+		for j := 0; j < dim; j++ {
+			if j < len(x) {
+				row[j] = x[j]
+			} else {
+				row[j] = 0
+			}
+		}
+		row[dim] = 1
+		for a := 0; a < d; a++ {
+			if row[a] == 0 {
+				continue
+			}
+			wa := w * row[a]
+			for b := a; b < d; b++ {
+				xtx[a][b] += wa * row[b]
+			}
+			xty[a] += wa * ys[i]
+		}
+	}
+	// Mirror the upper triangle and add the ridge.
+	for a := 0; a < d; a++ {
+		for b := 0; b < a; b++ {
+			xtx[a][b] = xtx[b][a]
+		}
+		xtx[a][a] += rg.Lambda
+	}
+	w, err := solve(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+	return core.Vector(w), nil
+}
+
+// PredictLinear evaluates a Ridge-fitted weight vector (with trailing bias)
+// on a feature vector.
+func PredictLinear(w core.Vector, x core.Vector) float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	dim := len(w) - 1
+	s := w[dim] // bias
+	for j := 0; j < dim && j < len(x); j++ {
+		s += w[j] * x[j]
+	}
+	return s
+}

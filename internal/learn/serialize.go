@@ -1,0 +1,69 @@
+package learn
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// wireRewardModel is the JSON form of a RewardModel — the deployable
+// artifact of the optimization step: train offline from harvested logs,
+// ship the weights, load them in the serving system (cachesim.CBEvictor,
+// the netlb proxy, ...).
+type wireRewardModel struct {
+	// Mode is "per-action" or "shared".
+	Mode      string      `json:"mode"`
+	PerAction [][]float64 `json:"per_action,omitempty"`
+	Shared    []float64   `json:"shared,omitempty"`
+	Fallback  float64     `json:"fallback"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *RewardModel) MarshalJSON() ([]byte, error) {
+	w := wireRewardModel{Fallback: m.fallback}
+	if m.shared != nil {
+		w.Mode = "shared"
+		w.Shared = m.shared
+		return json.Marshal(&w)
+	}
+	w.Mode = "per-action"
+	w.PerAction = make([][]float64, len(m.perAction))
+	for i, v := range m.perAction {
+		w.PerAction[i] = v // nil rows stay nil (fallback actions)
+	}
+	return json.Marshal(&w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *RewardModel) UnmarshalJSON(data []byte) error {
+	var w wireRewardModel
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("learn: decoding reward model: %w", err)
+	}
+	m.fallback = w.Fallback
+	m.shared = nil
+	m.perAction = nil
+	switch w.Mode {
+	case "shared":
+		if len(w.Shared) == 0 {
+			return fmt.Errorf("learn: shared model without weights")
+		}
+		m.shared = w.Shared
+	case "per-action":
+		if len(w.PerAction) == 0 {
+			return fmt.Errorf("learn: per-action model without rows")
+		}
+		m.perAction = make([]core.Vector, len(w.PerAction))
+		for i, v := range w.PerAction {
+			m.perAction[i] = v
+		}
+	default:
+		return fmt.Errorf("learn: unknown model mode %q", w.Mode)
+	}
+	return nil
+}
+
+// NumActions returns the trained action count for per-action models (0 for
+// shared-mode models, which apply to any action set).
+func (m *RewardModel) NumActions() int { return len(m.perAction) }

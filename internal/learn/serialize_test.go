@@ -1,0 +1,116 @@
+package learn
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func TestRewardModelJSONRoundTripPerAction(t *testing.T) {
+	ds := genBandit(1, 4000, 3)
+	m, err := FitRewardModel(ds, FitOptions{Lambda: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded RewardModel
+	if err := json.Unmarshal(raw, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumActions() != 3 {
+		t.Errorf("NumActions = %d", loaded.NumActions())
+	}
+	// Predictions must be identical across the round trip.
+	r := stats.NewRand(2)
+	for i := 0; i < 200; i++ {
+		ctx := &core.Context{Features: core.Vector{r.Float64() * 2}, NumActions: 3}
+		for a := core.Action(0); a < 3; a++ {
+			if m.Predict(ctx, a) != loaded.Predict(ctx, a) {
+				t.Fatalf("prediction drift at %v action %d", ctx.Features, a)
+			}
+		}
+		if m.GreedyPolicy(false).Act(ctx) != loaded.GreedyPolicy(false).Act(ctx) {
+			t.Fatalf("greedy policy drift at %v", ctx.Features)
+		}
+	}
+}
+
+func TestRewardModelJSONRoundTripShared(t *testing.T) {
+	r := stats.NewRand(3)
+	ds := make(core.Dataset, 2000)
+	for i := range ds {
+		af := []core.Vector{{r.Float64(), 1, 0}, {r.Float64(), 0, 1}}
+		a := core.Action(r.Intn(2))
+		ds[i] = core.Datapoint{
+			Context:    core.Context{ActionFeatures: af, NumActions: 2},
+			Action:     a,
+			Reward:     2*af[a][0] + float64(a),
+			Propensity: 0.5,
+		}
+	}
+	m, err := FitRewardModel(ds, FitOptions{Lambda: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded RewardModel
+	if err := json.Unmarshal(raw, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumActions() != 0 {
+		t.Errorf("shared model NumActions = %d, want 0", loaded.NumActions())
+	}
+	ctx := &core.Context{ActionFeatures: []core.Vector{{0.5, 1, 0}, {0.2, 0, 1}}, NumActions: 2}
+	for a := core.Action(0); a < 2; a++ {
+		if math.Abs(m.Predict(ctx, a)-loaded.Predict(ctx, a)) > 0 {
+			t.Fatalf("shared prediction drift")
+		}
+	}
+}
+
+func TestRewardModelFallbackSurvivesRoundTrip(t *testing.T) {
+	// All data on action 0: action 1 predicts the fallback mean.
+	ds := core.Dataset{
+		{Context: core.Context{Features: core.Vector{1}, NumActions: 2}, Action: 0, Reward: 4, Propensity: 0.5},
+		{Context: core.Context{Features: core.Vector{2}, NumActions: 2}, Action: 0, Reward: 6, Propensity: 0.5},
+	}
+	m, err := FitRewardModel(ds, FitOptions{Lambda: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded RewardModel
+	if err := json.Unmarshal(raw, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &core.Context{Features: core.Vector{1.5}, NumActions: 2}
+	if got := loaded.Predict(ctx, 1); got != 5 {
+		t.Errorf("fallback after round trip = %v, want 5", got)
+	}
+}
+
+func TestRewardModelUnmarshalRejectsGarbage(t *testing.T) {
+	var m RewardModel
+	for _, raw := range []string{
+		`{"mode":"nope"}`,
+		`{"mode":"shared"}`,
+		`{"mode":"per-action"}`,
+		`not json`,
+	} {
+		if err := json.Unmarshal([]byte(raw), &m); err == nil {
+			t.Errorf("input %q should fail", raw)
+		}
+	}
+}

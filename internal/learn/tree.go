@@ -1,0 +1,187 @@
+package learn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+// TreeOptions configures policy-tree distillation.
+type TreeOptions struct {
+	// MaxDepth bounds the tree height (default 3).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 20).
+	MinLeaf int
+	// CutsPerFeature caps the candidate thresholds tried per feature
+	// (quantiles of the observed values; default 8).
+	CutsPerFeature int
+}
+
+// DistillTree compresses a teacher policy into a small decision tree by
+// CART-style recursive partitioning on a sample of contexts: each context
+// is labeled with the teacher's action and splits greedily maximize label
+// agreement. The result is an interpretable, O(depth)-per-decision policy
+// — deployable on hot paths where even a linear model per action might be
+// too slow, and exactly the kind of compact template §4 envisions
+// searching over.
+func DistillTree(teacher core.Policy, contexts []core.Context, opts TreeOptions) (*policy.Tree, error) {
+	if teacher == nil {
+		return nil, fmt.Errorf("learn: nil teacher policy")
+	}
+	if len(contexts) == 0 {
+		return nil, core.ErrNoData
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 3
+	}
+	if opts.MinLeaf <= 0 {
+		opts.MinLeaf = 20
+	}
+	if opts.CutsPerFeature <= 0 {
+		opts.CutsPerFeature = 8
+	}
+	k := 0
+	labels := make([]core.Action, len(contexts))
+	for i := range contexts {
+		if err := contexts[i].Validate(); err != nil {
+			return nil, fmt.Errorf("learn: context %d: %w", i, err)
+		}
+		labels[i] = teacher.Act(&contexts[i])
+		if contexts[i].NumActions > k {
+			k = contexts[i].NumActions
+		}
+	}
+	idx := make([]int, len(contexts))
+	for i := range idx {
+		idx[i] = i
+	}
+	tree := buildTree(contexts, labels, idx, k, opts.MaxDepth, opts)
+	if err := tree.Validate(k); err != nil {
+		return nil, fmt.Errorf("learn: distilled tree invalid: %w", err)
+	}
+	return tree, nil
+}
+
+// buildTree recursively partitions rows (indexes into contexts/labels).
+func buildTree(contexts []core.Context, labels []core.Action, rows []int, k, depth int, opts TreeOptions) *policy.Tree {
+	maj, pure := majority(labels, rows, k)
+	if depth == 0 || pure || len(rows) < 2*opts.MinLeaf {
+		return &policy.Tree{Leaf: true, Action: maj}
+	}
+	dim := 0
+	for _, r := range rows {
+		if len(contexts[r].Features) > dim {
+			dim = len(contexts[r].Features)
+		}
+	}
+	bestGain := 0
+	var bestIdx int
+	var bestCut float64
+	var bestBelow, bestAbove []int
+	baseAgree := agreement(labels, rows, maj)
+	for f := 0; f < dim; f++ {
+		for _, cut := range candidateCuts(contexts, rows, f, opts.CutsPerFeature) {
+			below, above := partition(contexts, rows, f, cut)
+			if len(below) < opts.MinLeaf || len(above) < opts.MinLeaf {
+				continue
+			}
+			mb, _ := majority(labels, below, k)
+			ma, _ := majority(labels, above, k)
+			gain := agreement(labels, below, mb) + agreement(labels, above, ma) - baseAgree
+			if gain > bestGain {
+				bestGain, bestIdx, bestCut = gain, f, cut
+				bestBelow, bestAbove = below, above
+			}
+		}
+	}
+	if bestGain <= 0 {
+		return &policy.Tree{Leaf: true, Action: maj}
+	}
+	return &policy.Tree{
+		Idx: bestIdx, Cut: bestCut,
+		Below: buildTree(contexts, labels, bestBelow, k, depth-1, opts),
+		Above: buildTree(contexts, labels, bestAbove, k, depth-1, opts),
+	}
+}
+
+// majority returns the most common label among rows and whether they are
+// unanimous.
+func majority(labels []core.Action, rows []int, k int) (core.Action, bool) {
+	counts := make([]int, k)
+	for _, r := range rows {
+		counts[labels[r]]++
+	}
+	best, bestC, distinct := core.Action(0), -1, 0
+	for a, c := range counts {
+		if c > 0 {
+			distinct++
+		}
+		if c > bestC {
+			best, bestC = core.Action(a), c
+		}
+	}
+	return best, distinct <= 1
+}
+
+// agreement counts rows whose label equals a.
+func agreement(labels []core.Action, rows []int, a core.Action) int {
+	n := 0
+	for _, r := range rows {
+		if labels[r] == a {
+			n++
+		}
+	}
+	return n
+}
+
+// candidateCuts returns up to limit quantile thresholds of feature f.
+func candidateCuts(contexts []core.Context, rows []int, f, limit int) []float64 {
+	vals := make([]float64, 0, len(rows))
+	for _, r := range rows {
+		v := 0.0
+		if f < len(contexts[r].Features) {
+			v = contexts[r].Features[f]
+		}
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	uniq := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	if len(uniq) < 2 {
+		return nil
+	}
+	cuts := make([]float64, 0, limit)
+	for i := 1; i <= limit; i++ {
+		pos := i * len(uniq) / (limit + 1)
+		if pos == 0 || pos >= len(uniq) {
+			continue
+		}
+		cut := (uniq[pos-1] + uniq[pos]) / 2
+		if len(cuts) == 0 || cut != cuts[len(cuts)-1] {
+			cuts = append(cuts, cut)
+		}
+	}
+	return cuts
+}
+
+// partition splits rows by Features[f] < cut.
+func partition(contexts []core.Context, rows []int, f int, cut float64) (below, above []int) {
+	for _, r := range rows {
+		v := 0.0
+		if f < len(contexts[r].Features) {
+			v = contexts[r].Features[f]
+		}
+		if v < cut {
+			below = append(below, r)
+		} else {
+			above = append(above, r)
+		}
+	}
+	return below, above
+}

@@ -1,0 +1,174 @@
+package learn
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+func TestTreeActAndValidate(t *testing.T) {
+	tree := &policy.Tree{
+		Idx: 0, Cut: 0.5,
+		Below: &policy.Tree{Leaf: true, Action: 1},
+		Above: &policy.Tree{
+			Idx: 1, Cut: 2,
+			Below: &policy.Tree{Leaf: true, Action: 0},
+			Above: &policy.Tree{Leaf: true, Action: 2},
+		},
+	}
+	if err := tree.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		feats core.Vector
+		want  core.Action
+	}{
+		{core.Vector{0.2, 9}, 1},
+		{core.Vector{0.9, 1}, 0},
+		{core.Vector{0.9, 3}, 2},
+		{nil, 1}, // missing features read as 0 → below branch
+	}
+	for _, c := range cases {
+		ctx := &core.Context{Features: c.feats, NumActions: 3}
+		if got := tree.Act(ctx); got != c.want {
+			t.Errorf("Act(%v) = %d, want %d", c.feats, got, c.want)
+		}
+	}
+	if tree.Depth() != 2 || tree.Leaves() != 3 {
+		t.Errorf("depth %d leaves %d", tree.Depth(), tree.Leaves())
+	}
+	if tree.String() == "" {
+		t.Error("String empty")
+	}
+	// Action clamping for small action sets.
+	small := &core.Context{Features: core.Vector{0.9, 3}, NumActions: 2}
+	if got := tree.Act(small); got != 1 {
+		t.Errorf("clamped Act = %d, want 1", got)
+	}
+}
+
+func TestTreeValidateRejectsBadShapes(t *testing.T) {
+	if err := (&policy.Tree{Leaf: true, Action: 5}).Validate(3); err == nil {
+		t.Error("leaf action out of range should fail")
+	}
+	if err := (&policy.Tree{Idx: 0, Cut: 1}).Validate(3); err == nil {
+		t.Error("internal node without children should fail")
+	}
+	if err := (&policy.Tree{Idx: -1, Cut: 1,
+		Below: &policy.Tree{Leaf: true}, Above: &policy.Tree{Leaf: true}}).Validate(3); err == nil {
+		t.Error("negative feature index should fail")
+	}
+	var nilTree *policy.Tree
+	if err := nilTree.Validate(2); err == nil {
+		t.Error("nil tree should fail")
+	}
+}
+
+func TestDistillRecoversStumpExactly(t *testing.T) {
+	teacher := policy.Stump{Idx: 0, Cut: 0.5, Below: 2, Above: 0}
+	r := stats.NewRand(1)
+	contexts := make([]core.Context, 2000)
+	for i := range contexts {
+		contexts[i] = core.Context{Features: core.Vector{r.Float64()}, NumActions: 3}
+	}
+	tree, err := DistillTree(teacher, contexts, TreeOptions{MaxDepth: 2, CutsPerFeature: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near-perfect agreement on fresh contexts (the learned threshold can
+	// be off by at most one inter-sample gap around 0.5).
+	eval := stats.NewRand(2)
+	disagreements := 0
+	for i := 0; i < 2000; i++ {
+		ctx := core.Context{Features: core.Vector{eval.Float64()}, NumActions: 3}
+		if tree.Act(&ctx) != teacher.Act(&ctx) {
+			disagreements++
+		}
+	}
+	if disagreements > 20 { // ≤1%
+		t.Fatalf("%d/2000 disagreements with the teacher stump", disagreements)
+	}
+	if tree.Depth() > 2 {
+		t.Errorf("depth = %d", tree.Depth())
+	}
+}
+
+func TestDistillTracksRewardModelPolicy(t *testing.T) {
+	// Distill the greedy policy of a model trained on the synthetic
+	// bandit world and check the student is nearly as good.
+	ds := genBandit(3, 8000, 3)
+	model, err := FitRewardModel(ds, FitOptions{Lambda: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	teacher := model.GreedyPolicy(false)
+	r := stats.NewRand(4)
+	contexts := make([]core.Context, 4000)
+	for i := range contexts {
+		contexts[i] = core.Context{Features: core.Vector{r.Float64() * 2}, NumActions: 3}
+	}
+	tree, err := DistillTree(teacher, contexts, TreeOptions{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalR := stats.NewRand(5)
+	var teacherVal, studentVal stats.Welford
+	for i := 0; i < 5000; i++ {
+		x := core.Vector{evalR.Float64() * 2}
+		ctx := core.Context{Features: x, NumActions: 3}
+		teacherVal.Add(perActionTruth(x, teacher.Act(&ctx)))
+		studentVal.Add(perActionTruth(x, tree.Act(&ctx)))
+	}
+	if studentVal.Mean() < teacherVal.Mean()-0.02 {
+		t.Errorf("student %v lags teacher %v", studentVal.Mean(), teacherVal.Mean())
+	}
+}
+
+func TestDistillRespectsMinLeaf(t *testing.T) {
+	teacher := policy.Stump{Idx: 0, Cut: 0.5, Below: 0, Above: 1}
+	r := stats.NewRand(6)
+	contexts := make([]core.Context, 30)
+	for i := range contexts {
+		contexts[i] = core.Context{Features: core.Vector{r.Float64()}, NumActions: 2}
+	}
+	// MinLeaf of 20 with 30 samples: no split possible → single leaf.
+	tree, err := DistillTree(teacher, contexts, TreeOptions{MaxDepth: 3, MinLeaf: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Leaf {
+		t.Errorf("expected a single leaf, got depth %d", tree.Depth())
+	}
+}
+
+func TestDistillValidation(t *testing.T) {
+	if _, err := DistillTree(nil, []core.Context{{NumActions: 2}}, TreeOptions{}); err == nil {
+		t.Error("nil teacher should fail")
+	}
+	if _, err := DistillTree(policy.Constant{A: 0}, nil, TreeOptions{}); !errors.Is(err, core.ErrNoData) {
+		t.Error("no contexts should fail")
+	}
+	bad := []core.Context{{NumActions: 0}}
+	if _, err := DistillTree(policy.Constant{A: 0}, bad, TreeOptions{}); err == nil {
+		t.Error("invalid context should fail")
+	}
+}
+
+func TestDistillConstantTeacher(t *testing.T) {
+	// A constant teacher distills to a single pure leaf immediately.
+	r := stats.NewRand(7)
+	contexts := make([]core.Context, 500)
+	for i := range contexts {
+		contexts[i] = core.Context{Features: core.Vector{r.Float64()}, NumActions: 4}
+	}
+	tree, err := DistillTree(policy.Constant{A: 3}, contexts, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Leaf || tree.Action != 3 {
+		t.Errorf("tree = %s", tree)
+	}
+}

@@ -1,0 +1,120 @@
+package netlb
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// HealthChecker probes upstreams periodically and exposes an up/down view,
+// the way Nginx's health checks take failed backends out of rotation. When
+// wired into a Proxy, routing renormalizes over the healthy set — which is
+// also how chaos-style outages concentrate traffic and broaden exploration
+// coverage on a *real* system (§5).
+type HealthChecker struct {
+	targets  []string
+	interval time.Duration
+	client   *http.Client
+
+	mu      sync.RWMutex
+	healthy []bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewHealthChecker builds a checker for the given upstream host:port
+// addresses. All targets start healthy.
+func NewHealthChecker(targets []string, interval time.Duration) (*HealthChecker, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("netlb: health checker needs targets")
+	}
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	h := &HealthChecker{
+		targets:  append([]string(nil), targets...),
+		interval: interval,
+		client: &http.Client{
+			Timeout: interval,
+		},
+		healthy: make([]bool, len(targets)),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for i := range h.healthy {
+		h.healthy[i] = true
+	}
+	return h, nil
+}
+
+// Start launches the probe loop (one immediate sweep, then periodic).
+func (h *HealthChecker) Start() {
+	go func() {
+		defer close(h.done)
+		h.sweep()
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				h.sweep()
+			}
+		}
+	}()
+}
+
+// Stop halts the probe loop and waits for it to exit.
+func (h *HealthChecker) Stop() {
+	close(h.stop)
+	<-h.done
+}
+
+// sweep probes every target once, in parallel.
+func (h *HealthChecker) sweep() {
+	results := make([]bool, len(h.targets))
+	var wg sync.WaitGroup
+	for i, target := range h.targets {
+		wg.Add(1)
+		go func(i int, target string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), h.interval)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+target+"/", nil)
+			if err != nil {
+				return
+			}
+			resp, err := h.client.Do(req)
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+			results[i] = resp.StatusCode < 500
+		}(i, target)
+	}
+	wg.Wait()
+	h.mu.Lock()
+	copy(h.healthy, results)
+	h.mu.Unlock()
+}
+
+// Healthy returns a snapshot of the per-target health flags.
+func (h *HealthChecker) Healthy() []bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return append([]bool(nil), h.healthy...)
+}
+
+// SetHealth overrides one target's flag (used by tests and by chaos
+// injection to force an outage without killing the process).
+func (h *HealthChecker) SetHealth(i int, up bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if i >= 0 && i < len(h.healthy) {
+		h.healthy[i] = up
+	}
+}

@@ -1,0 +1,201 @@
+package netlb
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+func TestHealthCheckerProbesLiveness(t *testing.T) {
+	b0, err := StartBackend(0, time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b0.Close()
+	b1, err := StartBackend(1, time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := NewHealthChecker([]string{b0.Addr(), b1.Addr()}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	defer h.Stop()
+
+	waitFor := func(want []bool) bool {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			got := h.Healthy()
+			if got[0] == want[0] && got[1] == want[1] {
+				return true
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return false
+	}
+	if !waitFor([]bool{true, true}) {
+		t.Fatalf("both backends should probe healthy: %v", h.Healthy())
+	}
+	// Kill backend 1; the checker must notice.
+	b1.Close()
+	if !waitFor([]bool{true, false}) {
+		t.Fatalf("checker missed the outage: %v", h.Healthy())
+	}
+}
+
+func TestHealthCheckerValidation(t *testing.T) {
+	if _, err := NewHealthChecker(nil, time.Second); err == nil {
+		t.Error("no targets should fail")
+	}
+	h, err := NewHealthChecker([]string{"127.0.0.1:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default interval applied; SetHealth bounds-checked.
+	h.SetHealth(5, false) // out of range: no panic, no effect
+	h.SetHealth(0, false)
+	if h.Healthy()[0] {
+		t.Error("SetHealth(0,false) ignored")
+	}
+}
+
+func TestMaskDistribution(t *testing.T) {
+	dist := []float64{0.5, 0.3, 0.2}
+	got := maskDistribution(dist, []bool{true, false, true})
+	if got[1] != 0 {
+		t.Errorf("down upstream kept mass: %v", got)
+	}
+	if abs := got[0] + got[2] - 1; abs > 1e-12 || abs < -1e-12 {
+		t.Errorf("not renormalized: %v", got)
+	}
+	if got[0] < got[2] {
+		t.Errorf("relative order broken: %v", got)
+	}
+	// All-down mask falls back to the original.
+	same := maskDistribution(dist, []bool{false, false, false})
+	if same[0] != 0.5 {
+		t.Errorf("all-down fallback broken: %v", same)
+	}
+	// nil mask is a no-op.
+	if maskDistribution(dist, nil)[0] != 0.5 {
+		t.Error("nil mask should be identity")
+	}
+}
+
+func TestProxyFailsOverDuringOutage(t *testing.T) {
+	var logBuf bytes.Buffer
+	b0, err := StartBackend(0, time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b0.Close()
+	b1, err := StartBackend(1, time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b1.Close()
+
+	h, err := NewHealthChecker([]string{b0.Addr(), b1.Addr()}, time.Hour) // manual control
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProxy([]string{b0.Addr(), b1.Addr()},
+		policy.UniformRandom{R: stats.NewRand(1)}, stats.NewRand(2), &logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetHealthChecker(h)
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Outage: backend 1 marked down (chaos injection).
+	h.SetHealth(1, false)
+	for i := 0; i < 20; i++ {
+		resp, err := http.Get(p.URL() + "/failover")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d during failover", resp.StatusCode)
+		}
+	}
+	if b1.Served() != 0 {
+		t.Errorf("down backend served %d requests", b1.Served())
+	}
+	if b0.Served() != 20 {
+		t.Errorf("survivor served %d, want 20", b0.Served())
+	}
+	// Propensity during the outage is 1 (single-action support) — the
+	// harvestable record of the concentrated exploration chaos creates.
+	if !strings.Contains(logBuf.String(), "prop=1.0") {
+		t.Error("outage routing should log propensity 1")
+	}
+
+	// Recovery: traffic spreads again.
+	h.SetHealth(1, true)
+	for i := 0; i < 40; i++ {
+		resp, err := http.Get(p.URL() + "/recovered")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if b1.Served() == 0 {
+		t.Error("recovered backend got no traffic")
+	}
+}
+
+func TestDeterministicPolicyFailsOver(t *testing.T) {
+	b0, err := StartBackend(0, time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b0.Close()
+	b1, err := StartBackend(1, time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b1.Close()
+	h, err := NewHealthChecker([]string{b0.Addr(), b1.Addr()}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProxy([]string{b0.Addr(), b1.Addr()},
+		policy.Constant{A: 0}, stats.NewRand(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetHealthChecker(h)
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	h.SetHealth(0, false) // the constant policy's target goes down
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(p.URL() + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	if b1.Served() != 10 || b0.Served() != 0 {
+		t.Errorf("failover split %d/%d, want 0/10", b0.Served(), b1.Served())
+	}
+}

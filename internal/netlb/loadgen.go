@@ -1,0 +1,95 @@
+package netlb
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// LoadResult summarizes a load-generation run against the proxy.
+type LoadResult struct {
+	// Latencies holds one end-to-end request time per completed request.
+	Latencies []time.Duration
+	// Errors counts failed requests.
+	Errors int
+}
+
+// Mean returns the mean latency.
+func (lr *LoadResult) Mean() time.Duration {
+	if len(lr.Latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range lr.Latencies {
+		sum += l
+	}
+	return sum / time.Duration(len(lr.Latencies))
+}
+
+// P99 returns the 99th-percentile latency.
+func (lr *LoadResult) P99() (time.Duration, error) {
+	xs := make([]float64, len(lr.Latencies))
+	for i, l := range lr.Latencies {
+		xs[i] = float64(l)
+	}
+	q, err := stats.Quantile(xs, 0.99)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(q), nil
+}
+
+// GenerateLoad fires n GET requests at url with Poisson arrivals of the
+// given rate (requests/second). Requests run concurrently, as a real open
+// system would. It returns when all responses have arrived.
+func GenerateLoad(url string, n int, ratePerSec float64, r *rand.Rand) (*LoadResult, error) {
+	if n <= 0 || ratePerSec <= 0 {
+		return nil, fmt.Errorf("netlb: load n=%d rate=%v", n, ratePerSec)
+	}
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: 256,
+		},
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		res  LoadResult
+		mean = time.Duration(float64(time.Second) / ratePerSec)
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			resp, err := client.Get(fmt.Sprintf("%s/req/%d", url, i))
+			if err != nil {
+				mu.Lock()
+				res.Errors++
+				mu.Unlock()
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			elapsed := time.Since(start)
+			mu.Lock()
+			if resp.StatusCode == http.StatusOK {
+				res.Latencies = append(res.Latencies, elapsed)
+			} else {
+				res.Errors++
+			}
+			mu.Unlock()
+		}(i)
+		// Poisson inter-arrival gap (in real time).
+		gap := time.Duration(r.ExpFloat64() * float64(mean))
+		time.Sleep(gap)
+	}
+	wg.Wait()
+	return &res, nil
+}

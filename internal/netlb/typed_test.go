@@ -1,0 +1,181 @@
+package netlb
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harvester"
+	"repro/internal/lbsim"
+	"repro/internal/learn"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+func TestTypeFromPath(t *testing.T) {
+	cases := []struct {
+		path string
+		n    int
+		want int
+	}{
+		{"/type/0/x", 2, 0},
+		{"/type/1", 2, 1},
+		{"/type/1/deep/path", 2, 1},
+		{"/type/5", 2, -1},   // out of range
+		{"/type/", 2, -1},    // no digits
+		{"/typo/1", 2, -1},   // wrong prefix
+		{"/", 2, -1},         // no type
+		{"/type/1", 0, -1},   // types disabled
+		{"/type/12", 20, 12}, // multi-digit
+	}
+	for _, c := range cases {
+		if got := TypeFromPath(c.path, c.n); got != c.want {
+			t.Errorf("TypeFromPath(%q, %d) = %d, want %d", c.path, c.n, got, c.want)
+		}
+	}
+}
+
+func TestBackendAffinitySlowsMismatchedType(t *testing.T) {
+	b, err := StartBackend(0, 2*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Affinity = []time.Duration{0, 8 * time.Millisecond}
+	fast := timeGet(t, b.URL()+"/type/0/x")
+	slow := timeGet(t, b.URL()+"/type/1/x")
+	if slow < fast+5*time.Millisecond {
+		t.Errorf("affinity penalty missing: type0 %v, type1 %v", fast, slow)
+	}
+	// Untyped paths take no penalty.
+	plain := timeGet(t, b.URL()+"/plain")
+	if plain > fast+3*time.Millisecond {
+		t.Errorf("untyped request penalized: %v vs %v", plain, fast)
+	}
+}
+
+// TestTypedCBBeatsLeastLoadedOverRealHTTP is Table 2's CB-vs-least-loaded
+// result on the real network: two backends each specialized for one request
+// type, exploration harvested from the proxy's typed access log, a CB
+// latency model trained offline, and both policies deployed and measured.
+func TestTypedCBBeatsLeastLoadedOverRealHTTP(t *testing.T) {
+	const numTypes = 2
+	mk := func(id int, aff []time.Duration) *Backend {
+		b, err := StartBackend(id, 2*time.Millisecond, 300*time.Microsecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { b.Close() })
+		b.Affinity = aff
+		return b
+	}
+	// Backend 0 native on type 0, backend 1 native on type 1.
+	b0 := mk(0, []time.Duration{0, 10 * time.Millisecond})
+	b1 := mk(1, []time.Duration{10 * time.Millisecond, 0})
+
+	fire := func(p *Proxy, n int, seed int64) time.Duration {
+		r := stats.NewRand(seed)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var totalLat time.Duration
+		count := 0
+		sem := make(chan struct{}, 8)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				reqType := i % numTypes
+				start := time.Now()
+				resp, err := http.Get(fmt.Sprintf("%s/type/%d/req%d", p.URL(), reqType, i))
+				if err != nil {
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				mu.Lock()
+				totalLat += time.Since(start)
+				count++
+				mu.Unlock()
+			}(i)
+			// light pacing so concurrency stays meaningful
+			if r.Intn(4) == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		wg.Wait()
+		if count == 0 {
+			t.Fatal("no requests completed")
+		}
+		return totalLat / time.Duration(count)
+	}
+
+	// Phase 1: harvest under random routing with typed logging.
+	var logBuf strings.Builder
+	explore, err := NewProxy([]string{b0.Addr(), b1.Addr()},
+		policy.UniformRandom{R: stats.NewRand(1)}, stats.NewRand(2), &logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explore.SetNumTypes(numTypes)
+	if _, err := explore.Start(); err != nil {
+		t.Fatal(err)
+	}
+	fire(explore, 400, 3)
+	explore.Close()
+
+	entries, err := harvester.ScavengeNginx(strings.NewReader(logBuf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, skipped, err := harvester.NginxToTypedDataset(entries, numTypes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(ds) == 0 {
+		t.Fatalf("harvested %d (skipped %d)", len(ds), skipped)
+	}
+	// Typed contexts should carry the type one-hot.
+	if len(ds[0].Context.Features) != 2+numTypes {
+		t.Fatalf("typed shared features = %v", ds[0].Context.Features)
+	}
+	model, err := learn.FitRewardModel(ds, learn.FitOptions{Lambda: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbPolicy := model.GreedyPolicy(true)
+
+	// Phase 2: deploy CB and least-loaded; CB should win by routing each
+	// type to its native backend.
+	cbProxy, err := NewProxy([]string{b0.Addr(), b1.Addr()}, cbPolicy, stats.NewRand(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbProxy.SetNumTypes(numTypes)
+	if _, err := cbProxy.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cbProxy.Close()
+	cbLat := fire(cbProxy, 300, 5)
+
+	llProxy, err := NewProxy([]string{b0.Addr(), b1.Addr()}, lbsim.LeastLoaded{}, stats.NewRand(6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llProxy.SetNumTypes(numTypes)
+	if _, err := llProxy.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer llProxy.Close()
+	llLat := fire(llProxy, 300, 7)
+
+	if cbLat >= llLat {
+		t.Errorf("typed CB %v should beat least-loaded %v on real HTTP", cbLat, llLat)
+	}
+	t.Logf("CB %v vs least-loaded %v", cbLat, llLat)
+}

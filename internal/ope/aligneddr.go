@@ -1,0 +1,67 @@
+package ope
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// AlignedDR is the doubly robust estimator fed precomputed, dataset-aligned
+// reward predictions — the entry point for cross-fitted models
+// (learn.CrossFitRewardPredictions), where each datapoint's prediction
+// comes from a model trained without that datapoint:
+//
+//	v = (1/N) Σ_t [ pred[t][π(x_t)] + w_t·(r_t − pred[t][a_t]) ]
+//
+// With predictions independent of each datapoint, the estimate keeps DR's
+// unbiasedness guarantee even when the model class is rich enough to
+// memorize the training noise (where in-sample DoublyRobust quietly turns
+// into the direct method).
+func AlignedDR(policy core.Policy, data core.Dataset, pred [][]float64, clip float64) (Estimate, error) {
+	if len(data) == 0 {
+		return Estimate{}, core.ErrNoData
+	}
+	if len(pred) != len(data) {
+		return Estimate{}, fmt.Errorf("ope: %d prediction rows for %d datapoints", len(pred), len(data))
+	}
+	var (
+		acc     stats.Welford
+		matches int
+		maxW    float64
+	)
+	for i := range data {
+		d := &data[i]
+		if !(d.Propensity > 0) {
+			return Estimate{}, fmt.Errorf("ope: datapoint %d has propensity %v; %w",
+				i, d.Propensity, errBadPropensity)
+		}
+		row := pred[i]
+		if len(row) < d.Context.NumActions {
+			return Estimate{}, fmt.Errorf("ope: prediction row %d has %d actions, context has %d",
+				i, len(row), d.Context.NumActions)
+		}
+		aPi := policy.Act(&d.Context)
+		pi := core.ActionProb(policy, &d.Context, d.Action)
+		w := pi / d.Propensity
+		if clip > 0 && w > clip {
+			w = clip
+		}
+		if pi > 0 {
+			matches++
+		}
+		if w > maxW {
+			maxW = w
+		}
+		acc.Add(row[aPi] + w*(d.Reward-row[d.Action]))
+	}
+	n := float64(len(data))
+	return Estimate{
+		Value:     acc.Mean(),
+		StdErr:    math.Sqrt(acc.Variance() / n),
+		N:         len(data),
+		Matches:   matches,
+		MaxWeight: maxW,
+	}, nil
+}

@@ -1,0 +1,76 @@
+package ope
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Eq1Error is the paper's Eq. 1: with probability 1-delta, evaluating K
+// policies simultaneously on N exploration datapoints whose minimum logged
+// propensity is eps yields a confidence interval of size
+//
+//	sqrt( C / (eps·N) · log(K/delta) )
+//
+// for every policy, assuming rewards in [0, 1]. C is a small constant.
+func Eq1Error(c, eps float64, n float64, k float64, delta float64) float64 {
+	if c <= 0 || eps <= 0 || n <= 0 || k < 1 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(c / (eps * n) * math.Log(k/delta))
+}
+
+// Eq1RequiredN inverts Eq. 1: the number of exploration datapoints needed to
+// evaluate K policies to within targetErr with probability 1-delta.
+func Eq1RequiredN(c, eps float64, k float64, delta, targetErr float64) float64 {
+	if targetErr <= 0 {
+		return math.Inf(1)
+	}
+	if c <= 0 || eps <= 0 || k < 1 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	return c * math.Log(k/delta) / (eps * targetErr * targetErr)
+}
+
+// ABError is the paper's A/B-testing counterpart to Eq. 1: splitting N
+// datapoints across K policies (each policy only sees data collected while
+// it was deployed) gives per-policy error up to
+//
+//	C · sqrt(K/N) · log(K/delta)
+func ABError(c float64, k float64, n float64, delta float64) float64 {
+	if c <= 0 || k < 1 || n <= 0 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	return c * math.Sqrt(k/n) * math.Log(k/delta)
+}
+
+// ABRequiredN inverts ABError for the data needed to A/B test K policies to
+// within targetErr.
+func ABRequiredN(c float64, k float64, delta, targetErr float64) float64 {
+	if targetErr <= 0 || c <= 0 || k < 1 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	l := math.Log(k / delta)
+	return k * c * c * l * l / (targetErr * targetErr)
+}
+
+// HighConfidenceInterval computes a distribution-free 1-delta confidence
+// interval for an IPS-style estimate whose per-datapoint terms lie in
+// [0, rangeHi] (rewards in [0,1] imply rangeHi = 1/eps). It returns the
+// tighter of the Hoeffding and empirical-Bernstein intervals, following the
+// high-confidence off-policy evaluation approach of Thomas et al. (2015)
+// that §5 of the paper proposes to leverage.
+func HighConfidenceInterval(est Estimate, rangeHi, delta float64) stats.Interval {
+	if est.N == 0 {
+		return stats.Interval{Point: est.Value, Lo: math.Inf(-1), Hi: math.Inf(1)}
+	}
+	rH := stats.HoeffdingRadius(est.N, 0, rangeHi, delta)
+	// Recover the sample variance of the terms from the standard error.
+	v := est.StdErr * est.StdErr * float64(est.N)
+	rB := stats.EmpiricalBernsteinRadius(est.N, v, rangeHi, delta)
+	r := rH
+	if rB < r {
+		r = rB
+	}
+	return stats.Interval{Point: est.Value, Lo: est.Value - r, Hi: est.Value + r}
+}

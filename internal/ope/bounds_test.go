@@ -1,0 +1,139 @@
+package ope
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEq1ErrorShrinksWithN(t *testing.T) {
+	e1 := Eq1Error(2, 0.04, 1e5, 1e6, 0.05)
+	e2 := Eq1Error(2, 0.04, 4e5, 1e6, 0.05)
+	if !(e2 < e1) {
+		t.Errorf("error should shrink with N: %v !< %v", e2, e1)
+	}
+	if math.Abs(e2-e1/2) > 1e-12 {
+		t.Errorf("4x N should halve the error: %v vs %v", e2, e1/2)
+	}
+}
+
+func TestEq1ErrorDoublingEpsHalvesData(t *testing.T) {
+	// The paper: "doubling ε from 0.02 to 0.04 halves the data required".
+	n1 := Eq1RequiredN(2, 0.02, 1e6, 0.05, 0.05)
+	n2 := Eq1RequiredN(2, 0.04, 1e6, 0.05, 0.05)
+	if math.Abs(n1/n2-2) > 1e-9 {
+		t.Errorf("n(ε=0.02)/n(ε=0.04) = %v, want 2", n1/n2)
+	}
+}
+
+func TestEq1ErrorLogarithmicInK(t *testing.T) {
+	// Squaring K should only double log K (for delta=1): check the error
+	// grows far slower than sqrt(K).
+	e1 := Eq1Error(2, 0.04, 1e6, 1e3, 0.05)
+	e2 := Eq1Error(2, 0.04, 1e6, 1e6, 0.05)
+	if e2/e1 > 1.5 {
+		t.Errorf("K x1000 should barely move the error: %v -> %v", e1, e2)
+	}
+}
+
+func TestEq1RoundTrip(t *testing.T) {
+	c, eps, k, delta, target := 2.0, 0.04, 1e6, 0.05, 0.03
+	n := Eq1RequiredN(c, eps, k, delta, target)
+	got := Eq1Error(c, eps, n, k, delta)
+	if math.Abs(got-target) > 1e-9 {
+		t.Errorf("round trip error = %v, want %v", got, target)
+	}
+}
+
+func TestABRoundTrip(t *testing.T) {
+	c, k, delta, target := 1.0, 100.0, 0.05, 0.05
+	n := ABRequiredN(c, k, delta, target)
+	got := ABError(c, k, n, delta)
+	if math.Abs(got-target) > 1e-9 {
+		t.Errorf("round trip error = %v, want %v", got, target)
+	}
+}
+
+func TestCBExponentiallyMoreEfficientThanAB(t *testing.T) {
+	// The headline claim behind Fig. 1: at equal N and large K, CB error
+	// is exponentially smaller; equivalently required N diverges.
+	c, eps, delta, target := 2.0, 0.04, 0.01, 0.05
+	for _, k := range []float64{1e2, 1e4, 1e6, 1e8} {
+		cb := Eq1RequiredN(c, eps, k, delta, target)
+		ab := ABRequiredN(1, k, delta, target)
+		if cb >= ab {
+			t.Errorf("K=%g: CB needs %g, A/B needs %g — CB should be cheaper", k, cb, ab)
+		}
+	}
+	// Ratio should grow with K (A/B scales ~K, CB ~log K).
+	r1 := ABRequiredN(1, 1e4, delta, target) / Eq1RequiredN(c, eps, 1e4, delta, target)
+	r2 := ABRequiredN(1, 1e8, delta, target) / Eq1RequiredN(c, eps, 1e8, delta, target)
+	if r2 <= r1 {
+		t.Errorf("advantage should grow with K: %v -> %v", r1, r2)
+	}
+}
+
+func TestBoundsDegenerateInputs(t *testing.T) {
+	if !math.IsInf(Eq1Error(0, 0.1, 100, 10, 0.05), 1) {
+		t.Error("c=0 should be Inf")
+	}
+	if !math.IsInf(Eq1Error(1, 0, 100, 10, 0.05), 1) {
+		t.Error("eps=0 should be Inf")
+	}
+	if !math.IsInf(Eq1RequiredN(1, 0.1, 10, 0.05, 0), 1) {
+		t.Error("target=0 should be Inf")
+	}
+	if !math.IsInf(ABError(1, 10, 0, 0.05), 1) {
+		t.Error("n=0 should be Inf")
+	}
+	if !math.IsInf(ABRequiredN(1, 10, 2, 0.05), 1) {
+		t.Error("delta>1 should be Inf")
+	}
+}
+
+func TestHighConfidenceIntervalContainsPoint(t *testing.T) {
+	e := Estimate{Value: 0.5, StdErr: 0.02, N: 1000}
+	iv := HighConfidenceInterval(e, 25, 0.05)
+	if !iv.Contains(e.Value) {
+		t.Error("interval must contain the point")
+	}
+	if iv.Width() <= 0 {
+		t.Error("interval must have positive width")
+	}
+	// With tiny variance, the Bernstein interval should be far narrower
+	// than Hoeffding's range/√N radius.
+	hoeff := 25 * math.Sqrt(math.Log(2/0.05)/(2*1000.0))
+	if iv.Width()/2 >= hoeff {
+		t.Errorf("expected Bernstein to win: radius %v vs hoeffding %v", iv.Width()/2, hoeff)
+	}
+}
+
+func TestHighConfidenceIntervalEmptyEstimate(t *testing.T) {
+	iv := HighConfidenceInterval(Estimate{}, 1, 0.05)
+	if !math.IsInf(iv.Lo, -1) || !math.IsInf(iv.Hi, 1) {
+		t.Error("N=0 should give an infinite interval")
+	}
+}
+
+// Property: Eq1 error is monotone decreasing in N and eps, increasing in K.
+func TestEq1MonotoneProperty(t *testing.T) {
+	f := func(rawN, rawEps, rawK uint32) bool {
+		n := float64(rawN%1000000) + 1
+		eps := float64(rawEps%99+1) / 100
+		k := float64(rawK%100000) + 1
+		base := Eq1Error(2, eps, n, k, 0.05)
+		if Eq1Error(2, eps, n*2, k, 0.05) > base {
+			return false
+		}
+		if Eq1Error(2, eps/2, n, k, 0.05) < base {
+			return false
+		}
+		if Eq1Error(2, eps, n, k*10, 0.05) < base {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

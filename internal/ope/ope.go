@@ -1,0 +1,331 @@
+// Package ope implements off-policy evaluation for contextual bandits and
+// short-horizon reinforcement learning — the core contribution of
+// "Harvesting Randomness to Optimize Distributed Systems" (HotNets 2017).
+//
+// Given exploration data ⟨x_t, a_t, r_t, p_t⟩ logged by a deployed
+// randomized policy, the estimators here answer: what average reward would a
+// different policy π have obtained? The workhorse is inverse propensity
+// scoring (§4 of the paper):
+//
+//	ips(π) = (1/N) Σ_t 1{π(x_t)=a_t} · r_t / p_t
+//
+// which is unbiased whenever every action has positive logged propensity.
+// The package also provides the bias/variance alternatives the paper's §5
+// points at (clipped IPS, self-normalized IPS, the direct method, doubly
+// robust) and the trajectory-level importance sampling estimators needed
+// when decisions have long-term effects, plus the paper's Eq. 1 error bound
+// and its A/B-testing counterpart.
+package ope
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Estimate is the result of evaluating one policy on one dataset.
+type Estimate struct {
+	// Value is the estimated average reward of the candidate policy.
+	Value float64
+	// StdErr is the standard error of Value (sample std dev of the
+	// per-datapoint estimates divided by √N).
+	StdErr float64
+	// N is the number of datapoints consumed.
+	N int
+	// Matches counts datapoints where the candidate policy picked the
+	// logged action — the effective support of the estimate.
+	Matches int
+	// MaxWeight is the largest importance weight encountered, a quick
+	// variance diagnostic.
+	MaxWeight float64
+	// ESS is Kish's effective sample size (Σw)²/Σw² for the importance
+	// weights — how many "full-value" datapoints the weighted estimate is
+	// really built on. A small ESS relative to N warns that the candidate
+	// policy strays far from the logging policy. Zero when the estimator
+	// does not use importance weights.
+	ESS float64
+}
+
+// String renders the estimate compactly.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.4g ±%.2g (N=%d, matches=%d)", e.Value, e.StdErr, e.N, e.Matches)
+}
+
+// ConfidenceInterval returns a 1-delta interval around the estimate using a
+// normal approximation on the standard error.
+func (e Estimate) ConfidenceInterval(delta float64) stats.Interval {
+	r := stats.NormalApproxRadius(e.StdErr, delta)
+	if e.StdErr == 0 {
+		r = 0
+	}
+	return stats.Interval{Point: e.Value, Lo: e.Value - r, Hi: e.Value + r}
+}
+
+// Estimator evaluates a candidate policy against logged exploration data.
+type Estimator interface {
+	// Name identifies the estimator in experiment output.
+	Name() string
+	// Estimate computes the policy's estimated average reward.
+	Estimate(policy core.Policy, data core.Dataset) (Estimate, error)
+}
+
+// RewardModel predicts the reward of taking an action in a context. The
+// direct method and doubly robust estimators consume one; package learn
+// provides regression-based implementations.
+type RewardModel interface {
+	Predict(ctx *core.Context, a core.Action) float64
+}
+
+// IPS is the unclipped inverse propensity scoring estimator (Eq. in §4).
+// The zero value is ready to use.
+type IPS struct{}
+
+// Name implements Estimator.
+func (IPS) Name() string { return "ips" }
+
+// Estimate implements Estimator. It errors on an empty dataset or any
+// datapoint with non-positive propensity (the estimator is undefined there).
+func (IPS) Estimate(policy core.Policy, data core.Dataset) (Estimate, error) {
+	return weightedEstimate(policy, data, 0, false)
+}
+
+// ClippedIPS truncates importance weights at Max, trading a little bias for
+// a large variance reduction when propensities are small.
+type ClippedIPS struct {
+	// Max is the weight cap; values <= 0 mean "no clipping" (plain IPS).
+	Max float64
+}
+
+// Name implements Estimator.
+func (c ClippedIPS) Name() string { return fmt.Sprintf("ips-clip%.3g", c.Max) }
+
+// Estimate implements Estimator.
+func (c ClippedIPS) Estimate(policy core.Policy, data core.Dataset) (Estimate, error) {
+	return weightedEstimate(policy, data, c.Max, false)
+}
+
+// SNIPS is the self-normalized IPS estimator: it divides the weighted reward
+// sum by the sum of weights rather than by N. It is biased but consistent,
+// with much lower variance, and is invariant to reward translation.
+type SNIPS struct{}
+
+// Name implements Estimator.
+func (SNIPS) Name() string { return "snips" }
+
+// Estimate implements Estimator.
+func (SNIPS) Estimate(policy core.Policy, data core.Dataset) (Estimate, error) {
+	return weightedEstimate(policy, data, 0, true)
+}
+
+// weightedEstimate is the shared IPS/clip/SNIPS core.
+//
+// The plain (non-self-normalized) path streams: one pass, no per-datapoint
+// storage, variance via a running Welford accumulator — estimator calls sit
+// in the inner loop of the policy-class sweeps (Eq. 1 evaluates thousands
+// of policies on one log), so the hot path must not allocate. The
+// self-normalized path needs the ratio's residuals after the ratio is
+// known, so it keeps the per-datapoint terms and takes a second pass.
+func weightedEstimate(policy core.Policy, data core.Dataset, clip float64, selfNormalize bool) (Estimate, error) {
+	if len(data) == 0 {
+		return Estimate{}, core.ErrNoData
+	}
+	if !selfNormalize {
+		var (
+			acc        stats.Welford
+			matches    int
+			maxW       float64
+			wsum, w2um float64
+		)
+		for i := range data {
+			d := &data[i]
+			if !(d.Propensity > 0) {
+				return Estimate{}, fmt.Errorf("ope: datapoint %d has propensity %v; %w",
+					i, d.Propensity, errBadPropensity)
+			}
+			pi := core.ActionProb(policy, &d.Context, d.Action)
+			w := pi / d.Propensity
+			if clip > 0 && w > clip {
+				w = clip
+			}
+			if pi > 0 {
+				matches++
+			}
+			if w > maxW {
+				maxW = w
+			}
+			wsum += w
+			w2um += w * w
+			acc.Add(w * d.Reward)
+		}
+		n := float64(len(data))
+		ess := 0.0
+		if w2um > 0 {
+			ess = wsum * wsum / w2um
+		}
+		return Estimate{
+			Value:     acc.Mean(),
+			StdErr:    math.Sqrt(acc.Variance() / n),
+			N:         len(data),
+			Matches:   matches,
+			MaxWeight: maxW,
+			ESS:       ess,
+		}, nil
+	}
+
+	var (
+		sum     float64 // Σ w_t r_t
+		wsum    float64 // Σ w_t
+		matches int
+		maxW    float64
+		terms   = make([]float64, 0, len(data)) // w_t r_t
+		weights = make([]float64, 0, len(data))
+	)
+	for i := range data {
+		d := &data[i]
+		if !(d.Propensity > 0) {
+			return Estimate{}, fmt.Errorf("ope: datapoint %d has propensity %v; %w",
+				i, d.Propensity, errBadPropensity)
+		}
+		pi := core.ActionProb(policy, &d.Context, d.Action)
+		w := pi / d.Propensity
+		if clip > 0 && w > clip {
+			w = clip
+		}
+		if pi > 0 {
+			matches++
+		}
+		if w > maxW {
+			maxW = w
+		}
+		sum += w * d.Reward
+		wsum += w
+		terms = append(terms, w*d.Reward)
+		weights = append(weights, w)
+	}
+	n := float64(len(data))
+	est := Estimate{N: len(data), Matches: matches, MaxWeight: maxW}
+	if wsum == 0 {
+		return Estimate{}, fmt.Errorf("ope: %w: no datapoint matches the candidate policy", ErrNoOverlap)
+	}
+	w2 := 0.0
+	for _, wv := range weights {
+		w2 += wv * wv
+	}
+	if w2 > 0 {
+		est.ESS = wsum * wsum / w2
+	}
+	v := sum / wsum
+	est.Value = v
+	// Delta-method standard error for the ratio estimator:
+	// Var(Σwr/Σw) ≈ (1/(n·w̄²)) · Var(w r - v w).
+	wbar := wsum / n
+	resid := make([]float64, len(data))
+	for i := range resid {
+		resid[i] = terms[i] - v*weights[i]
+	}
+	est.StdErr = math.Sqrt(stats.Variance(resid)/n) / wbar
+	return est, nil
+}
+
+// DirectMethod scores a policy purely with a learned reward model:
+// dm(π) = (1/N) Σ_t model(x_t, π(x_t)). It has low variance but inherits
+// any bias in the model.
+type DirectMethod struct {
+	Model RewardModel
+}
+
+// Name implements Estimator.
+func (DirectMethod) Name() string { return "dm" }
+
+// Estimate implements Estimator.
+func (dm DirectMethod) Estimate(policy core.Policy, data core.Dataset) (Estimate, error) {
+	if len(data) == 0 {
+		return Estimate{}, core.ErrNoData
+	}
+	if dm.Model == nil {
+		return Estimate{}, fmt.Errorf("ope: direct method requires a reward model")
+	}
+	terms := make([]float64, len(data))
+	sum := 0.0
+	for i := range data {
+		d := &data[i]
+		a := policy.Act(&d.Context)
+		v := dm.Model.Predict(&d.Context, a)
+		terms[i] = v
+		sum += v
+	}
+	n := float64(len(data))
+	return Estimate{
+		Value:   sum / n,
+		StdErr:  math.Sqrt(stats.Variance(terms) / n),
+		N:       len(data),
+		Matches: len(data),
+	}, nil
+}
+
+// DoublyRobust combines the direct method with an IPS correction on the
+// model's residuals (Dudík, Langford, Li 2011): unbiased whenever either the
+// propensities or the model are correct, with variance driven only by the
+// residuals.
+type DoublyRobust struct {
+	Model RewardModel
+	// Clip optionally caps the correction weights (<= 0 disables).
+	Clip float64
+}
+
+// Name implements Estimator.
+func (DoublyRobust) Name() string { return "dr" }
+
+// Estimate implements Estimator.
+func (dr DoublyRobust) Estimate(policy core.Policy, data core.Dataset) (Estimate, error) {
+	if len(data) == 0 {
+		return Estimate{}, core.ErrNoData
+	}
+	if dr.Model == nil {
+		return Estimate{}, fmt.Errorf("ope: doubly robust requires a reward model")
+	}
+	terms := make([]float64, len(data))
+	sum := 0.0
+	matches := 0
+	maxW := 0.0
+	for i := range data {
+		d := &data[i]
+		if !(d.Propensity > 0) {
+			return Estimate{}, fmt.Errorf("ope: datapoint %d has propensity %v; %w",
+				i, d.Propensity, errBadPropensity)
+		}
+		aPi := policy.Act(&d.Context)
+		base := dr.Model.Predict(&d.Context, aPi)
+		pi := core.ActionProb(policy, &d.Context, d.Action)
+		w := pi / d.Propensity
+		if dr.Clip > 0 && w > dr.Clip {
+			w = dr.Clip
+		}
+		if pi > 0 {
+			matches++
+		}
+		if w > maxW {
+			maxW = w
+		}
+		t := base + w*(d.Reward-dr.Model.Predict(&d.Context, d.Action))
+		terms[i] = t
+		sum += t
+	}
+	n := float64(len(data))
+	return Estimate{
+		Value:     sum / n,
+		StdErr:    math.Sqrt(stats.Variance(terms) / n),
+		N:         len(data),
+		Matches:   matches,
+		MaxWeight: maxW,
+	}, nil
+}
+
+var (
+	errBadPropensity = fmt.Errorf("propensity must be positive (all actions must be explored)")
+	// ErrNoOverlap is returned when no logged datapoint matches the
+	// candidate policy, so a self-normalized estimate is undefined.
+	ErrNoOverlap = fmt.Errorf("ope: candidate policy has no overlap with logged actions")
+)

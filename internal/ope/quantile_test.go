@@ -1,0 +1,136 @@
+package ope
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// genQuantileWorld logs uniform over 2 actions; rewards are exponential
+// with action-dependent mean, so tails differ sharply across actions.
+func genQuantileWorld(seed int64, n int) core.Dataset {
+	r := stats.NewRand(seed)
+	ds := make(core.Dataset, n)
+	for i := range ds {
+		a := core.Action(r.Intn(2))
+		mean := 1.0
+		if a == 1 {
+			mean = 3.0
+		}
+		ds[i] = core.Datapoint{
+			Context:    core.Context{Features: core.Vector{1}, NumActions: 2},
+			Action:     a,
+			Reward:     r.ExpFloat64() * mean,
+			Propensity: 0.5,
+		}
+	}
+	return ds
+}
+
+func TestQuantileIPSMatchesTrueQuantile(t *testing.T) {
+	ds := genQuantileWorld(1, 200000)
+	for _, c := range []struct {
+		a    core.Action
+		mean float64
+	}{{0, 1}, {1, 3}} {
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			est, err := (QuantileIPS{Q: q}).Estimate(always(c.a), ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Exponential quantile: -mean·ln(1-q).
+			want := -c.mean * math.Log(1-q)
+			if math.Abs(est.Value-want)/want > 0.1 {
+				t.Errorf("action %d q%.2f = %v, want %v", c.a, q, est.Value, want)
+			}
+		}
+	}
+}
+
+func TestQuantileIPSMedianOfMixture(t *testing.T) {
+	// A stochastic candidate mixes both actions' distributions; the
+	// weighted quantile should track the mixture, not either component.
+	ds := genQuantileWorld(2, 200000)
+	est, err := (QuantileIPS{Q: 0.5}).Estimate(uniformStochastic{k: 2}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mixture median of Exp(1)/Exp(3) 50/50: solve e^−m + e^−m/3 = 1
+	// numerically ≈ 1.153.
+	want := 1.153
+	if math.Abs(est.Value-want) > 0.08 {
+		t.Errorf("mixture median = %v, want ≈%v", est.Value, want)
+	}
+}
+
+func TestQuantileIPSP99IsTailSensitive(t *testing.T) {
+	// The point of the estimator: two policies with similar means can
+	// have very different tails. Action 1's p99 must dwarf action 0's.
+	ds := genQuantileWorld(3, 100000)
+	p99a, err := (QuantileIPS{Q: 0.99}).Estimate(always(0), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99b, err := (QuantileIPS{Q: 0.99}).Estimate(always(1), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p99b.Value < 2.5*p99a.Value {
+		t.Errorf("tail separation too small: %v vs %v", p99a.Value, p99b.Value)
+	}
+}
+
+func TestQuantileIPSValidation(t *testing.T) {
+	ds := genQuantileWorld(4, 100)
+	if _, err := (QuantileIPS{Q: 0.5}).Estimate(always(0), nil); !errors.Is(err, core.ErrNoData) {
+		t.Error("empty should fail")
+	}
+	if _, err := (QuantileIPS{Q: 0}).Estimate(always(0), ds); err == nil {
+		t.Error("q=0 should fail")
+	}
+	if _, err := (QuantileIPS{Q: 1}).Estimate(always(0), ds); err == nil {
+		t.Error("q=1 should fail")
+	}
+	bad := core.Dataset{{Context: core.Context{NumActions: 2}, Propensity: 0}}
+	if _, err := (QuantileIPS{Q: 0.5}).Estimate(always(0), bad); err == nil {
+		t.Error("zero propensity should fail")
+	}
+	// No overlap.
+	one := core.Dataset{{Context: core.Context{NumActions: 2}, Action: 0, Propensity: 0.5}}
+	if _, err := (QuantileIPS{Q: 0.5}).Estimate(always(1), one); !errors.Is(err, ErrNoOverlap) {
+		t.Error("no overlap should fail with ErrNoOverlap")
+	}
+	if (QuantileIPS{Q: 0.99}).Name() == "" {
+		t.Error("name empty")
+	}
+}
+
+func TestQuantileIPSClip(t *testing.T) {
+	ds := genQuantileWorld(5, 5000)
+	est, err := (QuantileIPS{Q: 0.9, Clip: 1.5}).Estimate(always(0), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MaxWeight > 1.5 {
+		t.Errorf("max weight %v exceeds clip", est.MaxWeight)
+	}
+}
+
+func TestQuantileIPSValueInsideObservedRange(t *testing.T) {
+	// Self-normalized form: the estimate is always an observed reward.
+	ds := genQuantileWorld(6, 1000)
+	est, err := (QuantileIPS{Q: 0.75}).Estimate(always(1), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := ds.RewardRange()
+	if est.Value < lo || est.Value > hi {
+		t.Errorf("estimate %v outside observed range [%v, %v]", est.Value, lo, hi)
+	}
+	if est.StdErr < 0 {
+		t.Errorf("resolution band negative: %v", est.StdErr)
+	}
+}

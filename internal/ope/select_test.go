@@ -1,0 +1,124 @@
+package ope
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// selectWorld builds uniform-logged data over 3 actions with context-free
+// expected rewards {0.3, 0.5, 0.8} plus noise.
+func selectWorld(seed int64, n int) core.Dataset {
+	r := stats.NewRand(seed)
+	means := []float64{0.3, 0.5, 0.8}
+	ds := make(core.Dataset, n)
+	for i := range ds {
+		a := core.Action(r.Intn(3))
+		rew := means[a] + (r.Float64()-0.5)*0.2
+		ds[i] = core.Datapoint{
+			Context:    core.Context{Features: core.Vector{1}, NumActions: 3},
+			Action:     a,
+			Reward:     rew,
+			Propensity: 1.0 / 3,
+		}
+	}
+	return ds
+}
+
+func TestSelectBestPicksTruthfully(t *testing.T) {
+	ds := selectWorld(1, 30000)
+	pols := []core.Policy{always(0), always(1), always(2)}
+	sel, err := SelectBest(nil, pols, ds, 0, 0.05, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best.Index != 2 {
+		t.Errorf("best = %d, want 2", sel.Best.Index)
+	}
+	if len(sel.Scores) != 3 {
+		t.Fatalf("scores = %d", len(sel.Scores))
+	}
+	// Simultaneous intervals must each contain the true value.
+	truths := []float64{0.3, 0.5, 0.8}
+	for i, s := range sel.Scores {
+		if !s.Interval.Contains(truths[i]) {
+			t.Errorf("interval %d %v misses truth %v", i, s.Interval, truths[i])
+		}
+	}
+	if !sel.Separated {
+		t.Error("30k points should certify the winner")
+	}
+}
+
+func TestSelectBestMinimize(t *testing.T) {
+	ds := selectWorld(2, 30000)
+	pols := []core.Policy{always(0), always(1), always(2)}
+	sel, err := SelectBest(nil, pols, ds, 0, 0.05, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best.Index != 0 {
+		t.Errorf("min-best = %d, want 0", sel.Best.Index)
+	}
+}
+
+func TestSelectBestNotSeparatedOnTinyData(t *testing.T) {
+	ds := selectWorld(3, 60)
+	pols := []core.Policy{always(1), always(2)}
+	sel, err := SelectBest(nil, pols, ds, 0, 0.05, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Separated {
+		t.Error("60 points should not certify a 0.3-gap winner at 95%")
+	}
+}
+
+func TestSelectBestUnionBoundWidensIntervals(t *testing.T) {
+	ds := selectWorld(4, 10000)
+	two, err := SelectBest(nil, []core.Policy{always(0), always(2)}, ds, 0, 0.05, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many := make([]core.Policy, 40)
+	for i := range many {
+		many[i] = always(core.Action(i % 3))
+	}
+	forty, err := SelectBest(nil, many, ds, 0, 0.05, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forty.Scores[0].Interval.Width() <= two.Scores[0].Interval.Width() {
+		t.Errorf("40-way intervals (%v) should be wider than 2-way (%v)",
+			forty.Scores[0].Interval.Width(), two.Scores[0].Interval.Width())
+	}
+}
+
+func TestSelectBestValidation(t *testing.T) {
+	ds := selectWorld(5, 100)
+	if _, err := SelectBest(nil, nil, ds, 0, 0.05, false); err == nil {
+		t.Error("no policies should fail")
+	}
+	if _, err := SelectBest(nil, []core.Policy{always(0)}, nil, 0, 0.05, false); !errors.Is(err, core.ErrNoData) {
+		t.Error("no data should fail")
+	}
+	if _, err := SelectBest(nil, []core.Policy{always(0)}, ds, 0, 2, false); err == nil {
+		t.Error("delta out of range should fail")
+	}
+	if _, err := SelectBest(nil, []core.Policy{nil}, ds, 0, 0.05, false); err == nil {
+		t.Error("nil policy should fail")
+	}
+}
+
+func TestSelectBestExplicitRange(t *testing.T) {
+	ds := selectWorld(6, 5000)
+	sel, err := SelectBest(IPS{}, []core.Policy{always(0), always(2)}, ds, 3, 0.05, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best.Index != 1 { // slice position of always(2)
+		t.Errorf("best = %d, want 1", sel.Best.Index)
+	}
+}

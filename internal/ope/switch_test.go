@@ -1,0 +1,173 @@
+package ope
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// skewedLogger logs action 0 heavily; other actions get eps/K each.
+type skewedLogger struct {
+	k   int
+	eps float64
+}
+
+func (l skewedLogger) Act(ctx *core.Context) core.Action { return 0 }
+func (l skewedLogger) Distribution(ctx *core.Context) []float64 {
+	d := make([]float64, l.k)
+	for i := range d {
+		d[i] = l.eps / float64(l.k)
+	}
+	d[0] += 1 - l.eps
+	return d
+}
+
+// genSwitchData logs from the skewed policy with exact propensities.
+func genSwitchData(r *rand.Rand, n, k int, eps float64) core.Dataset {
+	logger := skewedLogger{k: k, eps: eps}
+	ds := make(core.Dataset, n)
+	for i := range ds {
+		x := core.Vector{r.Float64()}
+		ctx := core.Context{Features: x, NumActions: k}
+		dist := logger.Distribution(&ctx)
+		a := core.Action(stats.Categorical(r, dist))
+		ds[i] = core.Datapoint{
+			Context:    ctx,
+			Action:     a,
+			Reward:     trueReward(x, a),
+			Propensity: dist[a],
+		}
+	}
+	return ds
+}
+
+func TestSwitchInterpolatesIPSAndDM(t *testing.T) {
+	r := stats.NewRand(1)
+	ds := genSwitchData(r, 20000, 4, 0.2)
+	logger := skewedLogger{k: 4, eps: 0.2}
+	pol := always(3) // rarely-logged action: weight 1/(0.05) = 20
+	ips, err := (IPS{}).Estimate(pol, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := (DirectMethod{Model: perfectModel{}}).Estimate(pol, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Huge τ → IPS exactly.
+	hi, err := (Switch{Model: perfectModel{}, Logging: logger, Tau: 1e9}).Estimate(pol, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hi.Value-ips.Value) > 1e-9 {
+		t.Errorf("tau→∞: switch %v != ips %v", hi.Value, ips.Value)
+	}
+	// Tiny τ → DM exactly.
+	lo, err := (Switch{Model: perfectModel{}, Logging: logger, Tau: 1e-9}).Estimate(pol, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo.Value-dm.Value) > 1e-9 {
+		t.Errorf("tau→0: switch %v != dm %v", lo.Value, dm.Value)
+	}
+}
+
+func TestSwitchCutsVarianceOnHeavyTail(t *testing.T) {
+	r := stats.NewRand(2)
+	ds := genSwitchData(r, 20000, 4, 0.2)
+	logger := skewedLogger{k: 4, eps: 0.2}
+	pol := always(3)
+	truth := truth(pol, 4)
+	ips, err := (IPS{}).Estimate(pol, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := (Switch{Model: perfectModel{}, Logging: logger, Tau: 10}).Estimate(pol, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.StdErr >= ips.StdErr/2 {
+		t.Errorf("switch stderr %v should be ≪ ips %v", sw.StdErr, ips.StdErr)
+	}
+	if math.Abs(sw.Value-truth) > 0.02 {
+		t.Errorf("switch = %v, truth = %v", sw.Value, truth)
+	}
+}
+
+func TestSwitchHandlesStochasticCandidate(t *testing.T) {
+	r := stats.NewRand(3)
+	ds := genSwitchData(r, 30000, 3, 0.3)
+	logger := skewedLogger{k: 3, eps: 0.3}
+	cand := uniformStochastic{k: 3}
+	sw, err := (Switch{Model: perfectModel{}, Logging: logger, Tau: 2}).Estimate(cand, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truth for the uniform candidate via Monte Carlo.
+	want := 0.0
+	mc := stats.NewRand(99)
+	for i := 0; i < 100000; i++ {
+		x := core.Vector{mc.Float64()}
+		a := core.Action(mc.Intn(3))
+		want += trueReward(x, a)
+	}
+	want /= 100000
+	if math.Abs(sw.Value-want) > 0.02 {
+		t.Errorf("switch = %v, truth = %v", sw.Value, want)
+	}
+}
+
+func TestSwitchUnexploredActionUsesModel(t *testing.T) {
+	// Logging gives zero mass to action 1: IPS is undefined there, but
+	// SWITCH scores it with the model (ratio = ∞ > τ).
+	ds := core.Dataset{{
+		Context:    core.Context{Features: core.Vector{0.5}, NumActions: 2},
+		Action:     0,
+		Reward:     1,
+		Propensity: 1,
+	}}
+	logger := core.StochasticPolicy(pointMass{k: 2})
+	sw, err := (Switch{Model: perfectModel{}, Logging: logger, Tau: 5}).Estimate(always(1), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trueReward(core.Vector{0.5}, 1)
+	if math.Abs(sw.Value-want) > 1e-9 {
+		t.Errorf("switch = %v, want model value %v", sw.Value, want)
+	}
+}
+
+// pointMass logs action 0 always.
+type pointMass struct{ k int }
+
+func (p pointMass) Act(*core.Context) core.Action { return 0 }
+func (p pointMass) Distribution(ctx *core.Context) []float64 {
+	d := make([]float64, p.k)
+	d[0] = 1
+	return d
+}
+
+func TestSwitchValidation(t *testing.T) {
+	ds := genSwitchData(stats.NewRand(4), 10, 3, 0.3)
+	logger := skewedLogger{k: 3, eps: 0.3}
+	if _, err := (Switch{Logging: logger}).Estimate(always(0), nil); !errors.Is(err, core.ErrNoData) {
+		t.Error("empty should fail")
+	}
+	if _, err := (Switch{Logging: logger}).Estimate(always(0), ds); err == nil {
+		t.Error("nil model should fail")
+	}
+	if _, err := (Switch{Model: perfectModel{}}).Estimate(always(0), ds); err == nil {
+		t.Error("nil logging policy should fail")
+	}
+	bad := core.Dataset{{Context: core.Context{Features: core.Vector{0}, NumActions: 2}, Propensity: 0}}
+	if _, err := (Switch{Model: perfectModel{}, Logging: pointMass{k: 2}}).Estimate(always(0), bad); err == nil {
+		t.Error("zero propensity should fail")
+	}
+	if (Switch{}).Name() == "" {
+		t.Error("name empty")
+	}
+}

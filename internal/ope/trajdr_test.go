@@ -1,0 +1,220 @@
+package ope
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// genHorizonTrajectories builds m trajectories of length h with uniform
+// logging over k actions. The reward at each step is 1 iff action 0 was
+// taken, and each context carries a single feature: the number of steps
+// remaining (including the current one), so value models can be exact.
+func genHorizonTrajectories(r *rand.Rand, m, h, k int) []core.Trajectory {
+	trs := make([]core.Trajectory, m)
+	for i := range trs {
+		tr := make(core.Trajectory, h)
+		for j := range tr {
+			a := core.Action(r.Intn(k))
+			rew := 0.0
+			if a == 0 {
+				rew = 1
+			}
+			tr[j] = core.Datapoint{
+				Context: core.Context{
+					Features:   core.Vector{float64(h - j)},
+					NumActions: k,
+				},
+				Action:     a,
+				Reward:     rew,
+				Propensity: 1 / float64(k),
+				Seq:        int64(j),
+				Tag:        fmt.Sprintf("t%d", i),
+			}
+		}
+		trs[i] = tr
+	}
+	return trs
+}
+
+// valueModel is the exact Q for the always-0 candidate in the horizon
+// world: immediate reward of a plus one unit per remaining step (γ=1).
+type valueModel struct{ bias float64 }
+
+func (m valueModel) Predict(ctx *core.Context, a core.Action) float64 {
+	immediate := 0.0
+	if a == 0 {
+		immediate = 1
+	}
+	remaining := ctx.Features[0] - 1 // steps after this one
+	return immediate + remaining + m.bias
+}
+
+type zeroModel struct{}
+
+func (zeroModel) Predict(*core.Context, core.Action) float64 { return 0 }
+
+func TestTrajectoryDRExactWithPerfectModel(t *testing.T) {
+	// With a perfect value model, DR is essentially exact even at a
+	// horizon where plain trajectory IS has collapsed (§5's motivation).
+	r := stats.NewRand(1)
+	trs := genHorizonTrajectories(r, 3000, 12, 2)
+	dr := TrajectoryDR{Model: valueModel{}, Gamma: 1}
+	est, err := dr.EstimateTrajectories(always(0), trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True value of always-0 over horizon 12 is 12.
+	if math.Abs(est.Value-12) > 1e-9 {
+		t.Errorf("traj-dr = %v, want exactly 12", est.Value)
+	}
+	if est.StdErr > 1e-9 {
+		t.Errorf("traj-dr stderr = %v, want 0 with a perfect model", est.StdErr)
+	}
+	// Plain trajectory IS at horizon 12 is hopeless by comparison.
+	tis, err := (TrajectoryIS{Gamma: 1}).EstimateTrajectories(always(0), trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tis.StdErr < 1 {
+		t.Errorf("expected traj-is stderr %v to be large at horizon 12", tis.StdErr)
+	}
+}
+
+func TestTrajectoryDRUnbiasedWithWrongModel(t *testing.T) {
+	// With correct propensities, a biased model must not bias the
+	// estimate (short horizon so the check is statistically feasible).
+	r := stats.NewRand(2)
+	trs := genHorizonTrajectories(r, 60000, 2, 2)
+	dr := TrajectoryDR{Model: valueModel{bias: 0.5}, Gamma: 1}
+	est, err := dr.EstimateTrajectories(always(0), trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Value-2) > 3*est.StdErr+0.02 {
+		t.Errorf("traj-dr with biased model = %v ± %v, want 2", est.Value, est.StdErr)
+	}
+}
+
+func TestTrajectoryDRVarianceBeatsISWithDecentModel(t *testing.T) {
+	r := stats.NewRand(3)
+	trs := genHorizonTrajectories(r, 10000, 6, 2)
+	dr := TrajectoryDR{Model: valueModel{bias: 0.25}, Gamma: 1}
+	drEst, err := dr.EstimateTrajectories(always(0), trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isEst, err := (TrajectoryIS{Gamma: 1}).EstimateTrajectories(always(0), trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drEst.StdErr >= isEst.StdErr/5 {
+		t.Errorf("dr stderr %v should be ≪ traj-is %v", drEst.StdErr, isEst.StdErr)
+	}
+	if math.Abs(drEst.Value-6) > 3*drEst.StdErr+0.05 {
+		t.Errorf("dr value %v ± %v, want 6", drEst.Value, drEst.StdErr)
+	}
+}
+
+func TestTrajectoryDRHorizonOneMatchesDoublyRobust(t *testing.T) {
+	// On horizon-1 data a value model is a reward model and TrajectoryDR
+	// must agree with the CB DoublyRobust estimator exactly.
+	r := stats.NewRand(4)
+	trs := genHorizonTrajectories(r, 5000, 1, 3)
+	flat := core.Flatten(trs)
+	m := valueModel{}
+	a, err := (TrajectoryDR{Model: m, Gamma: 1}).EstimateTrajectories(always(0), trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (DoublyRobust{Model: m}).Estimate(always(0), flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Value-b.Value) > 1e-12 {
+		t.Errorf("traj-dr %v != dr %v on horizon-1 data", a.Value, b.Value)
+	}
+}
+
+func TestTrajectoryDRStochasticCandidate(t *testing.T) {
+	// On-policy stochastic candidate: every ρ is 1 and the estimate
+	// reduces to the empirical mean return plus telescoping model terms
+	// that cancel in expectation.
+	r := stats.NewRand(5)
+	trs := genHorizonTrajectories(r, 20000, 3, 2)
+	cand := uniformStochastic{k: 2}
+	dr := TrajectoryDR{Model: zeroModel{}, Gamma: 1}
+	est, err := dr.EstimateTrajectories(cand, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean stats.Welford
+	for _, tr := range trs {
+		mean.Add(tr.Return(1))
+	}
+	if math.Abs(est.Value-mean.Mean()) > 1e-9 {
+		t.Errorf("on-policy dr with zero model %v should equal empirical %v", est.Value, mean.Mean())
+	}
+}
+
+func TestTrajectoryDRDiscounting(t *testing.T) {
+	// Zero model and ρ=1 reduce the recursion to the discounted return.
+	tr := core.Trajectory{
+		{Context: core.Context{Features: core.Vector{3}, NumActions: 1}, Action: 0, Reward: 1, Propensity: 1},
+		{Context: core.Context{Features: core.Vector{2}, NumActions: 1}, Action: 0, Reward: 1, Propensity: 1},
+		{Context: core.Context{Features: core.Vector{1}, NumActions: 1}, Action: 0, Reward: 1, Propensity: 1},
+	}
+	dr := TrajectoryDR{Model: zeroModel{}, Gamma: 0.5}
+	est, err := dr.EstimateTrajectories(always(0), []core.Trajectory{tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + 0.5 + 0.25
+	if math.Abs(est.Value-want) > 1e-12 {
+		t.Errorf("discounted dr = %v, want %v", est.Value, want)
+	}
+}
+
+func TestTrajectoryDRValidation(t *testing.T) {
+	if _, err := (TrajectoryDR{Model: zeroModel{}}).EstimateTrajectories(always(0), nil); !errors.Is(err, core.ErrNoData) {
+		t.Error("empty should fail")
+	}
+	trs := []core.Trajectory{{{Context: core.Context{NumActions: 2}, Propensity: 0.5}}}
+	if _, err := (TrajectoryDR{}).EstimateTrajectories(always(0), trs); err == nil {
+		t.Error("nil model should fail")
+	}
+	bad := []core.Trajectory{{{Context: core.Context{NumActions: 2}, Propensity: 0}}}
+	if _, err := (TrajectoryDR{Model: zeroModel{}}).EstimateTrajectories(always(0), bad); err == nil {
+		t.Error("zero propensity should fail")
+	}
+}
+
+func TestTrajectoryDRClipAndFlat(t *testing.T) {
+	r := stats.NewRand(6)
+	trs := genHorizonTrajectories(r, 2000, 4, 2)
+	dr := TrajectoryDR{Model: valueModel{}, Gamma: 1, Clip: 1.5}
+	est, err := dr.EstimateTrajectories(always(0), trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MaxWeight > 1.5 {
+		t.Errorf("max per-step ratio %v exceeds clip", est.MaxWeight)
+	}
+	// Flat-dataset entry point agrees with grouped.
+	flat := core.Flatten(trs)
+	a, err := dr.Estimate(always(0), flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Value-est.Value) > 1e-12 {
+		t.Errorf("flat %v != grouped %v", a.Value, est.Value)
+	}
+	if dr.Name() != "traj-dr" {
+		t.Errorf("name = %q", dr.Name())
+	}
+}

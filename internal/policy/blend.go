@@ -1,0 +1,73 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Blend deploys a new policy on a fraction of traffic while the incumbent
+// keeps the rest — the staged rollout of the paper's introduction, expressed
+// as a single stochastic policy. Because Blend exposes its exact action
+// distribution, the rollout's traffic remains fully harvestable: the data
+// collected at 10% exposure already evaluates the candidate at 100% (that
+// is the whole point of randomizing over actions instead of over policies).
+type Blend struct {
+	// New receives Share of decisions; Old the rest.
+	New, Old core.Policy
+	// Share is the rollout fraction in [0, 1].
+	Share float64
+	R     *rand.Rand
+}
+
+// NewBlend validates and builds a staged rollout.
+func NewBlend(newPol, oldPol core.Policy, share float64, r *rand.Rand) (*Blend, error) {
+	if newPol == nil || oldPol == nil {
+		return nil, fmt.Errorf("policy: blend needs both policies")
+	}
+	if share < 0 || share > 1 {
+		return nil, fmt.Errorf("policy: blend share %v out of [0,1]", share)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("policy: blend needs a rand source")
+	}
+	return &Blend{New: newPol, Old: oldPol, Share: share, R: r}, nil
+}
+
+// Act implements core.Policy.
+func (b *Blend) Act(ctx *core.Context) core.Action {
+	if b.R.Float64() < b.Share {
+		return b.New.Act(ctx)
+	}
+	return b.Old.Act(ctx)
+}
+
+// Distribution implements core.StochasticPolicy: the Share-weighted mixture
+// of the two policies' distributions (point masses for deterministic ones).
+func (b *Blend) Distribution(ctx *core.Context) []float64 {
+	d := make([]float64, ctx.NumActions)
+	accumulate := func(p core.Policy, weight float64) {
+		if weight == 0 {
+			return
+		}
+		if sp, ok := p.(core.StochasticPolicy); ok {
+			for a, pa := range sp.Distribution(ctx) {
+				if a < len(d) {
+					d[a] += weight * pa
+				}
+			}
+			return
+		}
+		a := p.Act(ctx)
+		if int(a) < len(d) {
+			d[a] += weight
+		}
+	}
+	accumulate(b.New, b.Share)
+	accumulate(b.Old, 1-b.Share)
+	return d
+}
+
+// String names the policy.
+func (b *Blend) String() string { return fmt.Sprintf("blend-%.0f%%", 100*b.Share) }

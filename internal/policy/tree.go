@@ -1,0 +1,104 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Tree is a binary decision tree over context features with actions at the
+// leaves — the "decision trees" policy template of §4. Trees generalize
+// Stump (a depth-1 tree) and stay cheap enough to run on the request path,
+// unlike the deep models §6 rules out for systems decisions.
+type Tree struct {
+	// Leaf marks a terminal node; Action is its choice.
+	Leaf   bool
+	Action core.Action
+	// Internal nodes route on Features[Idx] < Cut.
+	Idx          int
+	Cut          float64
+	Below, Above *Tree
+}
+
+// Act implements core.Policy.
+func (t *Tree) Act(ctx *core.Context) core.Action {
+	node := t
+	for !node.Leaf {
+		v := 0.0
+		if node.Idx < len(ctx.Features) {
+			v = ctx.Features[node.Idx]
+		}
+		if v < node.Cut {
+			node = node.Below
+		} else {
+			node = node.Above
+		}
+	}
+	a := node.Action
+	if int(a) >= ctx.NumActions {
+		return core.Action(ctx.NumActions - 1)
+	}
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// Validate checks structural sanity: every internal node has two children,
+// every leaf action lies in [0, numActions), and feature indexes are
+// non-negative.
+func (t *Tree) Validate(numActions int) error {
+	if t == nil {
+		return fmt.Errorf("policy: nil tree node")
+	}
+	if t.Leaf {
+		if t.Action < 0 || int(t.Action) >= numActions {
+			return fmt.Errorf("policy: leaf action %d out of [0,%d)", t.Action, numActions)
+		}
+		return nil
+	}
+	if t.Idx < 0 {
+		return fmt.Errorf("policy: negative feature index %d", t.Idx)
+	}
+	if t.Below == nil || t.Above == nil {
+		return fmt.Errorf("policy: internal node missing children")
+	}
+	if err := t.Below.Validate(numActions); err != nil {
+		return err
+	}
+	return t.Above.Validate(numActions)
+}
+
+// Depth returns the tree's height (a leaf has depth 0).
+func (t *Tree) Depth() int {
+	if t == nil || t.Leaf {
+		return 0
+	}
+	b, a := t.Below.Depth(), t.Above.Depth()
+	if a > b {
+		b = a
+	}
+	return 1 + b
+}
+
+// Leaves returns the number of leaf nodes.
+func (t *Tree) Leaves() int {
+	if t == nil {
+		return 0
+	}
+	if t.Leaf {
+		return 1
+	}
+	return t.Below.Leaves() + t.Above.Leaves()
+}
+
+// String renders the tree as a nested expression.
+func (t *Tree) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	if t.Leaf {
+		return fmt.Sprintf("%d", t.Action)
+	}
+	return fmt.Sprintf("(x%d<%.3g ? %s : %s)", t.Idx, t.Cut, t.Below, t.Above)
+}

@@ -1,0 +1,102 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func demoTree() *Tree {
+	return &Tree{
+		Idx: 0, Cut: 0.5,
+		Below: &Tree{Leaf: true, Action: 1},
+		Above: &Tree{
+			Idx: 1, Cut: 2,
+			Below: &Tree{Leaf: true, Action: 0},
+			Above: &Tree{Leaf: true, Action: 2},
+		},
+	}
+}
+
+func TestTreeActBranches(t *testing.T) {
+	tree := demoTree()
+	cases := []struct {
+		feats core.Vector
+		want  core.Action
+	}{
+		{core.Vector{0.1, 0}, 1},
+		{core.Vector{0.9, 1}, 0},
+		{core.Vector{0.9, 5}, 2},
+		{nil, 1}, // missing features read as zero
+	}
+	for _, c := range cases {
+		ctx := &core.Context{Features: c.feats, NumActions: 3}
+		if got := tree.Act(ctx); got != c.want {
+			t.Errorf("Act(%v) = %d, want %d", c.feats, got, c.want)
+		}
+	}
+	// Clamping when the leaf action exceeds the action set.
+	small := &core.Context{Features: core.Vector{0.9, 5}, NumActions: 2}
+	if got := tree.Act(small); got != 1 {
+		t.Errorf("clamp = %d, want 1", got)
+	}
+	// Negative leaf actions clamp to 0.
+	neg := &Tree{Leaf: true, Action: -2}
+	if got := neg.Act(&core.Context{NumActions: 3}); got != 0 {
+		t.Errorf("negative clamp = %d, want 0", got)
+	}
+}
+
+func TestTreeValidateDepthLeaves(t *testing.T) {
+	tree := demoTree()
+	if err := tree.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 2 {
+		t.Errorf("Depth = %d", tree.Depth())
+	}
+	if tree.Leaves() != 3 {
+		t.Errorf("Leaves = %d", tree.Leaves())
+	}
+	if !strings.Contains(tree.String(), "x0<0.5") {
+		t.Errorf("String = %q", tree.String())
+	}
+	var nilTree *Tree
+	if nilTree.Depth() != 0 || nilTree.Leaves() != 0 {
+		t.Error("nil tree metrics should be 0")
+	}
+	if nilTree.String() != "<nil>" {
+		t.Errorf("nil String = %q", nilTree.String())
+	}
+	if err := nilTree.Validate(2); err == nil {
+		t.Error("nil tree should fail validation")
+	}
+	if err := (&Tree{Leaf: true, Action: 9}).Validate(3); err == nil {
+		t.Error("leaf out of range should fail")
+	}
+	if err := (&Tree{Idx: 0, Below: &Tree{Leaf: true}}).Validate(3); err == nil {
+		t.Error("missing child should fail")
+	}
+	if err := (&Tree{Idx: -1, Below: &Tree{Leaf: true}, Above: &Tree{Leaf: true}}).Validate(3); err == nil {
+		t.Error("negative index should fail")
+	}
+	bad := demoTree()
+	bad.Above.Above.Action = 7
+	if err := bad.Validate(3); err == nil {
+		t.Error("deep invalid leaf should fail")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for _, s := range []string{
+		UniformRandom{}.String(),
+		(&Linear{Weights: []core.Vector{{1}}}).String(),
+		(&Softmax{Temperature: 0.5}).String(),
+		(&EpsilonGreedy{Epsilon: 0.1}).String(),
+	} {
+		if s == "" {
+			t.Error("empty String()")
+		}
+	}
+}

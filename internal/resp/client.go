@@ -1,0 +1,108 @@
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a blocking RESP client for one connection. Safe for sequential
+// use only; open one client per goroutine.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a RESP server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("resp: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one command and reads the reply. A server -ERR reply is returned
+// as a *ServerError.
+func (c *Client) Do(args ...string) (Value, error) {
+	if len(args) == 0 {
+		return Value{}, errors.New("resp: empty command")
+	}
+	if err := WriteValue(c.w, Command(args...)); err != nil {
+		return Value{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return Value{}, err
+	}
+	v, err := ReadValue(c.r)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.Type == Error {
+		return v, &ServerError{Msg: v.Str}
+	}
+	return v, nil
+}
+
+// ServerError is an -ERR reply from the server.
+type ServerError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *ServerError) Error() string { return "resp: server error: " + e.Msg }
+
+// Set stores a key/value pair.
+func (c *Client) Set(key, value string) error {
+	v, err := c.Do("SET", key, value)
+	if err != nil {
+		return err
+	}
+	if v.Type != SimpleString || v.Str != "OK" {
+		return fmt.Errorf("resp: unexpected SET reply %+v", v)
+	}
+	return nil
+}
+
+// Get fetches a key; ok is false on a miss.
+func (c *Client) Get(key string) (value string, ok bool, err error) {
+	v, err := c.Do("GET", key)
+	if err != nil {
+		return "", false, err
+	}
+	if v.Null {
+		return "", false, nil
+	}
+	return v.Str, true, nil
+}
+
+// Del removes keys, returning how many were resident.
+func (c *Client) Del(keys ...string) (int64, error) {
+	v, err := c.Do(append([]string{"DEL"}, keys...)...)
+	if err != nil {
+		return 0, err
+	}
+	return v.Int, nil
+}
+
+// Ping round-trips the connection.
+func (c *Client) Ping() error {
+	v, err := c.Do("PING")
+	if err != nil {
+		return err
+	}
+	if v.Str != "PONG" {
+		return fmt.Errorf("resp: unexpected PING reply %+v", v)
+	}
+	return nil
+}

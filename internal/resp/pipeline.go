@@ -1,0 +1,68 @@
+package resp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Pipeline batches commands on a client connection: all commands are
+// written before any reply is read, cutting per-command round trips the way
+// Redis pipelining does. Replies come back in command order.
+//
+//	pipe := cli.Pipeline()
+//	pipe.Queue("SET", "a", "1")
+//	pipe.Queue("GET", "a")
+//	replies, err := pipe.Exec()
+type Pipeline struct {
+	c      *Client
+	queued int
+	err    error
+}
+
+// Pipeline starts a new batch on the connection. Do not interleave Do
+// calls with an open pipeline.
+func (c *Client) Pipeline() *Pipeline {
+	return &Pipeline{c: c}
+}
+
+// Queue appends one command to the batch (buffered client-side until Exec
+// flushes).
+func (p *Pipeline) Queue(args ...string) {
+	if p.err != nil {
+		return
+	}
+	if len(args) == 0 {
+		p.err = errors.New("resp: empty pipelined command")
+		return
+	}
+	if err := WriteValue(p.c.w, Command(args...)); err != nil {
+		p.err = err
+		return
+	}
+	p.queued++
+}
+
+// Exec flushes the batch and reads one reply per queued command. Server
+// -ERR replies are returned in place (Type == Error), not as a call error,
+// so one failing command does not mask the rest of the batch.
+func (p *Pipeline) Exec() ([]Value, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.queued == 0 {
+		return nil, nil
+	}
+	if err := p.c.w.Flush(); err != nil {
+		return nil, err
+	}
+	replies := make([]Value, p.queued)
+	for i := range replies {
+		v, err := ReadValue(p.c.r)
+		if err != nil {
+			return nil, fmt.Errorf("resp: pipeline reply %d: %w", i, err)
+		}
+		replies[i] = v
+	}
+	p.queued = 0
+	return replies, nil
+}

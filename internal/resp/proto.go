@@ -1,0 +1,188 @@
+// Package resp implements a minimal RESP2 (REdis Serialization Protocol)
+// codec, server, and client, so the cache substrate can be driven over TCP
+// the way the paper's Redis prototype was. The server fronts a
+// cachesim.Cache; every GET/SET flows through the same sampled-eviction
+// path whose randomness the harvester collects.
+//
+// Only the protocol subset the experiments need is implemented: simple
+// strings, errors, integers, bulk strings (including null), and arrays.
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Type tags a RESP value.
+type Type byte
+
+// RESP2 type markers.
+const (
+	SimpleString Type = '+'
+	Error        Type = '-'
+	Integer      Type = ':'
+	BulkString   Type = '$'
+	Array        Type = '*'
+)
+
+// Value is one decoded RESP value.
+type Value struct {
+	Type  Type
+	Str   string  // SimpleString, Error, BulkString payload
+	Int   int64   // Integer payload
+	Array []Value // Array payload
+	Null  bool    // null bulk string / null array
+}
+
+// ErrProtocol reports malformed wire data.
+var ErrProtocol = errors.New("resp: protocol error")
+
+// MaxBulkLen guards against absurd allocations from hostile length headers.
+const MaxBulkLen = 64 << 20
+
+// WriteValue encodes v onto w.
+func WriteValue(w *bufio.Writer, v Value) error {
+	switch v.Type {
+	case SimpleString:
+		_, err := fmt.Fprintf(w, "+%s\r\n", v.Str)
+		return err
+	case Error:
+		_, err := fmt.Fprintf(w, "-%s\r\n", v.Str)
+		return err
+	case Integer:
+		_, err := fmt.Fprintf(w, ":%d\r\n", v.Int)
+		return err
+	case BulkString:
+		if v.Null {
+			_, err := w.WriteString("$-1\r\n")
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "$%d\r\n", len(v.Str)); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(v.Str); err != nil {
+			return err
+		}
+		_, err := w.WriteString("\r\n")
+		return err
+	case Array:
+		if v.Null {
+			_, err := w.WriteString("*-1\r\n")
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "*%d\r\n", len(v.Array)); err != nil {
+			return err
+		}
+		for _, e := range v.Array {
+			if err := WriteValue(w, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown type %q", ErrProtocol, byte(v.Type))
+	}
+}
+
+// ReadValue decodes one RESP value from r.
+func ReadValue(r *bufio.Reader) (Value, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return Value{}, err
+	}
+	if len(line) == 0 {
+		return Value{}, fmt.Errorf("%w: empty line", ErrProtocol)
+	}
+	t, rest := Type(line[0]), line[1:]
+	switch t {
+	case SimpleString, Error:
+		return Value{Type: t, Str: rest}, nil
+	case Integer:
+		n, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad integer %q", ErrProtocol, rest)
+		}
+		return Value{Type: t, Int: n}, nil
+	case BulkString:
+		n, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad bulk length %q", ErrProtocol, rest)
+		}
+		if n == -1 {
+			return Value{Type: t, Null: true}, nil
+		}
+		if n < 0 || n > MaxBulkLen {
+			return Value{}, fmt.Errorf("%w: bulk length %d out of range", ErrProtocol, n)
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return Value{}, fmt.Errorf("%w: short bulk read: %v", ErrProtocol, err)
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return Value{}, fmt.Errorf("%w: bulk string missing CRLF", ErrProtocol)
+		}
+		return Value{Type: t, Str: string(buf[:n])}, nil
+	case Array:
+		n, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad array length %q", ErrProtocol, rest)
+		}
+		if n == -1 {
+			return Value{Type: t, Null: true}, nil
+		}
+		if n < 0 || n > 1<<20 {
+			return Value{}, fmt.Errorf("%w: array length %d out of range", ErrProtocol, n)
+		}
+		arr := make([]Value, n)
+		for i := range arr {
+			arr[i], err = ReadValue(r)
+			if err != nil {
+				return Value{}, err
+			}
+		}
+		return Value{Type: t, Array: arr}, nil
+	default:
+		return Value{}, fmt.Errorf("%w: unknown type marker %q", ErrProtocol, byte(t))
+	}
+}
+
+// readLine reads a CRLF-terminated line, returning it without the CRLF.
+func readLine(r *bufio.Reader) (string, error) {
+	s, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(s) < 2 || s[len(s)-2] != '\r' {
+		return "", fmt.Errorf("%w: line not CRLF-terminated", ErrProtocol)
+	}
+	return s[:len(s)-2], nil
+}
+
+// Command encodes a client command as an array of bulk strings.
+func Command(args ...string) Value {
+	arr := make([]Value, len(args))
+	for i, a := range args {
+		arr[i] = Value{Type: BulkString, Str: a}
+	}
+	return Value{Type: Array, Array: arr}
+}
+
+// OK is the canonical +OK reply.
+var OK = Value{Type: SimpleString, Str: "OK"}
+
+// Errorf builds an error reply.
+func Errorf(format string, args ...any) Value {
+	return Value{Type: Error, Str: fmt.Sprintf(format, args...)}
+}
+
+// Bulk builds a bulk-string reply.
+func Bulk(s string) Value { return Value{Type: BulkString, Str: s} }
+
+// NullBulk is the null bulk string ($-1), Redis's "no such key".
+var NullBulk = Value{Type: BulkString, Null: true}
+
+// Int builds an integer reply.
+func Int(n int64) Value { return Value{Type: Integer, Int: n} }

@@ -1,0 +1,123 @@
+package resp
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, v Value) Value {
+	t.Helper()
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteValue(w, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadValue(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("decoding %q: %v", buf.String(), err)
+	}
+	return got
+}
+
+func TestRoundTripScalars(t *testing.T) {
+	cases := []Value{
+		{Type: SimpleString, Str: "OK"},
+		{Type: Error, Str: "ERR boom"},
+		{Type: Integer, Int: -42},
+		{Type: Integer, Int: 0},
+		{Type: BulkString, Str: "hello"},
+		{Type: BulkString, Str: ""},
+		{Type: BulkString, Str: "with\r\nnewlines\r\ninside"},
+		{Type: BulkString, Null: true},
+		{Type: Array, Null: true},
+	}
+	for _, v := range cases {
+		got := roundTrip(t, v)
+		if got.Type != v.Type || got.Str != v.Str || got.Int != v.Int || got.Null != v.Null {
+			t.Errorf("round trip %+v → %+v", v, got)
+		}
+	}
+}
+
+func TestRoundTripNestedArray(t *testing.T) {
+	v := Value{Type: Array, Array: []Value{
+		Bulk("SET"),
+		Bulk("key"),
+		Int(7),
+		{Type: Array, Array: []Value{Bulk("nested")}},
+	}}
+	got := roundTrip(t, v)
+	if len(got.Array) != 4 || got.Array[0].Str != "SET" || got.Array[2].Int != 7 {
+		t.Errorf("got %+v", got)
+	}
+	if got.Array[3].Array[0].Str != "nested" {
+		t.Errorf("nested array lost: %+v", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(s string, n int64) bool {
+		got := roundTrip(t, Bulk(s))
+		if got.Str != s {
+			return false
+		}
+		gi := roundTrip(t, Int(n))
+		return gi.Int == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadValueMalformed(t *testing.T) {
+	cases := []string{
+		"x123\r\n",       // unknown type
+		":\r\n",          // empty integer
+		":abc\r\n",       // bad integer
+		"$5\r\nab\r\n",   // short bulk
+		"$abc\r\n",       // bad bulk length
+		"$-2\r\n",        // negative bulk length
+		"*abc\r\n",       // bad array length
+		"+OK\n",          // missing CR
+		"$3\r\nabcXY",    // missing CRLF after bulk
+		"*1\r\n:bad\r\n", // bad nested value
+	}
+	for _, raw := range cases {
+		_, err := ReadValue(bufio.NewReader(strings.NewReader(raw)))
+		if err == nil {
+			t.Errorf("input %q should fail", raw)
+		}
+	}
+}
+
+func TestCommandEncoding(t *testing.T) {
+	v := Command("GET", "key")
+	if v.Type != Array || len(v.Array) != 2 {
+		t.Fatalf("command = %+v", v)
+	}
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteValue(w, v); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	want := "*2\r\n$3\r\nGET\r\n$3\r\nkey\r\n"
+	if buf.String() != want {
+		t.Errorf("wire = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteValue(w, Value{Type: 'z'}); !errors.Is(err, ErrProtocol) {
+		t.Errorf("err = %v, want ErrProtocol", err)
+	}
+}

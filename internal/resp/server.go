@@ -1,0 +1,205 @@
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cachesim"
+)
+
+// Server is a minimal Redis-like TCP server fronting a cachesim.Cache.
+// Supported commands: PING, SET, GET, DEL, EXISTS, DBSIZE, FLUSHALL, INFO,
+// QUIT. Values are stored verbatim; the byte budget is charged with
+// len(key)+len(value), like Redis's memory accounting in spirit.
+type Server struct {
+	mu     sync.Mutex
+	cache  *cachesim.Cache
+	values map[string]string
+	start  time.Time
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewServer wires a server to a cache. The cache's OnEvict hook is
+// installed to keep the value store in sync; the caller must not install a
+// competing hook. The cache must have been built with cachesim.New.
+func NewServer(c *cachesim.Cache) (*Server, error) {
+	if c == nil {
+		return nil, errors.New("resp: nil cache")
+	}
+	s := &Server{
+		cache:  c,
+		values: make(map[string]string),
+		start:  time.Now(),
+		closed: make(chan struct{}),
+	}
+	return s, nil
+}
+
+// OnEvict is the hook the owning cache's Config.OnEvict must point at so
+// evictions drop value bytes. (Wired by callers because the hook has to be
+// set before cachesim.New.)
+func (s *Server) OnEvict(key string) {
+	// Called from inside cache operations, which already hold s.mu via
+	// the command handlers — no extra locking here.
+	delete(s.values, key)
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and starts serving
+// until Close. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("resp: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			// Transient accept error: keep serving.
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	close(s.closed)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		req, err := ReadValue(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				_ = WriteValue(w, Errorf("ERR %v", err))
+				_ = w.Flush()
+			}
+			return
+		}
+		reply, quit := s.dispatch(req)
+		if err := WriteValue(w, reply); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// dispatch executes one command and returns the reply and whether the
+// connection should close.
+func (s *Server) dispatch(req Value) (Value, bool) {
+	if req.Type != Array || req.Null || len(req.Array) == 0 {
+		return Errorf("ERR expected command array"), false
+	}
+	args := make([]string, len(req.Array))
+	for i, v := range req.Array {
+		if v.Type != BulkString || v.Null {
+			return Errorf("ERR command arguments must be bulk strings"), false
+		}
+		args[i] = v.Str
+	}
+	cmd := strings.ToUpper(args[0])
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Advance the cache clock in wall seconds since server start so
+	// recency features are meaningful.
+	s.cache.Advance(time.Since(s.start).Seconds())
+	switch cmd {
+	case "PING":
+		if len(args) == 2 {
+			return Bulk(args[1]), false
+		}
+		return Value{Type: SimpleString, Str: "PONG"}, false
+	case "SET":
+		if len(args) != 3 {
+			return Errorf("ERR wrong number of arguments for 'set'"), false
+		}
+		key, val := args[1], args[2]
+		size := int64(len(key) + len(val))
+		if err := s.cache.Set(key, size); err != nil {
+			return Errorf("ERR %v", err), false
+		}
+		s.values[key] = val
+		return OK, false
+	case "GET":
+		if len(args) != 2 {
+			return Errorf("ERR wrong number of arguments for 'get'"), false
+		}
+		if !s.cache.Get(args[1]) {
+			return NullBulk, false
+		}
+		return Bulk(s.values[args[1]]), false
+	case "DEL":
+		n := int64(0)
+		for _, key := range args[1:] {
+			if s.cache.Delete(key) {
+				delete(s.values, key)
+				n++
+			}
+		}
+		return Int(n), false
+	case "EXISTS":
+		n := int64(0)
+		for _, key := range args[1:] {
+			if s.cache.Contains(key) {
+				n++
+			}
+		}
+		return Int(n), false
+	case "DBSIZE":
+		return Int(int64(s.cache.Stats().Items)), false
+	case "FLUSHALL":
+		s.cache.Flush()
+		s.values = make(map[string]string)
+		return OK, false
+	case "INFO":
+		st := s.cache.Stats()
+		info := fmt.Sprintf(
+			"# Stats\r\nkeyspace_hits:%d\r\nkeyspace_misses:%d\r\nevicted_keys:%d\r\nused_memory:%d\r\nmaxmemory:%d\r\ndb0:keys=%d\r\nhit_rate:%.4f\r\n",
+			st.Hits, st.Misses, st.Evictions, st.UsedBytes, st.MaxBytes, st.Items, s.cache.HitRate())
+		return Bulk(info), false
+	case "QUIT":
+		return OK, true
+	default:
+		return Errorf("ERR unknown command '%s'", args[0]), false
+	}
+}

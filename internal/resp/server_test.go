@@ -1,0 +1,332 @@
+package resp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cachesim"
+	"repro/internal/stats"
+)
+
+// startServer brings up a server on an ephemeral port and returns a
+// connected client plus a cleanup-registered shutdown.
+func startServer(t *testing.T, maxBytes int64) (*Client, *Server) {
+	t.Helper()
+	var srv *Server
+	cfg := cachesim.Config{
+		MaxBytes:   maxBytes,
+		SampleSize: 5,
+		OnEvict:    func(key string) { srv.OnEvict(key) },
+	}
+	cache, err := cachesim.New(cfg, cachesim.RandomEvictor{R: stats.NewRand(1)}, stats.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err = NewServer(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := Dial(addr.String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli, srv
+}
+
+func TestPingSetGetDel(t *testing.T) {
+	cli, _ := startServer(t, 10000)
+	if err := cli.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Set("greeting", "hello world"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cli.Get("greeting")
+	if err != nil || !ok || v != "hello world" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := cli.Get("missing"); ok {
+		t.Error("missing key should miss")
+	}
+	n, err := cli.Del("greeting", "missing")
+	if err != nil || n != 1 {
+		t.Fatalf("Del = %d, %v", n, err)
+	}
+	if _, ok, _ := cli.Get("greeting"); ok {
+		t.Error("deleted key should miss")
+	}
+}
+
+func TestPingWithArgument(t *testing.T) {
+	cli, _ := startServer(t, 1000)
+	v, err := cli.Do("PING", "echo-me")
+	if err != nil || v.Str != "echo-me" {
+		t.Fatalf("PING arg = %+v, %v", v, err)
+	}
+}
+
+func TestExistsDbsizeFlush(t *testing.T) {
+	cli, _ := startServer(t, 10000)
+	for i := 0; i < 5; i++ {
+		if err := cli.Set(fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := cli.Do("EXISTS", "k0", "k1", "nope")
+	if err != nil || v.Int != 2 {
+		t.Fatalf("EXISTS = %+v, %v", v, err)
+	}
+	v, err = cli.Do("DBSIZE")
+	if err != nil || v.Int != 5 {
+		t.Fatalf("DBSIZE = %+v, %v", v, err)
+	}
+	if _, err := cli.Do("FLUSHALL"); err != nil {
+		t.Fatal(err)
+	}
+	v, err = cli.Do("DBSIZE")
+	if err != nil || v.Int != 0 {
+		t.Fatalf("DBSIZE after flush = %+v, %v", v, err)
+	}
+}
+
+func TestEvictionKeepsValuesInSync(t *testing.T) {
+	// Budget for ~10 small items; writing 50 forces evictions. Every
+	// resident key must still serve its value; evicted keys must miss
+	// cleanly (no stale values).
+	cli, srv := startServer(t, 200)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key%02d", i)
+		if err := cli.Set(key, "0123456789"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resident := 0
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key%02d", i)
+		v, ok, err := cli.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			resident++
+			if v != "0123456789" {
+				t.Fatalf("stale value %q for %q", v, key)
+			}
+		}
+	}
+	if resident == 0 || resident >= 50 {
+		t.Errorf("resident = %d, expected some but not all", resident)
+	}
+	// The value map must not leak evicted keys.
+	srv.mu.Lock()
+	leaked := len(srv.values) != srv.cache.Stats().Items
+	srv.mu.Unlock()
+	if leaked {
+		t.Error("value store out of sync with cache residency")
+	}
+}
+
+func TestInfoReportsStats(t *testing.T) {
+	cli, _ := startServer(t, 1000)
+	if err := cli.Set("a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cli.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cli.Get("b"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cli.Do("INFO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"keyspace_hits:1", "keyspace_misses:1", "maxmemory:1000", "hit_rate:"} {
+		if !strings.Contains(v.Str, want) {
+			t.Errorf("INFO missing %q:\n%s", want, v.Str)
+		}
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	cli, _ := startServer(t, 1000)
+	var srvErr *ServerError
+	if _, err := cli.Do("NOSUCH"); !errors.As(err, &srvErr) {
+		t.Errorf("unknown command err = %v", err)
+	}
+	if _, err := cli.Do("SET", "only-key"); !errors.As(err, &srvErr) {
+		t.Errorf("arity err = %v", err)
+	}
+	if _, err := cli.Do("GET"); !errors.As(err, &srvErr) {
+		t.Errorf("arity err = %v", err)
+	}
+	// Oversized item rejected but connection stays usable.
+	if _, err := cli.Do("SET", "big", strings.Repeat("x", 2000)); !errors.As(err, &srvErr) {
+		t.Errorf("oversize err = %v", err)
+	}
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("connection should survive errors: %v", err)
+	}
+}
+
+func TestQuitClosesConnection(t *testing.T) {
+	cli, _ := startServer(t, 1000)
+	v, err := cli.Do("QUIT")
+	if err != nil || v.Str != "OK" {
+		t.Fatalf("QUIT = %+v, %v", v, err)
+	}
+	// Subsequent command should fail (server closed its end).
+	if err := cli.Ping(); err == nil {
+		t.Error("connection should be closed after QUIT")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	cli0, srv := startServer(t, 100000)
+	_ = cli0
+	addr := srv.ln.Addr().String()
+	const workers = 8
+	const opsEach = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cli, err := Dial(addr, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			for i := 0; i < opsEach; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i%20)
+				if err := cli.Set(key, "value"); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := cli.Get(key); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	v, err := cli0.Do("DBSIZE")
+	if err != nil || v.Int != workers*20 {
+		t.Fatalf("DBSIZE = %+v, %v (want %d)", v, err, workers*20)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Error("nil cache should fail")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Error("dial to closed port should fail")
+	}
+}
+
+func TestClientEmptyCommand(t *testing.T) {
+	cli, _ := startServer(t, 1000)
+	if _, err := cli.Do(); err == nil {
+		t.Error("empty command should fail client-side")
+	}
+}
+
+func TestPipelineBatchesCommands(t *testing.T) {
+	cli, _ := startServer(t, 10000)
+	pipe := cli.Pipeline()
+	pipe.Queue("SET", "p1", "v1")
+	pipe.Queue("SET", "p2", "v2")
+	pipe.Queue("GET", "p1")
+	pipe.Queue("GET", "missing")
+	pipe.Queue("DBSIZE")
+	replies, err := pipe.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 5 {
+		t.Fatalf("replies = %d", len(replies))
+	}
+	if replies[0].Str != "OK" || replies[1].Str != "OK" {
+		t.Errorf("SET replies: %+v", replies[:2])
+	}
+	if replies[2].Str != "v1" {
+		t.Errorf("GET reply: %+v", replies[2])
+	}
+	if !replies[3].Null {
+		t.Errorf("missing key should be null: %+v", replies[3])
+	}
+	if replies[4].Int != 2 {
+		t.Errorf("DBSIZE = %+v", replies[4])
+	}
+	// The connection remains usable for plain commands.
+	if err := cli.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineErrorsInline(t *testing.T) {
+	cli, _ := startServer(t, 10000)
+	pipe := cli.Pipeline()
+	pipe.Queue("SET", "k", "v")
+	pipe.Queue("NOSUCH")
+	pipe.Queue("GET", "k")
+	replies, err := pipe.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replies[1].Type != Error {
+		t.Errorf("bad command should yield an Error reply: %+v", replies[1])
+	}
+	if replies[2].Str != "v" {
+		t.Errorf("command after the error should still work: %+v", replies[2])
+	}
+}
+
+func TestPipelineEmptyAndQueueValidation(t *testing.T) {
+	cli, _ := startServer(t, 1000)
+	pipe := cli.Pipeline()
+	replies, err := pipe.Exec()
+	if err != nil || replies != nil {
+		t.Errorf("empty pipeline: %v, %v", replies, err)
+	}
+	pipe.Queue() // empty command poisons the batch
+	pipe.Queue("PING")
+	if _, err := pipe.Exec(); err == nil {
+		t.Error("poisoned pipeline should fail")
+	}
+}
+
+func TestPipelineReusableAfterExec(t *testing.T) {
+	cli, _ := startServer(t, 1000)
+	pipe := cli.Pipeline()
+	pipe.Queue("PING")
+	if _, err := pipe.Exec(); err != nil {
+		t.Fatal(err)
+	}
+	pipe.Queue("PING")
+	replies, err := pipe.Exec()
+	if err != nil || len(replies) != 1 {
+		t.Fatalf("second batch: %v, %v", replies, err)
+	}
+}

@@ -1,0 +1,44 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Bootstrap resamples xs with replacement reps times, applies stat to each
+// resample, and returns the resulting sampling distribution (sorted).
+// The statistic receives a scratch buffer it must not retain.
+func Bootstrap(r *rand.Rand, xs []float64, reps int, stat func([]float64) float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	out := make([]float64, reps)
+	scratch := make([]float64, len(xs))
+	for rep := 0; rep < reps; rep++ {
+		for i := range scratch {
+			scratch[i] = xs[r.Intn(len(xs))]
+		}
+		out[rep] = stat(scratch)
+	}
+	sort.Float64s(out)
+	return out, nil
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for the
+// statistic at confidence level 1-delta, e.g. delta=0.05 gives the 2.5th and
+// 97.5th percentiles of the bootstrap distribution.
+func BootstrapCI(r *rand.Rand, xs []float64, reps int, delta float64, stat func([]float64) float64) (Interval, error) {
+	dist, err := Bootstrap(r, xs, reps, stat)
+	if err != nil {
+		return Interval{}, err
+	}
+	lo := quantileSorted(dist, delta/2)
+	hi := quantileSorted(dist, 1-delta/2)
+	return Interval{Point: stat(xs), Lo: lo, Hi: hi}, nil
+}
+
+// MeanCI is BootstrapCI specialized to the mean, the common case in the
+// experiment harness.
+func MeanCI(r *rand.Rand, xs []float64, reps int, delta float64) (Interval, error) {
+	return BootstrapCI(r, xs, reps, delta, Mean)
+}

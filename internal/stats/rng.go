@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NewRand returns a seeded *rand.Rand. Every experiment in this repository
+// threads one of these explicitly so that results are reproducible.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Split derives a child RNG from a parent, consuming one value from the
+// parent stream. Use it to give independent streams to concurrent actors
+// (servers, workload generators, resimulation replicas) without sharing a
+// single *rand.Rand across goroutines.
+func Split(parent *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(parent.Int63()))
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(r *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Categorical draws an index from the (not necessarily normalized)
+// non-negative weight vector w. It returns -1 if the total weight is zero
+// or w is empty.
+func Categorical(r *rand.Rand, w []float64) int {
+	total := 0.0
+	for _, v := range w {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total <= 0 {
+		return -1
+	}
+	u := r.Float64() * total
+	cum := 0.0
+	for i, v := range w {
+		if v <= 0 {
+			continue
+		}
+		cum += v
+		if u < cum {
+			return i
+		}
+	}
+	// Floating-point slack: return the last positive-weight index.
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Exponential draws from an exponential distribution with the given mean.
+func Exponential(r *rand.Rand, mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// Zipf draws ranks in [0, n) with probability proportional to 1/(rank+1)^s.
+// It is used by workload generators for skewed key popularity.
+type Zipf struct {
+	cdf []float64
+	r   *rand.Rand
+}
+
+// NewZipf precomputes the CDF for n ranks with exponent s > 0.
+func NewZipf(r *rand.Rand, n int, s float64) *Zipf {
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// Draw returns a rank in [0, n).
+func (z *Zipf) Draw() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func pow(x, y float64) float64 {
+	if y == 1 {
+		return x
+	}
+	return math.Pow(x, y)
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed should give same stream")
+		}
+	}
+}
+
+func TestSplitIndependentStreams(t *testing.T) {
+	parent := NewRand(7)
+	c1 := Split(parent)
+	c2 := Split(parent)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Int63() == c2.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("child streams look identical (%d/100 collisions)", same)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 50; i++ {
+		if Bernoulli(r, 0) {
+			t.Fatal("p=0 fired")
+		}
+		if !Bernoulli(r, 1) {
+			t.Fatal("p=1 missed")
+		}
+		if Bernoulli(r, -0.5) {
+			t.Fatal("p<0 fired")
+		}
+		if !Bernoulli(r, 1.5) {
+			t.Fatal("p>1 missed")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := NewRand(2)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if Bernoulli(r, 0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("empirical p = %v, want 0.3±0.01", frac)
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	r := NewRand(3)
+	w := []float64{1, 2, 1}
+	counts := make([]int, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		idx := Categorical(r, w)
+		if idx < 0 || idx > 2 {
+			t.Fatalf("index out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	want := []float64{0.25, 0.5, 0.25}
+	for i, c := range counts {
+		frac := float64(c) / float64(n)
+		if math.Abs(frac-want[i]) > 0.01 {
+			t.Errorf("action %d frequency %v, want %v±0.01", i, frac, want[i])
+		}
+	}
+}
+
+func TestCategoricalDegenerate(t *testing.T) {
+	r := NewRand(4)
+	if Categorical(r, nil) != -1 {
+		t.Error("nil weights should return -1")
+	}
+	if Categorical(r, []float64{0, 0}) != -1 {
+		t.Error("zero weights should return -1")
+	}
+	if Categorical(r, []float64{-1, -2}) != -1 {
+		t.Error("negative weights should return -1")
+	}
+	// Single positive weight always selected, negatives skipped.
+	for i := 0; i < 20; i++ {
+		if got := Categorical(r, []float64{0, 5, 0}); got != 1 {
+			t.Fatalf("got %d, want 1", got)
+		}
+		if got := Categorical(r, []float64{-3, 0, 2}); got != 2 {
+			t.Fatalf("got %d, want 2", got)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRand(5)
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		w.Add(Exponential(r, 2.5))
+	}
+	if math.Abs(w.Mean()-2.5) > 0.05 {
+		t.Errorf("mean = %v, want 2.5±0.05", w.Mean())
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(6)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		k := z.Draw()
+		if k < 0 || k >= 100 {
+			t.Fatalf("rank out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// Rank 0 should be drawn roughly twice as often as rank 1 (1/1 vs 1/2).
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("rank0/rank1 ratio = %v, want ≈2", ratio)
+	}
+	if counts[0] <= counts[50] {
+		t.Error("zipf should be head-heavy")
+	}
+}
+
+func TestBootstrapCICoversTruth(t *testing.T) {
+	r := NewRand(7)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.NormFloat64() + 10
+	}
+	iv, err := MeanCI(NewRand(8), xs, 500, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(Mean(xs)) {
+		t.Errorf("CI %v should contain the sample mean %v", iv, Mean(xs))
+	}
+	if !iv.Contains(10) {
+		// Not guaranteed, but with n=500 failure probability is ~5%;
+		// seeds chosen so it passes.
+		t.Errorf("CI %v should contain the true mean 10 for this seed", iv)
+	}
+	if iv.Width() <= 0 || iv.Width() > 1 {
+		t.Errorf("implausible CI width %v", iv.Width())
+	}
+}
+
+func TestBootstrapEmpty(t *testing.T) {
+	if _, err := Bootstrap(NewRand(1), nil, 10, Mean); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+	if _, err := MeanCI(NewRand(1), nil, 10, 0.05); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
