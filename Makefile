@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments fuzz clean
+.PHONY: all build vet test race bench experiments fuzz harvestd-demo clean
 
 all: build vet test
 
@@ -15,7 +15,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/netlb/ ./internal/resp/ ./cmd/cacheload/
+	$(GO) test -race ./internal/netlb/ ./internal/resp/ ./cmd/cacheload/ ./internal/harvestd/ ./cmd/harvestd/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -23,6 +23,19 @@ bench:
 # Regenerate every paper table/figure and the extension experiments.
 experiments:
 	$(GO) run ./cmd/harvest all
+
+# Launch the live demo topology: lbd serves randomized-routing traffic and
+# writes an access log; harvestd tails it and serves live counterfactual
+# estimates. Ctrl-C stops both (harvestd checkpoints on the way down).
+harvestd-demo:
+	@rm -f /tmp/harvestd-demo.log && touch /tmp/harvestd-demo.log
+	$(GO) run ./cmd/lbd -backends 2 -policy random -log /tmp/harvestd-demo.log -requests 0 & \
+	trap 'kill %1 2>/dev/null' EXIT INT TERM; \
+	sleep 1; \
+	echo "live estimates: http://127.0.0.1:8347/estimates (metrics: /metrics)"; \
+	$(GO) run ./cmd/harvestd -nginx /tmp/harvestd-demo.log -follow \
+		-policies uniform,leastloaded,constant:0 \
+		-checkpoint /tmp/harvestd-demo.ckpt
 
 # Short fuzz pass over the wire-format parsers.
 fuzz:

@@ -1,0 +1,188 @@
+// Command harvestd runs the continuous harvesting daemon: it tails
+// exploration logs (netlb access logs, cache decision logs, core JSONL
+// datasets) into a registry of candidate policies and serves live
+// counterfactual estimates over HTTP — the paper's "harvest continuously"
+// pitch as a long-running service.
+//
+// Usage:
+//
+//	harvestd [-addr HOST:PORT] [-nginx PATH,...] [-jsonl PATH,...]
+//	         [-cachelog PATH,...] [-follow] [-strict] [-types N] [-horizon F]
+//	         [-policies SPEC] [-workers N] [-queue N] [-clip F] [-delta F]
+//	         [-checkpoint PATH] [-checkpoint-interval D]
+//
+// A policy SPEC is a comma-separated list of candidates to evaluate:
+// "uniform" (uniform random), "leastloaded" (least-connections), and
+// "constant:K" (always route to K). The daemon runs until SIGINT/SIGTERM,
+// then drains in-flight lines, writes a final checkpoint (when -checkpoint
+// is set), and prints the final estimates. A restart with the same
+// -checkpoint resumes exactly where it left off.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harvestd"
+	"repro/internal/lbsim"
+	"repro/internal/policy"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "harvestd:", err)
+		os.Exit(1)
+	}
+}
+
+// run wires flags → sources → registry → daemon, serves until ctx is
+// cancelled (the SIGTERM path), then shuts down gracefully. When ready is
+// non-nil the API base URL is sent on it after startup — the hook the
+// integration tests use to drive a full daemon lifecycle in-process.
+func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("harvestd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8347", "HTTP API listen address")
+	nginx := fs.String("nginx", "", "comma-separated nginx-style access logs to harvest")
+	jsonl := fs.String("jsonl", "", "comma-separated core JSONL datasets to harvest")
+	cachelog := fs.String("cachelog", "", "comma-separated cache decision logs to harvest")
+	follow := fs.Bool("follow", false, "keep tailing nginx/jsonl sources as they grow")
+	strict := fs.Bool("strict", false, "abort a nginx source on the first malformed line")
+	types := fs.Int("types", 1, "request types in nginx logs (typed routing contexts)")
+	horizon := fs.Float64("horizon", 2000, "cache harvest look-ahead horizon")
+	policies := fs.String("policies", "uniform,leastloaded,constant:0",
+		"candidate policies: uniform | leastloaded | constant:K")
+	workers := fs.Int("workers", 0, "ingestion workers (0 = GOMAXPROCS, max 8)")
+	queue := fs.Int("queue", 4096, "ingestion queue capacity")
+	clip := fs.Float64("clip", 10, "importance-weight cap for clipped IPS (<=0 disables)")
+	delta := fs.Float64("delta", 0.05, "default interval failure probability")
+	checkpoint := fs.String("checkpoint", "", "checkpoint file (empty disables)")
+	ckptEvery := fs.Duration("checkpoint-interval", 30*time.Second, "time between checkpoints")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+		if nWorkers > 8 {
+			nWorkers = 8
+		}
+	}
+	reg, err := harvestd.NewRegistry(nWorkers, *clip)
+	if err != nil {
+		return err
+	}
+	if err := registerPolicies(reg, *policies); err != nil {
+		return err
+	}
+
+	d, err := harvestd.New(harvestd.Config{
+		Workers:            nWorkers,
+		QueueSize:          *queue,
+		Clip:               *clip,
+		Delta:              *delta,
+		Addr:               *addr,
+		CheckpointPath:     *checkpoint,
+		CheckpointInterval: *ckptEvery,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stdout, format+"\n", a...)
+		},
+	}, reg)
+	if err != nil {
+		return err
+	}
+	for _, p := range splitPaths(*nginx) {
+		d.AddSource(&harvestd.NginxSource{
+			Path: p, Follow: *follow, NumTypes: *types, Strict: *strict,
+		})
+	}
+	for _, p := range splitPaths(*jsonl) {
+		d.AddSource(&harvestd.JSONLSource{Path: p, Follow: *follow})
+	}
+	for _, p := range splitPaths(*cachelog) {
+		d.AddSource(&harvestd.CacheLogSource{Path: p, Horizon: *horizon})
+	}
+
+	if err := d.Start(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "harvestd: evaluating %s on %s\n",
+		strings.Join(reg.Names(), ", "), d.URL())
+	if ready != nil {
+		ready <- d.URL()
+	}
+
+	<-ctx.Done()
+	fmt.Fprintln(stdout, "harvestd: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := d.Shutdown(sctx); err != nil {
+		return err
+	}
+	for _, pe := range d.Estimates() {
+		fmt.Fprintf(stdout, "harvestd: %-14s n=%-8d snips=%.6f ± %.6f\n",
+			pe.Policy, pe.N, pe.SNIPS.Value, pe.SNIPS.StdErr)
+	}
+	for _, err := range d.SourceErrors() {
+		fmt.Fprintf(stdout, "harvestd: source error: %v\n", err)
+	}
+	return nil
+}
+
+// registerPolicies parses a candidate spec ("uniform,leastloaded,constant:1")
+// into the registry.
+func registerPolicies(reg *harvestd.Registry, spec string) error {
+	items := splitPaths(spec)
+	if len(items) == 0 {
+		return fmt.Errorf("no candidate policies given")
+	}
+	for _, item := range items {
+		switch {
+		case item == "uniform":
+			if err := reg.Register("uniform", policy.UniformRandom{}); err != nil {
+				return err
+			}
+		case item == "leastloaded":
+			if err := reg.Register("leastloaded", lbsim.LeastLoaded{}); err != nil {
+				return err
+			}
+		case strings.HasPrefix(item, "constant:"):
+			k, err := strconv.Atoi(strings.TrimPrefix(item, "constant:"))
+			if err != nil || k < 0 {
+				return fmt.Errorf("bad constant policy %q", item)
+			}
+			if err := reg.Register(fmt.Sprintf("always-%d", k), policy.Constant{A: core.Action(k)}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown policy %q (want uniform | leastloaded | constant:K)", item)
+		}
+	}
+	return nil
+}
+
+// splitPaths splits a comma-separated flag value, dropping empties.
+func splitPaths(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

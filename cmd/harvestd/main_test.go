@@ -1,0 +1,189 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harvestd"
+	"repro/internal/lbsim"
+	"repro/internal/stats"
+)
+
+// writeTestLogs materializes one nginx access log and one JSONL dataset.
+func writeTestLogs(t *testing.T, dir string) (nginxPath, jsonlPath string, total int64) {
+	t.Helper()
+	r := stats.NewRand(7)
+	var nb strings.Builder
+	const nNginx = 200
+	for i := 0; i < nNginx; i++ {
+		conns := []int{r.Intn(8), r.Intn(8)}
+		up := r.Intn(2)
+		rt := 0.002 + 0.0005*float64(conns[up]) + 0.001*r.Float64()
+		fmt.Fprintf(&nb,
+			"127.0.0.1:%d - - [06/Jul/2026:10:30:00 +0000] \"GET /r/%d HTTP/1.1\" 200 42 \"-\" \"t\" rt=%.6f upstream=%d conns=%d|%d prop=0.500000\n",
+			1000+i, i, rt, up, conns[0], conns[1])
+	}
+	nginxPath = filepath.Join(dir, "access.log")
+	if err := os.WriteFile(nginxPath, []byte(nb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const nJSONL = 300
+	ds := make(core.Dataset, nJSONL)
+	for i := range ds {
+		conns := []int{r.Intn(8), r.Intn(8)}
+		a := core.Action(r.Intn(2))
+		ds[i] = core.Datapoint{
+			Context:    lbsim.BuildContext(conns, 0, 1),
+			Action:     a,
+			Reward:     0.002 + 0.001*float64(conns[a]) + 0.001*r.Float64(),
+			Propensity: 0.5,
+		}
+	}
+	var jb strings.Builder
+	if err := ds.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	jsonlPath = filepath.Join(dir, "dataset.jsonl")
+	if err := os.WriteFile(jsonlPath, []byte(jb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return nginxPath, jsonlPath, nNginx + nJSONL
+}
+
+// startRun launches run() as main would, returning the API base URL and a
+// channel carrying its exit error after ctx is cancelled.
+func startRun(t *testing.T, ctx context.Context, args []string) (string, <-chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, args, io.Discard, ready) }()
+	select {
+	case url := <-ready:
+		return url, errc
+	case err := <-errc:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for startup")
+	}
+	return "", nil
+}
+
+// fetchEstimates polls /estimates until every policy reports wantN samples.
+func fetchEstimates(t *testing.T, base string, wantN int64) []harvestd.PolicyEstimate {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var last []harvestd.PolicyEstimate
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/estimates")
+		if err == nil {
+			var ests []harvestd.PolicyEstimate
+			if json.NewDecoder(resp.Body).Decode(&ests) == nil {
+				last = ests
+			}
+			resp.Body.Close()
+			done := len(last) > 0
+			for _, pe := range last {
+				if pe.N != wantN {
+					done = false
+				}
+			}
+			if done {
+				return last
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("estimates never reached n=%d: %+v", wantN, last)
+	return nil
+}
+
+// TestRunResumeAfterRestart is the binary's lifecycle acceptance test: a
+// daemon ingests an nginx log and a JSONL dataset concurrently, terminates
+// on signal (context cancellation — exactly what signal.NotifyContext
+// delivers on SIGTERM) writing a checkpoint, and a restarted daemon reports
+// identical estimator state (n, means, intervals) from that checkpoint.
+func TestRunResumeAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	nginxPath, jsonlPath, total := writeTestLogs(t, dir)
+	ckpt := filepath.Join(dir, "state.json")
+	common := []string{
+		"-addr", "127.0.0.1:0",
+		"-checkpoint", ckpt,
+		"-policies", "leastloaded,constant:0,constant:1",
+		"-workers", "2",
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	url1, errc1 := startRun(t, ctx1, append([]string{
+		"-nginx", nginxPath, "-jsonl", jsonlPath,
+	}, common...))
+	before := fetchEstimates(t, url1, total)
+	cancel1() // SIGTERM
+	if err := <-errc1; err != nil {
+		t.Fatalf("first run exited: %v", err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint after shutdown: %v", err)
+	}
+
+	// Restart with no sources: everything it knows came from the checkpoint.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	url2, errc2 := startRun(t, ctx2, common)
+	after := fetchEstimates(t, url2, total)
+	cancel2()
+	if err := <-errc2; err != nil {
+		t.Fatalf("second run exited: %v", err)
+	}
+
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("state not identical across restart:\nbefore %+v\nafter  %+v", before, after)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	ctx := context.Background()
+	for _, args := range [][]string{
+		{"-policies", "martian"},
+		{"-policies", "constant:x"},
+		{"-policies", ""},
+		{"-addr", "256.0.0.1:bad"},
+		{"positional"},
+	} {
+		if err := run(ctx, args, io.Discard, nil); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunMissingSourceStillServes(t *testing.T) {
+	// A missing log file fails that source, not the daemon.
+	ctx, cancel := context.WithCancel(context.Background())
+	url, errc := startRun(t, ctx, []string{
+		"-addr", "127.0.0.1:0",
+		"-nginx", filepath.Join(t.TempDir(), "absent.log"),
+		"-policies", "constant:0",
+	})
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("run exited: %v", err)
+	}
+}

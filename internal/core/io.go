@@ -51,6 +51,26 @@ func (ds Dataset) WriteJSONL(w io.Writer) error {
 // ReadJSONL parses a dataset written by WriteJSONL. Blank lines are skipped.
 func ReadJSONL(r io.Reader) (Dataset, error) {
 	var ds Dataset
+	err := ReadJSONLFunc(r, func(d Datapoint) error {
+		ds = append(ds, d)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// ReadJSONLFunc parses a JSONL dataset incrementally, invoking handle for
+// each datapoint as soon as its line is decoded — million-line exploration
+// datasets stream through in constant memory instead of materializing a
+// slice. Blank lines are skipped. handle returning a non-nil error stops
+// the stream and propagates the error with the line number; so does a
+// malformed line.
+func ReadJSONLFunc(r io.Reader, handle func(Datapoint) error) error {
+	if handle == nil {
+		return fmt.Errorf("core: nil datapoint handler")
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0
@@ -62,7 +82,7 @@ func ReadJSONL(r io.Reader) (Dataset, error) {
 		}
 		var wd wireDatapoint
 		if err := json.Unmarshal(raw, &wd); err != nil {
-			return nil, fmt.Errorf("core: line %d: %w", line, err)
+			return fmt.Errorf("core: line %d: %w", line, err)
 		}
 		d := Datapoint{
 			Context: Context{
@@ -81,10 +101,12 @@ func ReadJSONL(r io.Reader) (Dataset, error) {
 				d.Context.ActionFeatures[j] = v
 			}
 		}
-		ds = append(ds, d)
+		if err := handle(d); err != nil {
+			return fmt.Errorf("core: line %d: handler: %w", line, err)
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("core: reading dataset: %w", err)
+		return fmt.Errorf("core: reading dataset: %w", err)
 	}
-	return ds, nil
+	return nil
 }

@@ -74,6 +74,65 @@ not-json`
 	}
 }
 
+func TestReadJSONLFuncRoundTrip(t *testing.T) {
+	// Streaming reads must see every field the batch reader sees, including
+	// the optional ActionFeatures/Tag/Seq — datapoint for datapoint.
+	ds := sampleDataset()
+	var buf bytes.Buffer
+	if err := ds.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Dataset
+	err := ReadJSONLFunc(&buf, func(d Datapoint) error {
+		got = append(got, d)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, got) {
+		t.Errorf("streaming round trip mismatch:\n got %+v\nwant %+v", got, ds)
+	}
+	if got[0].Tag != "traj-1" || got[0].Seq != 42 {
+		t.Errorf("optional fields lost: %+v", got[0])
+	}
+	if len(got[1].Context.ActionFeatures) != 2 {
+		t.Errorf("action features lost: %+v", got[1].Context)
+	}
+}
+
+func TestReadJSONLFuncHandlerError(t *testing.T) {
+	ds := sampleDataset()
+	var buf bytes.Buffer
+	if err := ds.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	err := ReadJSONLFunc(&buf, func(Datapoint) error {
+		calls++
+		if calls == 2 {
+			return ErrNoData // any sentinel
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("handler error should carry line 2: %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("handler called %d times after error", calls)
+	}
+}
+
+func TestReadJSONLFuncValidation(t *testing.T) {
+	if err := ReadJSONLFunc(strings.NewReader(""), nil); err == nil {
+		t.Error("nil handler should fail")
+	}
+	err := ReadJSONLFunc(strings.NewReader("{bad"), func(Datapoint) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("malformed line should fail with its number: %v", err)
+	}
+}
+
 func TestWriteEmptyDataset(t *testing.T) {
 	var buf bytes.Buffer
 	if err := (Dataset{}).WriteJSONL(&buf); err != nil {

@@ -1,0 +1,211 @@
+package harvestd
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Accum holds the sufficient statistics for three importance-weighted
+// estimators of one candidate policy — plain IPS, clipped IPS, and SNIPS —
+// over a stream of ⟨x, a, r, p⟩ datapoints. Unlike the estimators in
+// package ope it never sees the data twice: everything the read path needs
+// (point estimates, standard errors, normal and empirical-Bernstein
+// intervals) is derived from these running sums, so an Accum is also the
+// unit of sharding (one per ingestion worker, merged on read) and of
+// checkpointing (all fields are exported and JSON-serializable).
+type Accum struct {
+	// N counts folded datapoints; Matches those on which the candidate put
+	// positive probability.
+	N       int64 `json:"n"`
+	Matches int64 `json:"matches"`
+
+	// Importance-weight sums: w = π(a|x)/p.
+	SumW   float64 `json:"sum_w"`
+	SumWSq float64 `json:"sum_w_sq"`
+	MaxW   float64 `json:"max_w"`
+
+	// IPS term sums: term = w·r.
+	SumWR   float64 `json:"sum_wr"`
+	SumWRSq float64 `json:"sum_wr_sq"`
+	// SumW2R / SumW2R2 accumulate w²r and w²r² for the SNIPS delta-method
+	// variance.
+	SumW2R  float64 `json:"sum_w2r"`
+	SumW2R2 float64 `json:"sum_w2r2"`
+
+	// Clipped-IPS term sums: cterm = min(w, clip)·r.
+	SumCW    float64 `json:"sum_cw"`
+	SumCWR   float64 `json:"sum_cwr"`
+	SumCWRSq float64 `json:"sum_cwr_sq"`
+
+	// Observed ranges, for empirical-Bernstein interval widths.
+	MinTerm  float64 `json:"min_term"`
+	MaxTerm  float64 `json:"max_term"`
+	MinCTerm float64 `json:"min_cterm"`
+	MaxCTerm float64 `json:"max_cterm"`
+	MinR     float64 `json:"min_r"`
+	MaxR     float64 `json:"max_r"`
+}
+
+// Fold adds one datapoint given the candidate's probability pi of the
+// logged action, the logged propensity p > 0, and the reward r. clip <= 0
+// disables clipping (the clipped estimator then coincides with plain IPS).
+func (a *Accum) Fold(pi, p, r, clip float64) {
+	w := pi / p
+	term := w * r
+	cw := w
+	if clip > 0 && cw > clip {
+		cw = clip
+	}
+	cterm := cw * r
+	if a.N == 0 {
+		a.MinTerm, a.MaxTerm = term, term
+		a.MinCTerm, a.MaxCTerm = cterm, cterm
+		a.MinR, a.MaxR = r, r
+	} else {
+		a.MinTerm = math.Min(a.MinTerm, term)
+		a.MaxTerm = math.Max(a.MaxTerm, term)
+		a.MinCTerm = math.Min(a.MinCTerm, cterm)
+		a.MaxCTerm = math.Max(a.MaxCTerm, cterm)
+		a.MinR = math.Min(a.MinR, r)
+		a.MaxR = math.Max(a.MaxR, r)
+	}
+	a.N++
+	if pi > 0 {
+		a.Matches++
+	}
+	a.SumW += w
+	a.SumWSq += w * w
+	a.MaxW = math.Max(a.MaxW, w)
+	a.SumWR += term
+	a.SumWRSq += term * term
+	a.SumW2R += w * w * r
+	a.SumW2R2 += w * w * r * r
+	a.SumCW += cw
+	a.SumCWR += cterm
+	a.SumCWRSq += cterm * cterm
+}
+
+// Merge folds another accumulator into a (the parallel reduction of the
+// sharded design). Merging an empty accumulator is a no-op.
+func (a *Accum) Merge(o *Accum) {
+	if o.N == 0 {
+		return
+	}
+	if a.N == 0 {
+		*a = *o
+		return
+	}
+	a.MinTerm = math.Min(a.MinTerm, o.MinTerm)
+	a.MaxTerm = math.Max(a.MaxTerm, o.MaxTerm)
+	a.MinCTerm = math.Min(a.MinCTerm, o.MinCTerm)
+	a.MaxCTerm = math.Max(a.MaxCTerm, o.MaxCTerm)
+	a.MinR = math.Min(a.MinR, o.MinR)
+	a.MaxR = math.Max(a.MaxR, o.MaxR)
+	a.N += o.N
+	a.Matches += o.Matches
+	a.SumW += o.SumW
+	a.SumWSq += o.SumWSq
+	a.MaxW = math.Max(a.MaxW, o.MaxW)
+	a.SumWR += o.SumWR
+	a.SumWRSq += o.SumWRSq
+	a.SumW2R += o.SumW2R
+	a.SumW2R2 += o.SumW2R2
+	a.SumCW += o.SumCW
+	a.SumCWR += o.SumCWR
+	a.SumCWRSq += o.SumCWRSq
+}
+
+// EstimatorValue is one estimator's view of a policy: point estimate,
+// standard error, a normal-approximation 1−delta interval [Lo, Hi], and —
+// when computable — a Maurer–Pontil empirical-Bernstein 1−delta interval
+// [EBLo, EBHi] over the observed term range. EBOK reports whether the
+// Bernstein interval is available (it needs n ≥ 2 and a positive observed
+// range; for SNIPS it is never emitted because the self-normalized estimate
+// is not a sample mean of i.i.d. terms).
+type EstimatorValue struct {
+	Value  float64 `json:"value"`
+	StdErr float64 `json:"stderr"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	EBLo   float64 `json:"eb_lo,omitempty"`
+	EBHi   float64 `json:"eb_hi,omitempty"`
+	EBOK   bool    `json:"eb_ok"`
+}
+
+// PolicyEstimate is the full per-policy report served by the API.
+type PolicyEstimate struct {
+	Policy     string         `json:"policy"`
+	N          int64          `json:"n"`
+	MatchRate  float64        `json:"match_rate"`
+	IPS        EstimatorValue `json:"ips"`
+	ClippedIPS EstimatorValue `json:"clipped_ips"`
+	SNIPS      EstimatorValue `json:"snips"`
+}
+
+// Estimate derives all three estimators at confidence 1−delta.
+func (a *Accum) Estimate(name string, delta float64) PolicyEstimate {
+	pe := PolicyEstimate{Policy: name, N: a.N}
+	if a.N == 0 {
+		return pe
+	}
+	nf := float64(a.N)
+	pe.MatchRate = float64(a.Matches) / nf
+
+	pe.IPS = meanValue(a.SumWR, a.SumWRSq, a.N, a.MaxTerm-a.MinTerm, delta)
+	pe.ClippedIPS = meanValue(a.SumCWR, a.SumCWRSq, a.N, a.MaxCTerm-a.MinCTerm, delta)
+
+	// SNIPS: v = Σwr / Σw with the delta-method standard error used by
+	// ope.SNIPS: se = sqrt(Var(wr − vw)/n)/w̄. The residual sum expands to
+	// Σw²r² − 2vΣw²r + v²Σw² (the residuals have zero mean by construction),
+	// so the running sums suffice — no second pass over the data.
+	if a.SumW > 0 {
+		v := a.SumWR / a.SumW
+		pe.SNIPS = EstimatorValue{Value: v}
+		if a.N >= 2 {
+			ss := a.SumW2R2 - 2*v*a.SumW2R + v*v*a.SumWSq
+			if ss < 0 {
+				ss = 0
+			}
+			pe.SNIPS.StdErr = math.Sqrt(ss*nf/(nf-1)) / a.SumW
+		}
+		pe.SNIPS.Lo, pe.SNIPS.Hi = normalCI(v, pe.SNIPS.StdErr, delta)
+	}
+	return pe
+}
+
+// meanValue builds the EstimatorValue of a plain sample mean from its term
+// sums: mean, stderr, normal CI, and an empirical-Bernstein CI over the
+// observed term range.
+func meanValue(sum, sumSq float64, n int64, rangeWidth, delta float64) EstimatorValue {
+	nf := float64(n)
+	mean := sum / nf
+	ev := EstimatorValue{Value: mean}
+	if n < 2 {
+		ev.Lo, ev.Hi = mean, mean
+		return ev
+	}
+	variance := (sumSq - nf*mean*mean) / (nf - 1)
+	if variance < 0 {
+		variance = 0
+	}
+	ev.StdErr = math.Sqrt(variance / nf)
+	ev.Lo, ev.Hi = normalCI(mean, ev.StdErr, delta)
+	if r := stats.EmpiricalBernsteinRadius(int(n), variance, rangeWidth, delta); !math.IsInf(r, 0) && !math.IsNaN(r) {
+		ev.EBLo, ev.EBHi, ev.EBOK = mean-r, mean+r, true
+	}
+	return ev
+}
+
+// normalCI returns the 1−delta normal-approximation interval, collapsing to
+// the point when the standard error is zero (so JSON never carries ±Inf).
+func normalCI(v, se, delta float64) (lo, hi float64) {
+	if se <= 0 {
+		return v, v
+	}
+	r := stats.NormalApproxRadius(se, delta)
+	if math.IsInf(r, 0) || math.IsNaN(r) {
+		return v, v
+	}
+	return v - r, v + r
+}

@@ -1,0 +1,330 @@
+// Package harvestd is the continuous harvesting daemon: the paper's
+// footnote that "off-policy evaluation may incrementally update; it just
+// does not intervene in a live (online) system" turned into a long-running
+// service. It tails exploration-log sources (netlb access logs, cache
+// decision logs, core JSONL datasets) through concurrent ingestion workers
+// feeding a bounded queue, maintains a registry of candidate policies with
+// sharded per-policy incremental estimators (IPS, clipped IPS, SNIPS, with
+// normal and empirical-Bernstein intervals), serves live estimates over a
+// small stdlib-only HTTP API, and checkpoints estimator state atomically so
+// a restart resumes exactly where it left off.
+//
+// Data flow:
+//
+//	sources ──emit──▶ bounded queue ──▶ workers ──fold──▶ policy shards
+//	                                                          │merge
+//	HTTP /estimates /metrics ◀── read path ◀──────────────────┘
+//	checkpoint (timer + shutdown) ◀── exportState
+package harvestd
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config tunes the daemon. The zero value is usable: defaults fill in.
+type Config struct {
+	// Workers is the number of concurrent ingestion workers (and estimator
+	// shards). Default: GOMAXPROCS capped at 8.
+	Workers int
+	// QueueSize bounds the ingestion queue (backpressure). Default 4096.
+	QueueSize int
+	// Clip caps importance weights for the clipped-IPS estimator. Default
+	// 10; <= 0 disables clipping.
+	Clip float64
+	// Delta is the default interval failure probability. Default 0.05.
+	Delta float64
+	// Addr is the HTTP listen address. Empty disables the API (tests can
+	// still drive the daemon in-process); "127.0.0.1:0" picks a free port.
+	Addr string
+	// CheckpointPath enables checkpointing to this file; empty disables.
+	CheckpointPath string
+	// CheckpointInterval is the timer between checkpoints. Default 30s.
+	CheckpointInterval time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 4096
+	}
+	if c.Delta <= 0 || c.Delta >= 1 {
+		c.Delta = 0.05
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// counters are the daemon's atomic vital signs, exposed via /metrics.
+type counters struct {
+	lines       atomic.Int64 // raw input lines/records seen
+	parseErrors atomic.Int64 // unparseable lines
+	rejected    atomic.Int64 // parsed but unusable (non-2xx, no propensity, ...)
+	ingested    atomic.Int64 // datapoints enqueued
+	folded      atomic.Int64 // datapoints folded into estimators
+	checkpoints atomic.Int64 // successful checkpoint writes
+}
+
+// Daemon is one running harvestd instance.
+type Daemon struct {
+	cfg   Config
+	reg   *Registry
+	queue chan core.Datapoint
+	ctr   counters
+	start time.Time
+
+	sources []Source
+
+	stateMu  sync.RWMutex // guards running/draining transitions vs. Ingest
+	running  bool
+	draining bool
+
+	srcCtx    context.Context
+	srcCancel context.CancelFunc
+	srcWG     sync.WaitGroup
+	workerWG  sync.WaitGroup
+	ckptDone  chan struct{}
+
+	errMu   sync.Mutex
+	srcErrs []error
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// New builds a daemon over a registry. The registry must have at least as
+// many shards as the daemon has workers.
+func New(cfg Config, reg *Registry) (*Daemon, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("harvestd: nil registry")
+	}
+	cfg.fillDefaults()
+	if reg.NumShards() < cfg.Workers {
+		return nil, fmt.Errorf("harvestd: registry has %d shards for %d workers",
+			reg.NumShards(), cfg.Workers)
+	}
+	return &Daemon{
+		cfg:   cfg,
+		reg:   reg,
+		queue: make(chan core.Datapoint, cfg.QueueSize),
+	}, nil
+}
+
+// Registry returns the daemon's policy registry.
+func (d *Daemon) Registry() *Registry { return d.reg }
+
+// AddSource wires a source; call before Start.
+func (d *Daemon) AddSource(s Source) {
+	d.sources = append(d.sources, s)
+}
+
+// Start resumes from the checkpoint (when one exists), launches the
+// ingestion workers, sources, checkpoint timer, and HTTP API, then returns.
+// The daemon runs until Shutdown.
+func (d *Daemon) Start(ctx context.Context) error {
+	d.stateMu.Lock()
+	defer d.stateMu.Unlock()
+	if d.running {
+		return fmt.Errorf("harvestd: already started")
+	}
+
+	if d.cfg.CheckpointPath != "" {
+		n, err := d.loadCheckpoint()
+		switch {
+		case err == nil:
+			d.cfg.Logf("harvestd: resumed %d policies from %s", n, d.cfg.CheckpointPath)
+		case os.IsNotExist(err):
+			// First run: nothing to resume.
+		default:
+			return fmt.Errorf("harvestd: loading checkpoint: %w", err)
+		}
+	}
+
+	// Listen before spawning anything so a bad address fails cleanly.
+	if d.cfg.Addr != "" {
+		ln, err := net.Listen("tcp", d.cfg.Addr)
+		if err != nil {
+			return fmt.Errorf("harvestd: listen %s: %w", d.cfg.Addr, err)
+		}
+		d.ln = ln
+	}
+
+	d.start = time.Now()
+	d.srcCtx, d.srcCancel = context.WithCancel(ctx)
+
+	for i := 0; i < d.cfg.Workers; i++ {
+		d.workerWG.Add(1)
+		go d.worker(i)
+	}
+
+	sink := &Sink{d: d}
+	for _, s := range d.sources {
+		d.srcWG.Add(1)
+		go func(s Source) {
+			defer d.srcWG.Done()
+			if err := s.Run(d.srcCtx, sink); err != nil {
+				d.cfg.Logf("harvestd: source %s failed: %v", s.Name(), err)
+				d.errMu.Lock()
+				d.srcErrs = append(d.srcErrs, err)
+				d.errMu.Unlock()
+			}
+		}(s)
+	}
+
+	d.ckptDone = make(chan struct{})
+	if d.cfg.CheckpointPath != "" {
+		go d.checkpointLoop()
+	} else {
+		close(d.ckptDone)
+	}
+
+	if d.ln != nil {
+		d.srv = &http.Server{Handler: d.handler()}
+		go func(srv *http.Server, ln net.Listener) { _ = srv.Serve(ln) }(d.srv, d.ln)
+		d.cfg.Logf("harvestd: serving on http://%s", d.ln.Addr())
+	}
+
+	d.running = true
+	return nil
+}
+
+// Addr returns the API's host:port (empty when the API is disabled or the
+// daemon has not started).
+func (d *Daemon) Addr() string {
+	d.stateMu.RLock()
+	defer d.stateMu.RUnlock()
+	if d.ln == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// URL returns the API's base URL (after Start).
+func (d *Daemon) URL() string { return "http://" + d.Addr() }
+
+// worker drains the queue, folding each datapoint into its own shard of
+// every registered policy.
+func (d *Daemon) worker(id int) {
+	defer d.workerWG.Done()
+	for dp := range d.queue {
+		if dp.Validate() != nil {
+			d.ctr.rejected.Add(1)
+			continue
+		}
+		d.reg.Fold(id, &dp)
+		d.ctr.folded.Add(1)
+	}
+}
+
+// Ingest offers one datapoint directly to the pipeline (the /ingest
+// endpoint and in-process wiring use this). It blocks for backpressure and
+// fails once shutdown has begun.
+func (d *Daemon) Ingest(dp core.Datapoint) error {
+	d.stateMu.RLock()
+	defer d.stateMu.RUnlock()
+	if !d.running || d.draining {
+		return fmt.Errorf("harvestd: not accepting data")
+	}
+	select {
+	case d.queue <- dp:
+		d.ctr.ingested.Add(1)
+		return nil
+	case <-d.srcCtx.Done():
+		return fmt.Errorf("harvestd: shutting down")
+	}
+}
+
+// checkpointLoop writes checkpoints on a timer until shutdown.
+func (d *Daemon) checkpointLoop() {
+	defer close(d.ckptDone)
+	t := time.NewTicker(d.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := d.Checkpoint(); err != nil {
+				d.cfg.Logf("harvestd: checkpoint failed: %v", err)
+			}
+		case <-d.srcCtx.Done():
+			return
+		}
+	}
+}
+
+// SourceErrors returns errors from sources that failed so far.
+func (d *Daemon) SourceErrors() []error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return append([]error(nil), d.srcErrs...)
+}
+
+// Estimates reports every policy's current estimate at the daemon's
+// default confidence.
+func (d *Daemon) Estimates() []PolicyEstimate {
+	return d.reg.Estimates(d.cfg.Delta)
+}
+
+// Shutdown drains and stops the daemon: sources stop first, the API stops
+// accepting writes, in-flight queue items are folded, a final checkpoint is
+// written, and the HTTP listener closes. It is the SIGTERM path — after it
+// returns, estimator state is durably on disk (when checkpointing is on).
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.stateMu.Lock()
+	if !d.running {
+		d.stateMu.Unlock()
+		return nil
+	}
+	d.draining = true
+	d.stateMu.Unlock()
+
+	// 1. Stop the producers: cancel sources and wait them out; stop the
+	// HTTP server so no /ingest handler is mid-Emit (readers also stop —
+	// estimates are frozen from here, which keeps the final checkpoint
+	// authoritative).
+	d.srcCancel()
+	d.srcWG.Wait()
+	var srvErr error
+	if d.srv != nil {
+		srvErr = d.srv.Shutdown(ctx)
+	}
+
+	// 2. Drain: close the queue and let the workers fold what's in flight.
+	close(d.queue)
+	d.workerWG.Wait()
+	<-d.ckptDone
+
+	// 3. Persist the drained state.
+	var ckptErr error
+	if d.cfg.CheckpointPath != "" {
+		ckptErr = d.Checkpoint()
+	}
+
+	d.stateMu.Lock()
+	d.running = false
+	d.stateMu.Unlock()
+
+	if ckptErr != nil {
+		return fmt.Errorf("harvestd: final checkpoint: %w", ckptErr)
+	}
+	return srvErr
+}

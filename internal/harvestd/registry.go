@@ -1,0 +1,217 @@
+package harvestd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Registry is the daemon's set of named candidate policies, each with
+// sharded estimator state. The write path is designed for the ingestion hot
+// loop: worker i folds only into shard i of every policy, so concurrent
+// workers never contend on a lock; the read path (API scrapes, checkpoints)
+// briefly locks each shard and merges. Shard numShards is reserved for
+// state restored from a checkpoint.
+type Registry struct {
+	numShards int
+	clip      float64
+
+	mu      sync.RWMutex // guards entries/names (registration vs. iteration)
+	entries map[string]*regEntry
+	names   []string
+
+	evalPanics atomic.Int64 // policy evaluations recovered from a panic
+}
+
+type regEntry struct {
+	name   string
+	policy core.Policy
+	shards []*shard
+}
+
+type shard struct {
+	mu  sync.Mutex
+	acc Accum
+}
+
+// NewRegistry creates a registry sharded for the given number of ingestion
+// workers. clip > 0 caps importance weights for the clipped-IPS estimator
+// (clip <= 0 leaves it identical to plain IPS).
+func NewRegistry(workers int, clip float64) (*Registry, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("harvestd: registry needs >= 1 worker shard, got %d", workers)
+	}
+	return &Registry{
+		numShards: workers,
+		clip:      clip,
+		entries:   make(map[string]*regEntry),
+	}, nil
+}
+
+// NumShards returns the number of worker shards (excluding the restore shard).
+func (g *Registry) NumShards() int { return g.numShards }
+
+// Clip returns the importance-weight cap (0 = unclipped).
+func (g *Registry) Clip() float64 { return g.clip }
+
+// Register adds a named candidate policy. Registering while ingestion is
+// running is safe; the new policy starts estimating from the next datapoint.
+func (g *Registry) Register(name string, pol core.Policy) error {
+	if name == "" {
+		return fmt.Errorf("harvestd: empty policy name")
+	}
+	if pol == nil {
+		return fmt.Errorf("harvestd: nil policy %q", name)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.entries[name]; dup {
+		return fmt.Errorf("harvestd: duplicate policy %q", name)
+	}
+	// One shard per worker plus the checkpoint-restore shard.
+	shards := make([]*shard, g.numShards+1)
+	for i := range shards {
+		shards[i] = &shard{}
+	}
+	g.entries[name] = &regEntry{name: name, policy: pol, shards: shards}
+	g.names = append(g.names, name)
+	sort.Strings(g.names)
+	return nil
+}
+
+// Names returns the registered policy names, sorted.
+func (g *Registry) Names() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]string(nil), g.names...)
+}
+
+// Fold scores one datapoint under every registered policy and accumulates
+// into the worker's own shard. The caller must have validated the datapoint
+// (in particular Propensity > 0). A policy that panics on the datapoint —
+// typically a context shape it cannot read, e.g. an LB policy fed
+// cache-eviction data — is skipped for that datapoint and counted in
+// EvalPanics; one bad pairing must not kill a continuously running daemon.
+func (g *Registry) Fold(worker int, d *core.Datapoint) {
+	if worker < 0 || worker >= g.numShards {
+		worker = 0
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, e := range g.entries {
+		pi, err := safeActionProb(e.policy, &d.Context, d.Action)
+		if err != nil {
+			g.evalPanics.Add(1)
+			continue
+		}
+		sh := e.shards[worker]
+		sh.mu.Lock()
+		sh.acc.Fold(pi, d.Propensity, d.Reward, g.clip)
+		sh.mu.Unlock()
+	}
+}
+
+// EvalPanics reports how many policy evaluations were skipped because the
+// policy panicked on a datapoint.
+func (g *Registry) EvalPanics() int64 { return g.evalPanics.Load() }
+
+// safeActionProb evaluates π(a|x), converting a panic inside the policy
+// into an error.
+func safeActionProb(pol core.Policy, x *core.Context, a core.Action) (pi float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("harvestd: policy panicked: %v", r)
+		}
+	}()
+	return core.ActionProb(pol, x, a), nil
+}
+
+// merged returns the cross-shard aggregate for one entry.
+func (e *regEntry) merged() Accum {
+	var total Accum
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		acc := sh.acc
+		sh.mu.Unlock()
+		total.Merge(&acc)
+	}
+	return total
+}
+
+// Estimate reports one policy's current estimate at confidence 1−delta.
+func (g *Registry) Estimate(name string, delta float64) (PolicyEstimate, bool) {
+	g.mu.RLock()
+	e, ok := g.entries[name]
+	g.mu.RUnlock()
+	if !ok {
+		return PolicyEstimate{}, false
+	}
+	acc := e.merged()
+	return acc.Estimate(name, delta), true
+}
+
+// Estimates reports every policy's current estimate, sorted by name.
+func (g *Registry) Estimates(delta float64) []PolicyEstimate {
+	g.mu.RLock()
+	entries := make([]*regEntry, 0, len(g.names))
+	for _, name := range g.names {
+		entries = append(entries, g.entries[name])
+	}
+	g.mu.RUnlock()
+	out := make([]PolicyEstimate, len(entries))
+	for i, e := range entries {
+		acc := e.merged()
+		out[i] = acc.Estimate(e.name, delta)
+	}
+	return out
+}
+
+// TotalN returns the datapoint count folded into the first policy (every
+// policy sees the same stream, so any entry serves); 0 with no policies.
+func (g *Registry) TotalN() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if len(g.names) == 0 {
+		return 0
+	}
+	acc := g.entries[g.names[0]].merged()
+	return acc.N
+}
+
+// exportState snapshots the merged accumulator of every policy, for
+// checkpointing.
+func (g *Registry) exportState() map[string]Accum {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[string]Accum, len(g.entries))
+	for name, e := range g.entries {
+		out[name] = e.merged()
+	}
+	return out
+}
+
+// restoreState loads checkpointed accumulators into each policy's reserved
+// restore shard, replacing whatever a previous restore put there. Policies
+// in the snapshot but not registered are ignored (a registry may shrink
+// across restarts); registered policies missing from the snapshot resume
+// from zero. It returns the number of policies restored.
+func (g *Registry) restoreState(snap map[string]Accum) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	restored := 0
+	for name, acc := range snap {
+		e, ok := g.entries[name]
+		if !ok {
+			continue
+		}
+		sh := e.shards[g.numShards]
+		sh.mu.Lock()
+		sh.acc = acc
+		sh.mu.Unlock()
+		restored++
+	}
+	return restored
+}

@@ -1,0 +1,235 @@
+package harvestd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harvester"
+)
+
+// handler builds the daemon's stdlib-only HTTP API:
+//
+//	GET  /healthz    liveness + uptime
+//	GET  /policies   registered policies with sample counts
+//	GET  /estimates  per-policy IPS/clipped/SNIPS estimates with intervals
+//	                 (?policy=name filters, ?delta=0.01 overrides confidence)
+//	GET  /metrics    Prometheus-style text: ingest counters, queue depth,
+//	                 per-policy n/mean/stderr, Go runtime stats
+//	POST /ingest     push raw log lines (?format=nginx|jsonl), for smoke
+//	                 tests and push-based producers
+//	POST /checkpoint force a checkpoint now
+func (d *Daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", d.handleHealthz)
+	mux.HandleFunc("/policies", d.handlePolicies)
+	mux.HandleFunc("/estimates", d.handleEstimates)
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/ingest", d.handleIngest)
+	mux.HandleFunc("/checkpoint", d.handleCheckpoint)
+	return mux
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok uptime=%s\n", time.Since(d.start).Round(time.Millisecond))
+}
+
+// policyInfo is one row of /policies.
+type policyInfo struct {
+	Name      string  `json:"name"`
+	N         int64   `json:"n"`
+	MatchRate float64 `json:"match_rate"`
+}
+
+func (d *Daemon) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	ests := d.reg.Estimates(d.cfg.Delta)
+	out := make([]policyInfo, len(ests))
+	for i, pe := range ests {
+		out[i] = policyInfo{Name: pe.Policy, N: pe.N, MatchRate: pe.MatchRate}
+	}
+	writeJSON(w, out)
+}
+
+func (d *Daemon) handleEstimates(w http.ResponseWriter, r *http.Request) {
+	delta := d.cfg.Delta
+	if s := r.URL.Query().Get("delta"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 || v >= 1 {
+			http.Error(w, fmt.Sprintf("bad delta %q", s), http.StatusBadRequest)
+			return
+		}
+		delta = v
+	}
+	if name := r.URL.Query().Get("policy"); name != "" {
+		pe, ok := d.reg.Estimate(name, delta)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown policy %q", name), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, pe)
+		return
+	}
+	writeJSON(w, d.reg.Estimates(delta))
+}
+
+// handleIngest accepts newline-delimited log data and pushes it through the
+// regular ingestion pipeline. Malformed lines are counted, not fatal — a
+// live endpoint must not die because one producer hiccupped.
+func (d *Daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "nginx"
+	}
+	if format != "nginx" && format != "jsonl" {
+		http.Error(w, fmt.Sprintf("unknown format %q", format), http.StatusBadRequest)
+		return
+	}
+	var lines, ingested, rejected, parseErrors int64
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		lines++
+		d.ctr.lines.Add(1)
+		switch format {
+		case "nginx":
+			e, err := harvester.ParseNginxLine(line)
+			if err != nil {
+				parseErrors++
+				d.ctr.parseErrors.Add(1)
+				continue
+			}
+			dp, ok, err := entryToDatapoint(e, 1)
+			if err != nil {
+				parseErrors++
+				d.ctr.parseErrors.Add(1)
+				continue
+			}
+			if !ok {
+				rejected++
+				d.ctr.rejected.Add(1)
+				continue
+			}
+			if err := d.Ingest(dp); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			ingested++
+		case "jsonl":
+			if err := d.ingestJSONLLine(line); err != nil {
+				rejected++
+				d.ctr.rejected.Add(1)
+				continue
+			}
+			ingested++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]int64{
+		"lines": lines, "ingested": ingested,
+		"rejected": rejected, "parse_errors": parseErrors,
+	})
+}
+
+// ingestJSONLLine parses one JSONL datapoint and offers it to the queue.
+func (d *Daemon) ingestJSONLLine(line string) error {
+	var dp core.Datapoint
+	found := false
+	if err := core.ReadJSONLFunc(strings.NewReader(line), func(x core.Datapoint) error {
+		dp, found = x, true
+		return nil
+	}); err != nil {
+		return err
+	}
+	if !found || dp.Validate() != nil {
+		return fmt.Errorf("harvestd: invalid datapoint line")
+	}
+	return d.Ingest(dp)
+}
+
+func (d *Daemon) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if d.cfg.CheckpointPath == "" {
+		http.Error(w, "checkpointing disabled", http.StatusConflict)
+		return
+	}
+	if err := d.Checkpoint(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "checkpointed to %s\n", d.cfg.CheckpointPath)
+}
+
+// handleMetrics renders Prometheus-style text metrics: stream counters,
+// queue pressure, per-policy estimator state, and Go runtime stats.
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	uptime := time.Since(d.start).Seconds()
+	lines := d.ctr.lines.Load()
+	fmt.Fprintf(&b, "harvestd_uptime_seconds %g\n", uptime)
+	fmt.Fprintf(&b, "harvestd_lines_total %d\n", lines)
+	fmt.Fprintf(&b, "harvestd_parse_errors_total %d\n", d.ctr.parseErrors.Load())
+	fmt.Fprintf(&b, "harvestd_rejected_total %d\n", d.ctr.rejected.Load())
+	fmt.Fprintf(&b, "harvestd_ingested_total %d\n", d.ctr.ingested.Load())
+	fmt.Fprintf(&b, "harvestd_folded_total %d\n", d.ctr.folded.Load())
+	fmt.Fprintf(&b, "harvestd_checkpoints_total %d\n", d.ctr.checkpoints.Load())
+	rate := 0.0
+	if uptime > 0 {
+		rate = float64(lines) / uptime
+	}
+	fmt.Fprintf(&b, "harvestd_ingest_rate_lines_per_second %g\n", rate)
+	fmt.Fprintf(&b, "harvestd_queue_depth %d\n", len(d.queue))
+	fmt.Fprintf(&b, "harvestd_queue_capacity %d\n", cap(d.queue))
+	fmt.Fprintf(&b, "harvestd_workers %d\n", d.cfg.Workers)
+	fmt.Fprintf(&b, "harvestd_sources %d\n", len(d.sources))
+	fmt.Fprintf(&b, "harvestd_policy_eval_panics_total %d\n", d.reg.EvalPanics())
+
+	for _, pe := range d.reg.Estimates(d.cfg.Delta) {
+		l := fmt.Sprintf("policy=%q", pe.Policy)
+		fmt.Fprintf(&b, "harvestd_policy_n{%s} %d\n", l, pe.N)
+		fmt.Fprintf(&b, "harvestd_policy_match_rate{%s} %g\n", l, pe.MatchRate)
+		for est, ev := range map[string]EstimatorValue{
+			"ips": pe.IPS, "clipped_ips": pe.ClippedIPS, "snips": pe.SNIPS,
+		} {
+			fmt.Fprintf(&b, "harvestd_policy_mean{%s,estimator=%q} %g\n", l, est, ev.Value)
+			fmt.Fprintf(&b, "harvestd_policy_stderr{%s,estimator=%q} %g\n", l, est, ev.StdErr)
+		}
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(&b, "go_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(&b, "go_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(&b, "go_total_alloc_bytes %d\n", ms.TotalAlloc)
+	fmt.Fprintf(&b, "go_gc_runs_total %d\n", ms.NumGC)
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,217 @@
+package harvestd
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startTestDaemon brings up a daemon (no listener) and an httptest server
+// over its handler, both cleaned up with the test.
+func startTestDaemon(t *testing.T, cfg Config) (*Daemon, *httptest.Server) {
+	t.Helper()
+	reg := newTestRegistry(t, 2)
+	cfg.Workers = 2
+	d, err := New(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = d.Shutdown(context.Background()) })
+	srv := httptest.NewServer(d.handler())
+	t.Cleanup(srv.Close)
+	return d, srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerHealthz(t *testing.T) {
+	_, srv := startTestDaemon(t, Config{})
+	code, body := get(t, srv.URL+"/healthz")
+	if code != 200 || !strings.HasPrefix(body, "ok") {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+}
+
+func TestServerIngestAndEstimates(t *testing.T) {
+	d, srv := startTestDaemon(t, Config{})
+	logText := genNginxLog(100, 51)
+
+	resp, err := http.Post(srv.URL+"/ingest?format=nginx", "text/plain", strings.NewReader(logText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var summary map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&summary); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if summary["ingested"] != 100 || summary["lines"] != 100 {
+		t.Fatalf("ingest summary = %v", summary)
+	}
+
+	waitFor(t, 10*time.Second, "folds", func() bool { return d.reg.TotalN() == 100 })
+
+	// Full listing.
+	code, body := get(t, srv.URL+"/estimates")
+	if code != 200 {
+		t.Fatalf("estimates = %d", code)
+	}
+	var ests []PolicyEstimate
+	if err := json.Unmarshal([]byte(body), &ests); err != nil {
+		t.Fatalf("bad estimates JSON: %v\n%s", err, body)
+	}
+	if len(ests) != 3 {
+		t.Fatalf("got %d estimates", len(ests))
+	}
+	for _, pe := range ests {
+		if pe.N != 100 {
+			t.Errorf("%s n = %d", pe.Policy, pe.N)
+		}
+		if pe.IPS.Lo > pe.IPS.Value || pe.IPS.Hi < pe.IPS.Value {
+			t.Errorf("%s interval [%v,%v] excludes point %v", pe.Policy, pe.IPS.Lo, pe.IPS.Hi, pe.IPS.Value)
+		}
+	}
+
+	// Single-policy filter with a custom delta widens the interval.
+	code, body = get(t, srv.URL+"/estimates?policy=always-0&delta=0.001")
+	if code != 200 {
+		t.Fatalf("filtered estimates = %d", code)
+	}
+	var one PolicyEstimate
+	if err := json.Unmarshal([]byte(body), &one); err != nil {
+		t.Fatal(err)
+	}
+	wide := one.IPS.Hi - one.IPS.Lo
+	narrow := ests[0].IPS.Hi - ests[0].IPS.Lo
+	if one.Policy != "always-0" || wide <= narrow {
+		t.Errorf("delta=0.001 interval %v should exceed default %v", wide, narrow)
+	}
+
+	if code, _ := get(t, srv.URL+"/estimates?policy=nope"); code != 404 {
+		t.Errorf("unknown policy = %d, want 404", code)
+	}
+	if code, _ := get(t, srv.URL+"/estimates?delta=2"); code != 400 {
+		t.Errorf("bad delta = %d, want 400", code)
+	}
+}
+
+func TestServerIngestJSONLAndRejects(t *testing.T) {
+	d, srv := startTestDaemon(t, Config{})
+	ds := testDataset(50, 52)
+	var buf strings.Builder
+	if err := ds.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String() + "this is not json\n"
+	resp, err := http.Post(srv.URL+"/ingest?format=jsonl", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var summary map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&summary); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if summary["ingested"] != 50 || summary["rejected"] != 1 {
+		t.Fatalf("summary = %v", summary)
+	}
+	waitFor(t, 10*time.Second, "folds", func() bool { return d.reg.TotalN() == 50 })
+
+	resp, err = http.Post(srv.URL+"/ingest?format=martian", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("unknown format = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /ingest = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServerMetrics(t *testing.T) {
+	d, srv := startTestDaemon(t, Config{})
+	logText := genNginxLog(20, 53)
+	resp, err := http.Post(srv.URL+"/ingest", "text/plain",
+		strings.NewReader(logText+"garbage line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitFor(t, 10*time.Second, "folds", func() bool { return d.reg.TotalN() == 20 })
+
+	code, body := get(t, srv.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		"harvestd_lines_total 21",
+		"harvestd_parse_errors_total 1",
+		"harvestd_folded_total 20",
+		"harvestd_ingested_total 20",
+		"harvestd_queue_capacity",
+		"harvestd_ingest_rate_lines_per_second",
+		`harvestd_policy_n{policy="always-0"} 20`,
+		`harvestd_policy_mean{policy="leastloaded",estimator="ips"}`,
+		"go_goroutines",
+		"go_heap_alloc_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestServerCheckpointEndpoint(t *testing.T) {
+	// Disabled checkpointing → 409.
+	_, srv := startTestDaemon(t, Config{})
+	resp, err := http.Post(srv.URL+"/checkpoint", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("checkpoint without path = %d, want 409", resp.StatusCode)
+	}
+
+	// Enabled → file appears.
+	path := t.TempDir() + "/ck.json"
+	_, srv2 := startTestDaemon(t, Config{CheckpointPath: path})
+	resp, err = http.Post(srv2.URL+"/checkpoint", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("checkpoint = %d", resp.StatusCode)
+	}
+	if code, _ := get(t, srv2.URL+"/checkpoint"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /checkpoint = %d, want 405", code)
+	}
+}

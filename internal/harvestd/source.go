@@ -1,0 +1,320 @@
+package harvestd
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harvester"
+	"repro/internal/lbsim"
+)
+
+// A Source feeds exploration datapoints into the daemon's ingestion
+// pipeline. Run reads until the input is exhausted (or, when following a
+// growing file, until ctx is cancelled), reporting lines, parse failures,
+// and rejections through the sink. Run returning a non-nil error marks the
+// source failed; the daemon keeps serving the other sources.
+type Source interface {
+	// Name identifies the source in metrics and logs.
+	Name() string
+	// Run streams the source into the sink.
+	Run(ctx context.Context, sink *Sink) error
+}
+
+// Sink is the ingestion funnel handed to sources: it counts the stream's
+// vital signs and offers datapoints to the worker queue with backpressure.
+type Sink struct {
+	d *Daemon
+}
+
+// Line records one raw input line (or record) seen.
+func (s *Sink) Line() { s.d.ctr.lines.Add(1) }
+
+// ParseError records a line that could not be parsed.
+func (s *Sink) ParseError() { s.d.ctr.parseErrors.Add(1) }
+
+// Rejected records a well-formed line that carried no usable datapoint
+// (failed request, missing propensity, out-of-range type, ...).
+func (s *Sink) Rejected() { s.d.ctr.rejected.Add(1) }
+
+// Emit offers one datapoint to the bounded worker queue, blocking for
+// backpressure; it fails only when ctx is cancelled first.
+func (s *Sink) Emit(ctx context.Context, d core.Datapoint) error {
+	select {
+	case s.d.queue <- d:
+		s.d.ctr.ingested.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// tailReader turns a file into a follow-forever reader (tail -f): on EOF it
+// polls for appended data until ctx is cancelled, then reports io.EOF so
+// downstream scanners terminate cleanly.
+type tailReader struct {
+	ctx  context.Context
+	r    io.Reader
+	poll time.Duration
+}
+
+func (t *tailReader) Read(p []byte) (int, error) {
+	for {
+		n, err := t.r.Read(p)
+		if n > 0 {
+			return n, nil
+		}
+		if err != nil && err != io.EOF {
+			return 0, err
+		}
+		select {
+		case <-t.ctx.Done():
+			return 0, io.EOF
+		case <-time.After(t.poll):
+		}
+	}
+}
+
+// openSource resolves a path-or-reader pair: an explicit reader wins (for
+// tests and in-process wiring); otherwise the path is opened.
+func openSource(path string, r io.Reader) (io.Reader, func() error, error) {
+	if r != nil {
+		return r, func() error { return nil }, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// NginxSource tails a netlb/Nginx-style access log and harvests a
+// ⟨x, a, r, p⟩ datapoint per successful request, exactly as
+// harvester.NginxToTypedDataset does in batch: context from the logged
+// per-upstream connection counts, action = the upstream, reward = request
+// time, propensity from the log.
+type NginxSource struct {
+	// Path is the log file; R overrides it with an in-process reader.
+	Path string
+	R    io.Reader
+	// Follow keeps reading as the file grows (tail -f) until shutdown.
+	Follow bool
+	// NumTypes > 1 harvests typed routing contexts (netlb's type= field).
+	NumTypes int
+	// Strict aborts on the first malformed line instead of counting it —
+	// the right mode for batch backfills where silent loss would bias the
+	// estimate; live tails default to tolerant.
+	Strict bool
+	// Poll is the follow-mode poll interval (default 50ms).
+	Poll time.Duration
+}
+
+// Name implements Source.
+func (s *NginxSource) Name() string {
+	if s.Path != "" {
+		return "nginx:" + s.Path
+	}
+	return "nginx:<reader>"
+}
+
+// Run implements Source.
+func (s *NginxSource) Run(ctx context.Context, sink *Sink) error {
+	r, closer, err := openSource(s.Path, s.R)
+	if err != nil {
+		return fmt.Errorf("harvestd: %s: %w", s.Name(), err)
+	}
+	defer closer()
+	if s.Follow {
+		poll := s.Poll
+		if poll <= 0 {
+			poll = 50 * time.Millisecond
+		}
+		r = &tailReader{ctx: ctx, r: r, poll: poll}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		if ctx.Err() != nil {
+			return nil // shutdown mid-file, not a source failure
+		}
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		sink.Line()
+		e, err := harvester.ParseNginxLine(line)
+		if err != nil {
+			if s.Strict {
+				return fmt.Errorf("harvestd: %s line %d: %w", s.Name(), lineNo, err)
+			}
+			sink.ParseError()
+			continue
+		}
+		d, ok, err := entryToDatapoint(e, s.NumTypes)
+		if err != nil {
+			if s.Strict {
+				return fmt.Errorf("harvestd: %s line %d: %w", s.Name(), lineNo, err)
+			}
+			sink.ParseError()
+			continue
+		}
+		if !ok {
+			sink.Rejected()
+			continue
+		}
+		if err := sink.Emit(ctx, d); err != nil {
+			return nil // shutdown, not a source failure
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("harvestd: %s: %w", s.Name(), err)
+	}
+	return nil
+}
+
+// entryToDatapoint converts one parsed access entry into exploration data,
+// mirroring harvester.NginxToTypedDataset's per-entry logic: non-2xx,
+// propensity-free, or type-out-of-range entries are skipped (ok=false); an
+// upstream index inconsistent with the logged connection vector is an error.
+func entryToDatapoint(e *harvester.AccessEntry, numTypes int) (core.Datapoint, bool, error) {
+	if e.Status < 200 || e.Status > 299 || e.Upstream < 0 || len(e.Conns) == 0 || e.Propensity <= 0 {
+		return core.Datapoint{}, false, nil
+	}
+	if e.Upstream >= len(e.Conns) {
+		return core.Datapoint{}, false, fmt.Errorf("upstream %d with %d conns", e.Upstream, len(e.Conns))
+	}
+	reqType := 0
+	if numTypes > 1 {
+		if e.Type < 0 || e.Type >= numTypes {
+			return core.Datapoint{}, false, nil
+		}
+		reqType = e.Type
+	} else {
+		numTypes = 1
+	}
+	return core.Datapoint{
+		Context:    lbsim.BuildContext(e.Conns, reqType, numTypes),
+		Action:     core.Action(e.Upstream),
+		Reward:     e.RequestTime,
+		Propensity: e.Propensity,
+	}, true, nil
+}
+
+// JSONLSource streams a core JSONL exploration dataset. Datasets are
+// machine-written, so malformed lines abort (they signal corruption, not
+// noise) — except for a partial trailing line racing shutdown in follow
+// mode, which is counted as a parse error instead.
+type JSONLSource struct {
+	Path string
+	R    io.Reader
+	// Follow keeps reading as the file grows.
+	Follow bool
+	// Poll is the follow-mode poll interval (default 50ms).
+	Poll time.Duration
+}
+
+// Name implements Source.
+func (s *JSONLSource) Name() string {
+	if s.Path != "" {
+		return "jsonl:" + s.Path
+	}
+	return "jsonl:<reader>"
+}
+
+// Run implements Source.
+func (s *JSONLSource) Run(ctx context.Context, sink *Sink) error {
+	r, closer, err := openSource(s.Path, s.R)
+	if err != nil {
+		return fmt.Errorf("harvestd: %s: %w", s.Name(), err)
+	}
+	defer closer()
+	if s.Follow {
+		poll := s.Poll
+		if poll <= 0 {
+			poll = 50 * time.Millisecond
+		}
+		r = &tailReader{ctx: ctx, r: r, poll: poll}
+	}
+	err = core.ReadJSONLFunc(r, func(d core.Datapoint) error {
+		sink.Line()
+		if d.Validate() != nil {
+			sink.Rejected()
+			return nil
+		}
+		return sink.Emit(ctx, d)
+	})
+	switch {
+	case err == nil:
+		return nil
+	case ctx.Err() != nil:
+		// Shutdown mid-line: a truncated tail is expected, not corruption.
+		sink.ParseError()
+		return nil
+	default:
+		return fmt.Errorf("harvestd: %s: %w", s.Name(), err)
+	}
+}
+
+// CacheLogSource harvests a cache decision log (harvester/cachelog format).
+// Reward reconstruction needs the paper's look-ahead join over the access
+// log, so this source reads the file fully before emitting — it suits
+// periodic batch ingestion of rotated logs rather than live tailing.
+type CacheLogSource struct {
+	Path string
+	R    io.Reader
+	// Horizon caps time-to-next-access when the evicted item never returns.
+	Horizon float64
+}
+
+// Name implements Source.
+func (s *CacheLogSource) Name() string {
+	if s.Path != "" {
+		return "cachelog:" + s.Path
+	}
+	return "cachelog:<reader>"
+}
+
+// Run implements Source.
+func (s *CacheLogSource) Run(ctx context.Context, sink *Sink) error {
+	r, closer, err := openSource(s.Path, s.R)
+	if err != nil {
+		return fmt.Errorf("harvestd: %s: %w", s.Name(), err)
+	}
+	defer closer()
+	accesses, evictions, err := harvester.ScavengeCacheLogs(r)
+	if err != nil {
+		return fmt.Errorf("harvestd: %s: %w", s.Name(), err)
+	}
+	for range accesses {
+		sink.Line()
+	}
+	horizon := s.Horizon
+	if horizon <= 0 {
+		horizon = 2000
+	}
+	ds, err := harvester.HarvestEvictions(evictions, accesses, horizon)
+	if err != nil {
+		if err == core.ErrNoData {
+			return nil
+		}
+		return fmt.Errorf("harvestd: %s: %w", s.Name(), err)
+	}
+	for i := range ds {
+		sink.Line()
+		if ds[i].Validate() != nil {
+			sink.Rejected()
+			continue
+		}
+		if err := sink.Emit(ctx, ds[i]); err != nil {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package harvestd
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cachesim"
+	"repro/internal/harvester"
+)
+
+// startSourceDaemon wires one source into a 2-worker daemon and starts it.
+func startSourceDaemon(t *testing.T, src Source) (*Daemon, *Registry) {
+	t.Helper()
+	reg := newTestRegistry(t, 2)
+	d, err := New(Config{Workers: 2, Clip: 10}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AddSource(src)
+	if err := d.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return d, reg
+}
+
+// TestNginxSourceFollowTail exercises the tail -f path: the daemon keeps
+// harvesting lines appended to a live log file until shutdown.
+func TestNginxSourceFollowTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "access.log")
+	if err := os.WriteFile(path, []byte(genNginxLog(40, 71)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, reg := startSourceDaemon(t, &NginxSource{
+		Path: path, Follow: true, Poll: 2 * time.Millisecond,
+	})
+	defer d.Shutdown(context.Background())
+
+	waitFor(t, 10*time.Second, "initial lines", func() bool { return reg.TotalN() == 40 })
+
+	// Append more lines as a live server would.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(genNginxLog(25, 72)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "appended lines", func() bool { return reg.TotalN() == 65 })
+	if errs := d.SourceErrors(); len(errs) != 0 {
+		t.Fatalf("source errors: %v", errs)
+	}
+}
+
+// TestNginxSourceTolerantVsStrict: the same corrupt log is survivable in the
+// default (live-tail) mode and fatal in Strict (batch-backfill) mode.
+func TestNginxSourceTolerantVsStrict(t *testing.T) {
+	logText := genNginxLog(10, 73) + "not an access line\n" + genNginxLog(5, 74)
+
+	d, reg := startSourceDaemon(t, &NginxSource{R: strings.NewReader(logText)})
+	waitFor(t, 10*time.Second, "tolerant harvest", func() bool { return reg.TotalN() == 15 })
+	if errs := d.SourceErrors(); len(errs) != 0 {
+		t.Fatalf("tolerant mode must not fail the source: %v", errs)
+	}
+	waitFor(t, 5*time.Second, "parse error counted", func() bool {
+		return d.ctr.parseErrors.Load() == 1
+	})
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, _ := startSourceDaemon(t, &NginxSource{R: strings.NewReader(logText), Strict: true})
+	waitFor(t, 10*time.Second, "strict failure", func() bool {
+		return len(d2.SourceErrors()) == 1
+	})
+	if err := d2.SourceErrors()[0]; !strings.Contains(err.Error(), "line 11") {
+		t.Errorf("strict error %q should name line 11", err)
+	}
+	if err := d2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourceMissingFile(t *testing.T) {
+	d, _ := startSourceDaemon(t, &NginxSource{Path: filepath.Join(t.TempDir(), "no-such.log")})
+	defer d.Shutdown(context.Background())
+	waitFor(t, 5*time.Second, "open failure", func() bool {
+		return len(d.SourceErrors()) == 1
+	})
+}
+
+// TestCacheLogSource round-trips a hand-built decision log through the
+// WriteCacheLogs format and harvests one datapoint per eviction.
+func TestCacheLogSource(t *testing.T) {
+	accesses := []cachesim.AccessRecord{
+		{Time: 1, Key: "a", Size: 10, Hit: false},
+		{Time: 2, Key: "b", Size: 10, Hit: false},
+		{Time: 5, Key: "a", Size: 10, Hit: true}, // "a" comes back: small gap
+	}
+	evictions := []cachesim.EvictionRecord{
+		{
+			Time:       3,
+			Chosen:     0,
+			Propensity: 0.5,
+			Candidates: []cachesim.Candidate{
+				{Key: "a", Size: 10, LastAccess: 1, Frequency: 1, InsertedAt: 1},
+				{Key: "b", Size: 10, LastAccess: 2, Frequency: 1, InsertedAt: 2},
+			},
+		},
+		{
+			Time:       4,
+			Chosen:     1,
+			Propensity: 0.5,
+			Candidates: []cachesim.Candidate{
+				{Key: "a", Size: 10, LastAccess: 1, Frequency: 1, InsertedAt: 1},
+				{Key: "b", Size: 10, LastAccess: 2, Frequency: 1, InsertedAt: 2},
+			},
+		},
+	}
+	var buf strings.Builder
+	if err := harvester.WriteCacheLogs(&buf, accesses, evictions); err != nil {
+		t.Fatal(err)
+	}
+
+	d, reg := startSourceDaemon(t, &CacheLogSource{R: strings.NewReader(buf.String()), Horizon: 100})
+	defer d.Shutdown(context.Background())
+	waitFor(t, 10*time.Second, "evictions harvested", func() bool {
+		return reg.TotalN() == int64(len(evictions))
+	})
+	if errs := d.SourceErrors(); len(errs) != 0 {
+		t.Fatalf("source errors: %v", errs)
+	}
+
+	// Eviction contexts carry per-candidate ActionFeatures only; the LB
+	// policy in the registry panics on them and must be skipped (counted),
+	// not crash the daemon.
+	waitFor(t, 5*time.Second, "panics counted", func() bool {
+		return reg.EvalPanics() == int64(len(evictions))
+	})
+	ll, ok := reg.Estimate("leastloaded", 0.05)
+	if !ok || ll.N != 0 {
+		t.Errorf("leastloaded folded %d eviction datapoints, want 0", ll.N)
+	}
+	if c0, _ := reg.Estimate("always-0", 0.05); c0.N != int64(len(evictions)) {
+		t.Errorf("always-0 n = %d, want %d", c0.N, len(evictions))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"reflect"
 	"strings"
 
 	"repro/internal/core"
@@ -118,3 +119,49 @@ func (ie *IncrementalEstimator) Estimate() (value, stderr float64, n int) {
 
 // Matches reports how many folded datapoints the candidate matched.
 func (ie *IncrementalEstimator) Matches() int { return ie.match }
+
+// Snapshot is a point-in-time view of an IncrementalEstimator: everything a
+// caller needs to report or compare estimates without reaching into the
+// accumulator's internals.
+type Snapshot struct {
+	// N counts folded datapoints.
+	N int
+	// Mean is the running ips estimate; StdErr its standard error.
+	Mean   float64
+	StdErr float64
+	// MatchRate is the fraction of folded datapoints on which the candidate
+	// put positive probability — the estimator's effective support.
+	MatchRate float64
+}
+
+// Snapshot returns the estimator's current state in one call.
+func (ie *IncrementalEstimator) Snapshot() Snapshot {
+	mean, se, n := ie.Estimate()
+	s := Snapshot{N: n, Mean: mean, StdErr: se}
+	if n > 0 {
+		s.MatchRate = float64(ie.match) / float64(n)
+	}
+	return s
+}
+
+// Merge folds another estimator's accumulated state into ie, enabling the
+// sharded design: run one estimator per ingestion worker contention-free,
+// then merge shards on read. Both estimators must evaluate the same
+// candidate — merging estimates of different policies is meaningless, so
+// Merge refuses when the policies differ.
+func (ie *IncrementalEstimator) Merge(other *IncrementalEstimator) error {
+	if other == nil {
+		return fmt.Errorf("harvester: merging nil estimator")
+	}
+	// Interface != panics on non-comparable dynamic types (e.g. a policy
+	// struct holding a slice), so gate the value comparison on comparability.
+	ta, tb := reflect.TypeOf(ie.policy), reflect.TypeOf(other.policy)
+	if ta != tb || (ta.Comparable() && ie.policy != other.policy) {
+		return fmt.Errorf("harvester: merging estimators of different policies")
+	}
+	ie.n += other.n
+	ie.sum += other.sum
+	ie.sumSq += other.sumSq
+	ie.match += other.match
+	return nil
+}
