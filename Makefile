@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments fuzz harvestd-demo clean
+.PHONY: all build vet lint test race bench experiments fuzz harvestd-demo clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,17 @@ vet:
 	$(GO) vet ./...
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
 
+# Repo-specific invariants the compiler cannot check: seeded RNG plumbing,
+# guarded propensity divisions, virtual clocks in simulations, locks passed
+# by pointer, no dropped errors. See internal/lint and DESIGN.md §6.
+lint:
+	$(GO) run ./cmd/harvestlint ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/netlb/ ./internal/resp/ ./cmd/cacheload/ ./internal/harvestd/ ./cmd/harvestd/
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

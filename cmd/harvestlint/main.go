@@ -1,0 +1,153 @@
+// Command harvestlint runs the repository's static analyzers (package
+// repro/internal/lint) over every package in the enclosing module and
+// prints findings as
+//
+//	file:line:col: [analyzer] message
+//
+// It exits 0 when the tree is clean, 1 when there are findings, and 2 on
+// usage or load errors. Arguments are package patterns relative to the
+// current directory: "./..." (the default) lints the whole module,
+// "./internal/..." a subtree, and "./internal/ope" a single package.
+//
+// Findings are suppressed by an annotated comment on the same line or the
+// line above:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("harvestlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: harvestlint [-only a,b] [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-9s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(stderr, "harvestlint: unknown analyzer %q\n", name)
+			return 2
+		}
+		analyzers = sel
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "harvestlint: %v\n", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "harvestlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "harvestlint: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	var findings []lint.Finding
+	matched := false
+	for _, pkg := range pkgs {
+		if !matchAny(patterns, cwd, pkg.Dir) {
+			continue
+		}
+		matched = true
+		findings = append(findings, lint.RunPackage(pkg, analyzers)...)
+	}
+	if !matched {
+		fmt.Fprintf(stderr, "harvestlint: no packages match %v\n", patterns)
+		return 2
+	}
+
+	lint.Sort(findings)
+	for _, f := range findings {
+		f.Pos.Filename = relTo(cwd, f.Pos.Filename)
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// matchAny reports whether the package directory matches any pattern
+// interpreted relative to cwd. "dir/..." matches the subtree rooted at
+// dir; anything else must name the package directory exactly.
+func matchAny(patterns []string, cwd, pkgDir string) bool {
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				return true
+			}
+		}
+		abs := pat
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, pat)
+		}
+		abs = filepath.Clean(abs)
+		if pkgDir == abs {
+			return true
+		}
+		if recursive && strings.HasPrefix(pkgDir, abs+string(filepath.Separator)) {
+			return true
+		}
+	}
+	return false
+}
+
+// relTo renders path relative to base when that is shorter and stays
+// inside base; absolute otherwise.
+func relTo(base, path string) string {
+	rel, err := filepath.Rel(base, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

@@ -212,6 +212,19 @@ func (f PolicyFunc) Act(ctx *Context) Action { return f(ctx) }
 // ErrNoData is returned by estimators and learners given an empty dataset.
 var ErrNoData = errors.New("core: empty dataset")
 
+// ImportanceWeight is the single positivity-checked gate for every
+// IPS-family hot path: it returns the importance weight w = pi/p and true
+// when the logged propensity p is strictly positive, and (0, false)
+// otherwise. Estimators must never divide by a propensity directly —
+// an unguarded p = 0 (or a NaN) poisons a running estimate with ±Inf
+// without crashing. The harvestlint propdiv analyzer enforces this.
+func ImportanceWeight(pi, p float64) (float64, bool) {
+	if !(p > 0) {
+		return 0, false
+	}
+	return pi / p, true
+}
+
 // ActionProber is an optional fast path for estimators: a policy that can
 // report the probability of a single action without materializing its whole
 // distribution. Implementing it removes the per-datapoint allocation in the

@@ -244,3 +244,44 @@ func sanitize(xs []float64) Vector {
 	}
 	return v
 }
+
+func TestImportanceWeight(t *testing.T) {
+	cases := []struct {
+		pi, p  float64
+		want   float64
+		wantOK bool
+	}{
+		{0.5, 0.25, 2, true},
+		{0, 0.5, 0, true},
+		{1, 1, 1, true},
+		{0.5, 0, 0, false},
+		{0.5, -0.1, 0, false},
+		{0.5, math.NaN(), 0, false},
+	}
+	for _, c := range cases {
+		w, ok := ImportanceWeight(c.pi, c.p)
+		if w != c.want || ok != c.wantOK {
+			t.Errorf("ImportanceWeight(%v, %v) = (%v, %v), want (%v, %v)",
+				c.pi, c.p, w, ok, c.want, c.wantOK)
+		}
+	}
+}
+
+// Property: ok exactly when p > 0, the weight is pi/p in that case, and a
+// rejected datapoint contributes a hard zero (never NaN/Inf) to any sum it
+// accidentally reaches.
+func TestImportanceWeightGate(t *testing.T) {
+	f := func(pi, p float64) bool {
+		w, ok := ImportanceWeight(pi, p)
+		if ok != (p > 0) {
+			return false
+		}
+		if !ok {
+			return w == 0
+		}
+		return w == pi/p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -129,7 +129,10 @@ func selfNormalizedPerStep(candidate core.Policy, trajs []core.Trajectory, h flo
 		w := 1.0
 		for j := range tr {
 			d := &tr[j]
-			w *= core.ActionProb(candidate, &d.Context, d.Action) / d.Propensity
+			// Simulation propensities are positive by construction; a
+			// malformed step zeroes the trajectory weight, dropping it.
+			rho, _ := core.ImportanceWeight(core.ActionProb(candidate, &d.Context, d.Action), d.Propensity)
+			w *= rho
 			if perDecision {
 				num += w * d.Reward
 				den += w

@@ -54,21 +54,21 @@ func (d *Daemon) Checkpoint() error {
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(blob); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
 		return fmt.Errorf("harvestd: writing checkpoint: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
 		return fmt.Errorf("harvestd: syncing checkpoint: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		_ = os.Remove(tmpName)
 		return fmt.Errorf("harvestd: closing checkpoint: %w", err)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+		_ = os.Remove(tmpName)
 		return fmt.Errorf("harvestd: publishing checkpoint: %w", err)
 	}
 	d.ctr.checkpoints.Add(1)

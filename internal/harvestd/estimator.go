@@ -3,6 +3,7 @@ package harvestd
 import (
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/stats"
 )
 
@@ -50,8 +51,14 @@ type Accum struct {
 // Fold adds one datapoint given the candidate's probability pi of the
 // logged action, the logged propensity p > 0, and the reward r. clip <= 0
 // disables clipping (the clipped estimator then coincides with plain IPS).
+// A datapoint with non-positive propensity is dropped: the sources
+// validate upstream, and folding one would poison every running sum with
+// ±Inf.
 func (a *Accum) Fold(pi, p, r, clip float64) {
-	w := pi / p
+	w, ok := core.ImportanceWeight(pi, p)
+	if !ok {
+		return
+	}
 	term := w * r
 	cw := w
 	if clip > 0 && cw > clip {

@@ -128,7 +128,7 @@ func (s *NginxSource) Run(ctx context.Context, sink *Sink) error {
 	if err != nil {
 		return fmt.Errorf("harvestd: %s: %w", s.Name(), err)
 	}
-	defer closer()
+	defer func() { _ = closer() }() // read-only source; close error unactionable
 	if s.Follow {
 		poll := s.Poll
 		if poll <= 0 {
@@ -234,7 +234,7 @@ func (s *JSONLSource) Run(ctx context.Context, sink *Sink) error {
 	if err != nil {
 		return fmt.Errorf("harvestd: %s: %w", s.Name(), err)
 	}
-	defer closer()
+	defer func() { _ = closer() }() // read-only source; close error unactionable
 	if s.Follow {
 		poll := s.Poll
 		if poll <= 0 {
@@ -287,7 +287,7 @@ func (s *CacheLogSource) Run(ctx context.Context, sink *Sink) error {
 	if err != nil {
 		return fmt.Errorf("harvestd: %s: %w", s.Name(), err)
 	}
-	defer closer()
+	defer func() { _ = closer() }() // read-only source; close error unactionable
 	accesses, evictions, err := harvester.ScavengeCacheLogs(r)
 	if err != nil {
 		return fmt.Errorf("harvestd: %s: %w", s.Name(), err)

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/learn"
+	"repro/internal/stats"
 )
 
 // NumWaitActions is the paper's action count: wait w ∈ {1, 2, ..., 9}
@@ -249,4 +250,4 @@ func OptimalExpectedDowntime(seed int64, cfg Config, n int) (float64, error) {
 	return -ds.OptimalMeanReward(false), nil
 }
 
-func randFrom(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+func randFrom(seed int64) *rand.Rand { return stats.NewRand(seed) }

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopy flags functions that pass or return by value any struct
+// containing a sync.Mutex, sync.RWMutex, or sync.WaitGroup (directly, via
+// an embedded struct, or inside an array). Copying a held lock decouples
+// the copy from the original and turns mutual exclusion into a silent
+// no-op — the sharded accumulators and registries here all synchronize
+// with embedded mutexes, so they must only travel as pointers.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "struct containing sync.Mutex/RWMutex/WaitGroup passed or returned by value",
+	Run:  runLockCopy,
+}
+
+var lockTypeNames = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+}
+
+// findLock returns the name of a lock type reachable from t by value
+// ("sync.Mutex", ...), or "" if none.
+func findLock(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypeNames[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := findLock(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return findLock(u.Elem(), seen)
+	}
+	return ""
+}
+
+func runLockCopy(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var recv *ast.FieldList
+			var what string
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ftype, recv, what = n.Type, n.Recv, n.Name.Name
+			case *ast.FuncLit:
+				ftype, what = n.Type, "func literal"
+			default:
+				return true
+			}
+			check := func(fl *ast.FieldList, role string) {
+				if fl == nil {
+					return
+				}
+				for _, field := range fl.List {
+					t := pass.fieldType(field)
+					if t == nil {
+						continue
+					}
+					if lock := findLock(t, make(map[types.Type]bool)); lock != "" {
+						pass.Reportf(field.Type.Pos(),
+							"%s %s %s by value: %s contains %s; use a pointer",
+							what, role, types.ExprString(field.Type), t, lock)
+					}
+				}
+			}
+			check(recv, "has receiver")
+			check(ftype.Params, "passes")
+			check(ftype.Results, "returns")
+			return true
+		})
+	}
+}
+
+// fieldType resolves the declared type of a field list entry.
+func (p *Pass) fieldType(field *ast.Field) types.Type {
+	if tv, ok := p.Info.Types[field.Type]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	for _, name := range field.Names {
+		if obj := p.Info.Defs[name]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+// Package fixture holds malformed suppression directives: both must be
+// reported so a typo can never silently disable a check.
+package fixture
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+func malformed() {
+	//lint:ignore errdrop
+	work()
+}
+
+func unknown() {
+	//lint:ignore nosuch some reason
+	work()
+}

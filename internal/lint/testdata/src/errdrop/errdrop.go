@@ -1,0 +1,66 @@
+// Package fixture exercises the errdrop analyzer. The golden test loads
+// it under repro/internal/fixture (where discards are flagged) and again
+// under a non-internal path (where the analyzer stays silent).
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func work() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+type resource struct{}
+
+func (resource) Close() error { return nil }
+func (resource) Flush() error { return nil }
+func (resource) Send() error  { return nil }
+
+func dropped() {
+	work() // want "discarded"
+}
+
+func droppedPair() {
+	pair() // want "discarded"
+}
+
+func viaFuncValue(f func() error) {
+	f() // want "discarded"
+}
+
+func deferredOther(r resource) {
+	defer r.Send() // want "deferred"
+}
+
+// deferredClose uses the allowlisted defer idioms: clean.
+func deferredClose(r resource) {
+	defer r.Close()
+	defer r.Flush()
+}
+
+// explicit discards are visible in review: clean.
+func explicit() {
+	_ = work()
+	_, _ = pair()
+}
+
+func handled() error {
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// printed uses the fmt allowlist: clean.
+func printed(n int) {
+	fmt.Println("n =", n)
+	fmt.Fprintf(os.Stderr, "%d\n", n)
+}
+
+func suppressed() {
+	//lint:ignore errdrop fixture demonstrates suppression
+	work()
+}

@@ -1,0 +1,65 @@
+// Package fixture exercises the lockcopy analyzer: structs containing a
+// sync.Mutex, sync.RWMutex or sync.WaitGroup (directly, embedded, or in an
+// array) must travel as pointers.
+package fixture
+
+import "sync"
+
+// Guarded couples a mutex with the data it protects.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Wrapper embeds a lock-bearing struct.
+type Wrapper struct {
+	Guarded
+	tag string
+}
+
+// Deep buries a WaitGroup inside an array field.
+type Deep struct {
+	wgs [2]sync.WaitGroup
+}
+
+func byValueParam(g Guarded) int { // want "passes Guarded by value"
+	return g.n
+}
+
+func byValueReturn() Guarded { // want "returns Guarded by value"
+	return Guarded{}
+}
+
+func embedded(w Wrapper) string { // want "passes Wrapper by value"
+	return w.tag
+}
+
+func deep(d Deep) int { // want "passes Deep by value"
+	return len(d.wgs)
+}
+
+func (g Guarded) valueReceiver() int { // want "receiver Guarded by value"
+	return g.n
+}
+
+func literal() func(Guarded) int {
+	return func(g Guarded) int { // want "passes Guarded by value"
+		return g.n
+	}
+}
+
+func pointerParam(g *Guarded) int { return g.n }
+
+func (g *Guarded) pointerReceiver() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// slices and pointers share the original lock: clean.
+func viaSlice(gs []Guarded) int { return len(gs) }
+
+//lint:ignore lockcopy fixture demonstrates suppression
+func suppressed(g Guarded) int {
+	return g.n
+}

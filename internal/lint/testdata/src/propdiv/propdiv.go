@@ -1,0 +1,86 @@
+// Package fixture exercises the propdiv analyzer: divisions by
+// propensity-like names must be dominated by a positivity guard or a
+// clip-style call.
+package fixture
+
+import (
+	"errors"
+	"math"
+)
+
+var errBadProp = errors.New("bad propensity")
+
+func unguarded(pi, p float64) float64 {
+	return pi / p // want "positivity guard"
+}
+
+func unguardedField(pi float64, d struct{ Propensity float64 }) float64 {
+	return pi / d.Propensity // want "positivity guard"
+}
+
+func unguardedAssign(x, weight float64) float64 {
+	x /= weight // want "positivity guard"
+	return x
+}
+
+func enclosingIf(pi, p float64) float64 {
+	if p > 0 {
+		return pi / p // clean: dominated by the enclosing check
+	}
+	return 0
+}
+
+func earlyExit(pi, p float64) (float64, error) {
+	if !(p > 0) {
+		return 0, errBadProp
+	}
+	return pi / p, nil // clean: early-exit guard above
+}
+
+func nestedGuard(pis []float64, p float64) float64 {
+	if !(p > 0) {
+		return 0
+	}
+	s := 0.0
+	for _, pi := range pis {
+		if pi > 0 {
+			s += pi / p // clean: outer-block guard dominates
+		}
+	}
+	return s
+}
+
+func clipped(pi, prob float64) float64 {
+	return pi / math.Max(prob, 1e-6) // clean: clip-style denominator
+}
+
+func reassigned(pi, w float64) float64 {
+	w = math.Max(w, 1e-6)
+	return pi / w // clean: reassigned through a clip-style call
+}
+
+func loopGuard(ps []float64) float64 {
+	s := 0.0
+	for _, p := range ps {
+		if p <= 0 {
+			continue
+		}
+		s += 1 / p // clean: continue-guard above
+	}
+	return s
+}
+
+// intWeight is histogram arithmetic, not an IPS path: integer division by
+// a weight-named value stays silent.
+func intWeight(total, weight int) int {
+	return total / weight
+}
+
+func unrelated(sum, n float64) float64 {
+	return sum / n // clean: denominator is not propensity-like
+}
+
+func suppressed(pi, p float64) float64 {
+	//lint:ignore propdiv fixture demonstrates suppression
+	return pi / p
+}

@@ -1,0 +1,31 @@
+// Package fixture exercises the rawrand analyzer: global-source calls and
+// out-of-plumbing constructors are flagged; threaded generators and
+// suppressed lines are not.
+package fixture
+
+import (
+	"math/rand"
+)
+
+func global() int {
+	return rand.Intn(10) // want "global source"
+}
+
+func globalFloat() float64 {
+	rand.Seed(42)         // want "global source"
+	return rand.Float64() // want "global source"
+}
+
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want "outside the approved RNG plumbing"
+}
+
+func suppressed(seed int64) *rand.Rand {
+	//lint:ignore rawrand fixture demonstrates suppression
+	return rand.New(rand.NewSource(seed))
+}
+
+// threaded consumes a seeded generator the way the repo expects: clean.
+func threaded(r *rand.Rand) float64 {
+	return r.Float64()
+}

@@ -1,0 +1,14 @@
+// Package fixture is loaded under the approved import path
+// repro/internal/stats: constructing generators is the plumbing's job, so
+// rand.New passes here, but the global source stays banned everywhere.
+package fixture
+
+import "math/rand"
+
+func newSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // clean: approved package
+}
+
+func stillGlobal() int {
+	return rand.Intn(3) // want "global source"
+}

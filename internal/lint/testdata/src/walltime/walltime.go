@@ -1,0 +1,32 @@
+// Package fixture exercises the walltime analyzer. The golden test loads
+// it twice: under repro/internal/des the wall-clock reads below are
+// flagged; under a non-simulation import path the analyzer stays silent.
+package fixture
+
+import "time"
+
+// Clock is the virtual clock a deterministic simulation must advance.
+type Clock struct{ now time.Time }
+
+func wall() time.Time {
+	return time.Now() // want "wall clock"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall clock"
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "wall clock"
+}
+
+// step advances the virtual clock: duration arithmetic is always fine.
+func step(c *Clock, dt time.Duration) time.Time {
+	c.now = c.now.Add(dt)
+	return c.now
+}
+
+func suppressed() time.Time {
+	//lint:ignore walltime fixture demonstrates suppression
+	return time.Now()
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// walltimeDeterministic lists the discrete-event / simulation packages
+// whose clocks must be virtual. A time.Now inside one of them couples the
+// simulation to the host scheduler, so paired-seed runs stop being
+// bit-identical and resimulation-based estimates drift.
+var walltimeDeterministic = map[string]bool{
+	"repro/internal/des":       true,
+	"repro/internal/healthsim": true,
+	"repro/internal/cachesim":  true,
+	"repro/internal/lbsim":     true,
+}
+
+// walltimeBanned is the set of wall-clock readers flagged inside
+// deterministic packages. Duration arithmetic and time.Time values remain
+// fine; only sampling the host clock is banned.
+var walltimeBanned = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// WallTime flags wall-clock reads inside the deterministic simulation
+// packages; simulations must advance their own virtual clock.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "time.Now/time.Since inside deterministic simulation packages",
+	Run:  runWallTime,
+}
+
+func runWallTime(pass *Pass) {
+	if !walltimeDeterministic[pass.Pkg.Path()] {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := pkgFuncCall(pass.Info, sel)
+			if !ok || pkgPath != "time" || !walltimeBanned[name] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"time.%s reads the wall clock inside deterministic simulation package %s; advance the simulation's virtual clock instead",
+				name, pass.Pkg.Path())
+			return true
+		})
+	}
+}

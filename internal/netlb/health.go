@@ -92,7 +92,7 @@ func (h *HealthChecker) sweep() {
 			if err != nil {
 				return
 			}
-			resp.Body.Close()
+			_ = resp.Body.Close()
 			results[i] = resp.StatusCode < 500
 		}(i, target)
 	}

@@ -76,7 +76,7 @@ func GenerateLoad(url string, n int, ratePerSec float64, r *rand.Rand) (*LoadRes
 				return
 			}
 			_, _ = io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+			_ = resp.Body.Close()
 			elapsed := time.Since(start)
 			mu.Lock()
 			if resp.StatusCode == http.StatusOK {

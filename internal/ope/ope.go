@@ -140,12 +140,12 @@ func weightedEstimate(policy core.Policy, data core.Dataset, clip float64, selfN
 		)
 		for i := range data {
 			d := &data[i]
-			if !(d.Propensity > 0) {
+			pi := core.ActionProb(policy, &d.Context, d.Action)
+			w, ok := core.ImportanceWeight(pi, d.Propensity)
+			if !ok {
 				return Estimate{}, fmt.Errorf("ope: datapoint %d has propensity %v; %w",
 					i, d.Propensity, errBadPropensity)
 			}
-			pi := core.ActionProb(policy, &d.Context, d.Action)
-			w := pi / d.Propensity
 			if clip > 0 && w > clip {
 				w = clip
 			}
@@ -184,12 +184,12 @@ func weightedEstimate(policy core.Policy, data core.Dataset, clip float64, selfN
 	)
 	for i := range data {
 		d := &data[i]
-		if !(d.Propensity > 0) {
+		pi := core.ActionProb(policy, &d.Context, d.Action)
+		w, ok := core.ImportanceWeight(pi, d.Propensity)
+		if !ok {
 			return Estimate{}, fmt.Errorf("ope: datapoint %d has propensity %v; %w",
 				i, d.Propensity, errBadPropensity)
 		}
-		pi := core.ActionProb(policy, &d.Context, d.Action)
-		w := pi / d.Propensity
 		if clip > 0 && w > clip {
 			w = clip
 		}
@@ -292,14 +292,14 @@ func (dr DoublyRobust) Estimate(policy core.Policy, data core.Dataset) (Estimate
 	maxW := 0.0
 	for i := range data {
 		d := &data[i]
-		if !(d.Propensity > 0) {
-			return Estimate{}, fmt.Errorf("ope: datapoint %d has propensity %v; %w",
-				i, d.Propensity, errBadPropensity)
-		}
 		aPi := policy.Act(&d.Context)
 		base := dr.Model.Predict(&d.Context, aPi)
 		pi := core.ActionProb(policy, &d.Context, d.Action)
-		w := pi / d.Propensity
+		w, ok := core.ImportanceWeight(pi, d.Propensity)
+		if !ok {
+			return Estimate{}, fmt.Errorf("ope: datapoint %d has propensity %v; %w",
+				i, d.Propensity, errBadPropensity)
+		}
 		if dr.Clip > 0 && w > dr.Clip {
 			w = dr.Clip
 		}
