@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench experiments fuzz harvestd-demo clean
+.PHONY: all build vet lint test race bench bench-parallel experiments fuzz harvestd-demo clean
 
 all: build vet lint test
 
@@ -25,6 +25,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Serial-vs-parallel scaling of the deterministic replicate scheduler
+# (fig3 + table2 replicate loops at workers = 1, 2, NumCPU).
+bench-parallel:
+	$(GO) test . -bench=BenchmarkHarvestAllParallel -run=NONE -benchtime=1x -count=3
 
 # Regenerate every paper table/figure and the extension experiments.
 experiments:

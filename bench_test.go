@@ -9,7 +9,9 @@ package repro
 // in benchmark output.
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"net/http"
@@ -201,7 +203,7 @@ func BenchmarkEq1Verification(b *testing.B) {
 // BenchmarkAblationEstimators compares IPS/clip/SNIPS/DM/DR accuracy.
 func BenchmarkAblationEstimators(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationEstimators(int64(i+1), 10000); err != nil {
+		if _, err := experiments.AblationEstimators(int64(i+1), 10000, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -210,7 +212,7 @@ func BenchmarkAblationEstimators(b *testing.B) {
 // BenchmarkAblationPropensity compares propensity-inference methods.
 func BenchmarkAblationPropensity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationPropensity(int64(i+1), 10000); err != nil {
+		if _, err := experiments.AblationPropensity(int64(i+1), 10000, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -220,7 +222,7 @@ func BenchmarkAblationPropensity(b *testing.B) {
 func BenchmarkAblationExploration(b *testing.B) {
 	var longest float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationExploration(int64(i+1), 10000)
+		res, err := experiments.AblationExploration(int64(i+1), 10000, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -232,7 +234,7 @@ func BenchmarkAblationExploration(b *testing.B) {
 // BenchmarkAblationSampleWidth sweeps the Redis-style eviction sample size.
 func BenchmarkAblationSampleWidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationSampleWidth(int64(i+1), 20000, []int{2, 5, 10}); err != nil {
+		if _, err := experiments.AblationSampleWidth(int64(i+1), 20000, []int{2, 5, 10}, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -272,6 +274,41 @@ func BenchmarkDriftAdaptation(b *testing.B) {
 		adv = res.StaticPhase2 - res.IncrementalPhase2
 	}
 	b.ReportMetric(adv, "downtime-saved-min")
+}
+
+// BenchmarkHarvestAllParallel measures the deterministic replicate
+// scheduler's wall-clock scaling on the two heaviest replicate loops —
+// fig3's resimulations and table2's candidate deployments — at workers =
+// 1 (the legacy serial path), 2, and NumCPU. The outputs are identical at
+// every worker count (TestSeedEquivalenceSerialVsParallel pins that), so
+// the only thing varying here is wall-clock.
+func BenchmarkHarvestAllParallel(b *testing.B) {
+	seen := map[int]bool{}
+	for _, w := range []int{1, 2, 4, runtime.NumCPU()} {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			fig3 := experiments.DefaultFig3Params()
+			fig3.Resims = 200
+			fig3.TestNs = []int{500, 2000, 3500}
+			fig3.Workers = w
+			t2 := experiments.DefaultTable2Params()
+			t2.Config.NumRequests = 15000
+			t2.Config.Warmup = 1500
+			t2.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig3(fig3); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := experiments.Table2(t2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- microbenchmarks of the hot paths ---

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ope"
+	"repro/internal/parallel"
 	"repro/internal/policy"
 )
 
@@ -36,6 +37,7 @@ func run(r io.Reader, w io.Writer, args []string) error {
 	polSpec := fs.String("policies", "constant", "policy set: constant (one per action) | stumps (feature-threshold grid)")
 	delta := fs.Float64("delta", 0.05, "simultaneous failure probability for the intervals")
 	minimize := fs.Bool("minimize", false, "treat rewards as costs")
+	workers := fs.Int("workers", 0, "per-policy evaluation concurrency (0 = NumCPU, 1 = serial; output identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,7 +105,25 @@ func run(r io.Reader, w io.Writer, args []string) error {
 		return fmt.Errorf("unknown policy set %q", *polSpec)
 	}
 
-	sel, err := ope.SelectBest(est, policies, ds, 0, *delta, *minimize)
+	// Fan the per-policy estimates out across workers (each is a pure
+	// function of the shared log), then reduce serially in candidate order
+	// — output is identical for every worker count.
+	rangeHi, err := ope.DeriveRangeHi(ds)
+	if err != nil {
+		return err
+	}
+	ests := make([]ope.Estimate, len(policies))
+	if err := parallel.For(*workers, len(policies), func(i int) error {
+		e, err := est.Estimate(policies[i], ds)
+		if err != nil {
+			return fmt.Errorf("candidate %d: %w", i, err)
+		}
+		ests[i] = e
+		return nil
+	}); err != nil {
+		return err
+	}
+	sel, err := ope.SelectFromEstimates(ests, rangeHi, *delta, *minimize)
 	if err != nil {
 		return err
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	harvest [-seed N] [-quick] <experiment>
+//	harvest [-seed N] [-quick] [-workers N] <experiment>
 //
 // where <experiment> is one of:
 //
@@ -26,6 +26,10 @@
 //	ablate   the design-choice ablations (estimators, propensity
 //	         inference, exploration coverage, eviction sample width)
 //	all      everything above in order
+//
+// -workers bounds the deterministic replicate scheduler: 1 forces the
+// legacy serial path, 0 (the default) uses runtime.NumCPU(). Output is
+// byte-identical for every worker count at the same seed.
 package main
 
 import (
@@ -40,8 +44,9 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "root RNG seed (experiments are deterministic given a seed)")
 	quick := flag.Bool("quick", false, "reduce sample sizes for a fast smoke run")
+	workers := flag.Int("workers", 0, "replicate scheduler concurrency (0 = NumCPU, 1 = serial; output identical for any value)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: harvest [-seed N] [-quick] fig1|fig2|fig3|fig4|table2|table3|fig6|eq1|loop|drift|rollout|zipf|p99|longterm|ablate|all\n")
+		fmt.Fprintf(os.Stderr, "usage: harvest [-seed N] [-quick] [-workers N] fig1|fig2|fig3|fig4|table2|table3|fig6|eq1|loop|drift|rollout|zipf|p99|longterm|ablate|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,14 +54,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, flag.Arg(0), *seed, *quick); err != nil {
+	if err := run(os.Stdout, flag.Arg(0), *seed, *quick, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "harvest:", err)
 		os.Exit(1)
 	}
 }
 
 // run dispatches one experiment (or all) to w.
-func run(w io.Writer, name string, seed int64, quick bool) error {
+func run(w io.Writer, name string, seed int64, quick bool, workers int) error {
 	type writerTo interface {
 		WriteTo(io.Writer) (int64, error)
 	}
@@ -73,12 +78,16 @@ func run(w io.Writer, name string, seed int64, quick bool) error {
 	switch name {
 	case "fig1":
 		p := experiments.DefaultFig1Params()
+		p.Workers = workers
 		return exec(experiments.Fig1(p))
 	case "fig2":
-		return exec(experiments.Fig2(experiments.DefaultFig2Params()))
+		p := experiments.DefaultFig2Params()
+		p.Workers = workers
+		return exec(experiments.Fig2(p))
 	case "fig3":
 		p := experiments.DefaultFig3Params()
 		p.Seed = seed
+		p.Workers = workers
 		if quick {
 			p.Resims = 100
 			p.TestNs = []int{250, 1000, 3500}
@@ -87,10 +96,12 @@ func run(w io.Writer, name string, seed int64, quick bool) error {
 	case "fig4":
 		p := experiments.DefaultFig4Params()
 		p.Seed = seed
+		p.Workers = workers
 		return exec(experiments.Fig4(p))
 	case "table2":
 		p := experiments.DefaultTable2Params()
 		p.Seed = seed
+		p.Workers = workers
 		if quick {
 			p.Config.NumRequests = 10000
 			p.Config.Warmup = 1000
@@ -99,6 +110,7 @@ func run(w io.Writer, name string, seed int64, quick bool) error {
 	case "table3":
 		p := experiments.DefaultTable3Params()
 		p.Seed = seed
+		p.Workers = workers
 		if quick {
 			p.Requests = 20000
 		}
@@ -106,6 +118,7 @@ func run(w io.Writer, name string, seed int64, quick bool) error {
 	case "fig6":
 		p := experiments.DefaultFig6Params()
 		p.Seed = seed
+		p.Workers = workers
 		if quick {
 			p.Config.NumRequests = 8000
 			p.Config.Warmup = 1000
@@ -114,6 +127,7 @@ func run(w io.Writer, name string, seed int64, quick bool) error {
 	case "eq1":
 		p := experiments.DefaultEq1Params()
 		p.Seed = seed
+		p.Workers = workers
 		if quick {
 			p.Ns = []int{2000, 8000}
 		}
@@ -137,6 +151,7 @@ func run(w io.Writer, name string, seed int64, quick bool) error {
 	case "rollout":
 		p := experiments.DefaultRolloutParams()
 		p.Seed = seed
+		p.Workers = workers
 		if quick {
 			p.Config.NumRequests = 8000
 			p.Config.Warmup = 800
@@ -145,6 +160,7 @@ func run(w io.Writer, name string, seed int64, quick bool) error {
 	case "zipf":
 		p := experiments.DefaultZipfContrastParams()
 		p.Seed = seed
+		p.Workers = workers
 		if quick {
 			p.Requests = 20000
 		}
@@ -152,6 +168,7 @@ func run(w io.Writer, name string, seed int64, quick bool) error {
 	case "p99":
 		p := experiments.DefaultP99Params()
 		p.Seed = seed
+		p.Workers = workers
 		if quick {
 			p.Config.NumRequests = 10000
 			p.Config.Warmup = 1000
@@ -160,6 +177,7 @@ func run(w io.Writer, name string, seed int64, quick bool) error {
 	case "longterm":
 		p := experiments.DefaultLongTermParams()
 		p.Seed = seed
+		p.Workers = workers
 		if quick {
 			p.N = 15000
 		}
@@ -170,19 +188,19 @@ func run(w io.Writer, name string, seed int64, quick bool) error {
 		if quick {
 			n, requests = 5000, 20000
 		}
-		if err := exec(experiments.AblationEstimators(seed, n)); err != nil {
+		if err := exec(experiments.AblationEstimators(seed, n, workers)); err != nil {
 			return err
 		}
-		if err := exec(experiments.AblationPropensity(seed, n)); err != nil {
+		if err := exec(experiments.AblationPropensity(seed, n, workers)); err != nil {
 			return err
 		}
-		if err := exec(experiments.AblationExploration(seed, n)); err != nil {
+		if err := exec(experiments.AblationExploration(seed, n, workers)); err != nil {
 			return err
 		}
-		return exec(experiments.AblationSampleWidth(seed, requests, []int{2, 3, 5, 10, 20}))
+		return exec(experiments.AblationSampleWidth(seed, requests, []int{2, 3, 5, 10, 20}, workers))
 	case "all":
 		for _, sub := range []string{"fig1", "fig2", "fig3", "fig4", "table2", "table3", "fig6", "eq1", "loop", "drift", "rollout", "zipf", "p99", "longterm", "ablate"} {
-			if err := run(w, sub, seed, quick); err != nil {
+			if err := run(w, sub, seed, quick, workers); err != nil {
 				return fmt.Errorf("%s: %w", sub, err)
 			}
 		}

@@ -31,7 +31,7 @@ func TestRunDispatchesEveryExperiment(t *testing.T) {
 	}
 	for _, c := range cases {
 		var buf bytes.Buffer
-		if err := run(&buf, c.name, 1, c.quick); err != nil {
+		if err := run(&buf, c.name, 1, c.quick, 0); err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
 		if !strings.Contains(buf.String(), c.header) {
@@ -42,7 +42,7 @@ func TestRunDispatchesEveryExperiment(t *testing.T) {
 
 func TestRunFig3Quick(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig3", 1, true); err != nil {
+	if err := run(&buf, "fig3", 1, true, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Fig 3") {
@@ -52,7 +52,7 @@ func TestRunFig3Quick(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", 1, false); err == nil {
+	if err := run(&buf, "nope", 1, false, 1); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }

@@ -106,27 +106,40 @@ type zipfState struct {
 	cdf []float64
 }
 
-// Validate checks the workload parameters.
+// Validate checks the workload parameters. It also precomputes the
+// popularity CDF, so that after a successful Validate every Draw is
+// read-only on the workload — replicates replaying one shared *ZipfWorkload
+// concurrently (the parallel experiment scheduler does) would otherwise
+// race on Draw's lazy initialization.
 func (w *ZipfWorkload) Validate() error {
 	if w.NumKeys <= 0 || w.Size <= 0 || w.Exponent <= 0 {
 		return fmt.Errorf("cachesim: zipf workload %+v invalid", *w)
 	}
+	w.prepare()
 	return nil
+}
+
+// prepare materializes the CDF once.
+func (w *ZipfWorkload) prepare() {
+	if w.zipf != nil {
+		return
+	}
+	cdf := make([]float64, w.NumKeys)
+	total := 0.0
+	for i := 0; i < w.NumKeys; i++ {
+		total += 1 / math.Pow(float64(i+1), w.Exponent)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	w.zipf = &zipfState{cdf: cdf}
 }
 
 // Draw implements Workload.
 func (w *ZipfWorkload) Draw(r *rand.Rand) Request {
 	if w.zipf == nil {
-		cdf := make([]float64, w.NumKeys)
-		total := 0.0
-		for i := 0; i < w.NumKeys; i++ {
-			total += 1 / math.Pow(float64(i+1), w.Exponent)
-			cdf[i] = total
-		}
-		for i := range cdf {
-			cdf[i] /= total
-		}
-		w.zipf = &zipfState{cdf: cdf}
+		w.prepare()
 	}
 	u := r.Float64()
 	lo, hi := 0, w.NumKeys-1

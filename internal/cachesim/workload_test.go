@@ -2,6 +2,7 @@ package cachesim
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/stats"
@@ -95,6 +96,32 @@ func TestZipfWorkload(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Error("zero-value zipf should fail validation")
 	}
+}
+
+// TestZipfConcurrentDraws is the regression test for the lazy-CDF data
+// race: a validated workload shared by concurrent replicates (as the
+// parallel experiment scheduler shares it) must be read-only in Draw. Run
+// under -race this fails if Validate stops precomputing the CDF.
+func TestZipfConcurrentDraws(t *testing.T) {
+	w := &ZipfWorkload{NumKeys: 500, Size: 10, Exponent: 1}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := stats.NewRand(seed)
+			for i := 0; i < 2000; i++ {
+				if req := w.Draw(r); req.Size != 10 {
+					t.Errorf("size = %d", req.Size)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
 }
 
 func TestReplayComputesHitRate(t *testing.T) {

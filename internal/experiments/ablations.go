@@ -15,6 +15,7 @@ import (
 	"repro/internal/lbsim"
 	"repro/internal/learn"
 	"repro/internal/ope"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -36,7 +37,9 @@ type EstimatorAblationResult struct {
 
 // AblationEstimators evaluates IPS, clipped IPS, SNIPS, DM, and DR on the
 // same healthsim exploration data against full-feedback ground truth.
-func AblationEstimators(seed int64, n int) (*EstimatorAblationResult, error) {
+// workers bounds the per-estimator scheduler's concurrency (1 = serial,
+// <1 = runtime.NumCPU()); results are identical for every value.
+func AblationEstimators(seed int64, n, workers int) (*EstimatorAblationResult, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("experiments: ablation n=%d", n)
 	}
@@ -79,16 +82,21 @@ func AblationEstimators(seed int64, n int) (*EstimatorAblationResult, error) {
 		ope.DoublyRobust{Model: model},
 	}
 	res := &EstimatorAblationResult{Truth: truth}
-	for _, e := range ests {
+	res.Rows = make([]EstimatorAblationRow, len(ests))
+	if err := parallel.For(workers, len(ests), func(i int) error {
+		e := ests[i]
 		est, err := e.Estimate(pol, expl)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation %s: %w", e.Name(), err)
+			return fmt.Errorf("experiments: ablation %s: %w", e.Name(), err)
 		}
-		res.Rows = append(res.Rows, EstimatorAblationRow{
+		res.Rows[i] = EstimatorAblationRow{
 			Estimator: e.Name(),
 			AbsErr:    math.Abs(est.Value - truth),
 			StdErr:    est.StdErr,
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -128,8 +136,10 @@ type PropensityAblationResult struct {
 
 // AblationPropensity measures how each §3-step-2 inference method affects
 // the final IPS estimate on healthsim data (whose true propensities are
-// uniform, so "known" is exact).
-func AblationPropensity(seed int64, n int) (*PropensityAblationResult, error) {
+// uniform, so "known" is exact). workers bounds the per-method scheduler's
+// concurrency (1 = serial, <1 = runtime.NumCPU()); results are identical
+// for every value.
+func AblationPropensity(seed int64, n, workers int) (*PropensityAblationResult, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("experiments: ablation n=%d", n)
 	}
@@ -147,23 +157,29 @@ func AblationPropensity(seed int64, n int) (*PropensityAblationResult, error) {
 		return nil, err
 	}
 	res := &PropensityAblationResult{Reference: ref.Value}
-	for _, inf := range []harvester.PropensityInferrer{
+	infs := []harvester.PropensityInferrer{
 		harvester.KnownPropensity{},
 		harvester.EmpiricalPropensity{},
 		harvester.LogisticPropensity{},
-	} {
+	}
+	res.Rows = make([]PropensityAblationRow, len(infs))
+	if err := parallel.For(workers, len(infs), func(i int) error {
+		inf := infs[i]
 		ds, err := inf.Infer(expl)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation %s: %w", inf.Name(), err)
+			return fmt.Errorf("experiments: ablation %s: %w", inf.Name(), err)
 		}
 		est, err := (ope.IPS{}).Estimate(pol, ds)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation %s ips: %w", inf.Name(), err)
+			return fmt.Errorf("experiments: ablation %s ips: %w", inf.Name(), err)
 		}
-		res.Rows = append(res.Rows, PropensityAblationRow{
+		res.Rows[i] = PropensityAblationRow{
 			Method: inf.Name(),
 			AbsErr: math.Abs(est.Value - ref.Value),
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -194,29 +210,38 @@ type ExplorationAblationResult struct {
 }
 
 // AblationExploration measures run-length coverage on the Fig. 5 setup.
-func AblationExploration(seed int64, n int) (*ExplorationAblationResult, error) {
+// workers bounds the scheduler's concurrency (1 = serial, <1 =
+// runtime.NumCPU()); results are identical for every value — the plain and
+// chaotic collection passes are already seeded independently.
+func AblationExploration(seed int64, n, workers int) (*ExplorationAblationResult, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("experiments: ablation n=%d", n)
 	}
 	cfg := lbsim.TwoServerFig5()
-	plain, err := chaos.Collect(cfg, nil, n, seed)
+	res := &ExplorationAblationResult{}
+	err := parallel.Do(workers,
+		func() error {
+			plain, err := chaos.Collect(cfg, nil, n, seed)
+			if err != nil {
+				return err
+			}
+			res.Plain, err = chaos.MeasureCoverage(plain, 20)
+			return err
+		},
+		func() error {
+			sched := chaos.RandomSchedule(seed+1, len(cfg.Servers), n, 6, n/20)
+			chaotic, err := chaos.Collect(cfg, sched, n, seed)
+			if err != nil {
+				return err
+			}
+			res.Chaos, err = chaos.MeasureCoverage(chaotic, 20)
+			return err
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
-	sched := chaos.RandomSchedule(seed+1, len(cfg.Servers), n, 6, n/20)
-	chaotic, err := chaos.Collect(cfg, sched, n, seed)
-	if err != nil {
-		return nil, err
-	}
-	covP, err := chaos.MeasureCoverage(plain, 20)
-	if err != nil {
-		return nil, err
-	}
-	covC, err := chaos.MeasureCoverage(chaotic, 20)
-	if err != nil {
-		return nil, err
-	}
-	return &ExplorationAblationResult{Plain: covP, Chaos: covC}, nil
+	return res, nil
 }
 
 // WriteTo renders the coverage comparison.
@@ -245,33 +270,41 @@ type SampleWidthResult struct {
 
 // AblationSampleWidth sweeps the candidate sample size (the paper's "reduce
 // the action space and data collection by considering only a random
-// subsample of the items").
-func AblationSampleWidth(seed int64, requests int, widths []int) (*SampleWidthResult, error) {
+// subsample of the items"). workers bounds the per-width scheduler's
+// concurrency (1 = serial, <1 = runtime.NumCPU()); results are identical
+// for every value — each width's cache and replay RNGs derive from a
+// (seed, index) substream.
+func AblationSampleWidth(seed int64, requests int, widths []int, workers int) (*SampleWidthResult, error) {
 	if requests <= 0 || len(widths) == 0 {
 		return nil, fmt.Errorf("experiments: ablation requests=%d widths=%v", requests, widths)
 	}
-	w := cachesim.DefaultBigSmall()
-	res := &SampleWidthResult{}
-	root := stats.NewRand(seed)
 	for _, width := range widths {
 		if width <= 0 {
 			return nil, fmt.Errorf("experiments: sample width %d", width)
 		}
+	}
+	w := cachesim.DefaultBigSmall()
+	res := &SampleWidthResult{Rows: make([]SampleWidthRow, len(widths))}
+	err := parallel.ForSeeded(workers, len(widths), seed, func(i int, r *rand.Rand) error {
 		cfg := cachesim.Table3CacheConfig(w)
-		cfg.SampleSize = width
-		c, err := cachesim.New(cfg, cachesim.FreqSizeEvictor{}, stats.Split(root))
+		cfg.SampleSize = widths[i]
+		c, err := cachesim.New(cfg, cachesim.FreqSizeEvictor{}, stats.Split(r))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		hr, err := cachesim.Replay(c, w, stats.Split(root), requests)
+		hr, err := cachesim.Replay(c, w, stats.Split(r), requests)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, SampleWidthRow{
-			SampleSize:      width,
+		res.Rows[i] = SampleWidthRow{
+			SampleSize:      widths[i],
 			FreqSizeHitRate: hr,
 			EvictionsLogged: len(c.EvictionLog()),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

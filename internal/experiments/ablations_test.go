@@ -6,7 +6,7 @@ import (
 )
 
 func TestAblationEstimators(t *testing.T) {
-	res, err := AblationEstimators(1, 6000)
+	res, err := AblationEstimators(1, 6000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,13 +40,13 @@ func TestAblationEstimators(t *testing.T) {
 	if _, err := res.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := AblationEstimators(1, 0); err == nil {
+	if _, err := AblationEstimators(1, 0, 1); err == nil {
 		t.Error("n=0 should fail")
 	}
 }
 
 func TestAblationPropensity(t *testing.T) {
-	res, err := AblationPropensity(2, 6000)
+	res, err := AblationPropensity(2, 6000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,13 +68,13 @@ func TestAblationPropensity(t *testing.T) {
 	if _, err := res.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := AblationPropensity(2, 0); err == nil {
+	if _, err := AblationPropensity(2, 0, 1); err == nil {
 		t.Error("n=0 should fail")
 	}
 }
 
 func TestAblationExploration(t *testing.T) {
-	res, err := AblationExploration(3, 6000)
+	res, err := AblationExploration(3, 6000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,13 +86,13 @@ func TestAblationExploration(t *testing.T) {
 	if _, err := res.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := AblationExploration(3, 0); err == nil {
+	if _, err := AblationExploration(3, 0, 1); err == nil {
 		t.Error("n=0 should fail")
 	}
 }
 
 func TestAblationSampleWidth(t *testing.T) {
-	res, err := AblationSampleWidth(4, 30000, []int{2, 5, 10})
+	res, err := AblationSampleWidth(4, 30000, []int{2, 5, 10}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,10 +114,10 @@ func TestAblationSampleWidth(t *testing.T) {
 	if _, err := res.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := AblationSampleWidth(4, 0, []int{5}); err == nil {
+	if _, err := AblationSampleWidth(4, 0, []int{5}, 1); err == nil {
 		t.Error("requests=0 should fail")
 	}
-	if _, err := AblationSampleWidth(4, 100, []int{0}); err == nil {
+	if _, err := AblationSampleWidth(4, 100, []int{0}, 1); err == nil {
 		t.Error("width=0 should fail")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/healthsim"
 	"repro/internal/learn"
 	"repro/internal/ope"
+	"repro/internal/parallel"
 	"repro/internal/policy"
 	"repro/internal/stats"
 )
@@ -27,6 +28,11 @@ type Eq1Params struct {
 	// Delta is the simultaneous failure probability; C the Eq. 1
 	// constant used for the reported envelope.
 	Delta, C float64
+	// Workers bounds the per-policy scheduler's concurrency: 1 runs the
+	// serial path, <1 selects runtime.NumCPU(). Results are identical for
+	// every value — evaluating one policy is a pure function of the shared
+	// exploration log.
+	Workers int
 	// Config is the machine-health generative model.
 	Config healthsim.Config
 }
@@ -106,15 +112,27 @@ func Eq1(p Eq1Params) (*Eq1Result, error) {
 		}
 
 		row := Eq1Row{N: n, ClassSize: class.Size(), Eps: eps, Bound: bound}
-		sumErr := 0.0
-		var classErr error
+		// Materialize the class so the per-policy evaluations (each a pure
+		// function of the shared log) can run on the scheduler; max/sum
+		// reductions then fold serially in enumeration order.
+		pols := make([]core.Policy, 0, class.Size())
 		class.Enumerate(func(idx int, pol core.Policy) bool {
-			est, err := (ope.IPS{}).Estimate(pol, expl)
+			pols = append(pols, pol)
+			return true
+		})
+		errs := make([]float64, len(pols))
+		if err := parallel.For(p.Workers, len(pols), func(idx int) error {
+			est, err := (ope.IPS{}).Estimate(pols[idx], expl)
 			if err != nil {
-				classErr = err
-				return false
+				return err
 			}
-			e := math.Abs(est.Value - truthOf(pol))
+			errs[idx] = math.Abs(est.Value - truthOf(pols[idx]))
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("experiments: eq1 N=%d: %w", n, err)
+		}
+		sumErr := 0.0
+		for _, e := range errs {
 			sumErr += e
 			if e > row.MaxAbsErr {
 				row.MaxAbsErr = e
@@ -122,10 +140,6 @@ func Eq1(p Eq1Params) (*Eq1Result, error) {
 			if e > bound {
 				row.Violations++
 			}
-			return true
-		})
-		if classErr != nil {
-			return nil, fmt.Errorf("experiments: eq1 N=%d: %w", n, classErr)
 		}
 		row.MeanAbsErr = sumErr / float64(class.Size())
 		res.Rows = append(res.Rows, row)

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/ope"
+	"repro/internal/parallel"
 )
 
 // Fig1Params configures the Fig. 1 data-requirement comparison ("the amount
@@ -25,6 +26,9 @@ type Fig1Params struct {
 	C, CAB float64
 	// Delta is the failure probability; TargetErr the CI size to reach.
 	Delta, TargetErr float64
+	// Workers bounds the scheduler's concurrency: 1 runs the serial path,
+	// <1 selects runtime.NumCPU(). Results are identical for every value.
+	Workers int
 }
 
 // DefaultFig1Params mirrors the paper's "typical constants" caption
@@ -64,9 +68,16 @@ func Fig1(p Fig1Params) (*Fig1Result, error) {
 		if k < 1 {
 			return nil, fmt.Errorf("experiments: fig1 K=%v < 1", k)
 		}
+	}
+	res.Rows = make([]Fig1Row, len(p.Ks))
+	if err := parallel.For(p.Workers, len(p.Ks), func(i int) error {
+		k := p.Ks[i]
 		ncb := ope.Eq1RequiredN(p.C, p.Eps, k, p.Delta, p.TargetErr)
 		nab := ope.ABRequiredN(p.CAB, k, p.Delta, p.TargetErr)
-		res.Rows = append(res.Rows, Fig1Row{K: k, NCB: ncb, NAB: nab, Ratio: nab / ncb})
+		res.Rows[i] = Fig1Row{K: k, NCB: ncb, NAB: nab, Ratio: nab / ncb}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

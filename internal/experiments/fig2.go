@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/ope"
+	"repro/internal/parallel"
 )
 
 // Fig2Params configures the Fig. 2 theoretical-accuracy curves: Eq. 1 error
@@ -17,6 +18,9 @@ type Fig2Params struct {
 	Ns []float64
 	// K is the policy-class size (paper: 10^6); C, Delta as in Eq. 1.
 	K, C, Delta float64
+	// Workers bounds the scheduler's concurrency: 1 runs the serial path,
+	// <1 selects runtime.NumCPU(). Results are identical for every value.
+	Workers int
 }
 
 // DefaultFig2Params mirrors the paper: K = 10^6, δ = 0.05, N up to several
@@ -54,11 +58,18 @@ func Fig2(p Fig2Params) (*Fig2Result, error) {
 		if eps <= 0 || eps > 1 {
 			return nil, fmt.Errorf("experiments: fig2 eps=%v", eps)
 		}
+	}
+	res.Series = make([]Fig2Series, len(p.Epsilons))
+	if err := parallel.For(p.Workers, len(p.Epsilons), func(idx int) error {
+		eps := p.Epsilons[idx]
 		s := Fig2Series{Eps: eps, Errors: make([]float64, len(p.Ns))}
 		for i, n := range p.Ns {
 			s.Errors[i] = ope.Eq1Error(p.C, eps, n, p.K, p.Delta)
 		}
-		res.Series = append(res.Series, s)
+		res.Series[idx] = s
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

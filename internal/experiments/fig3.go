@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 
 	"repro/internal/healthsim"
 	"repro/internal/learn"
 	"repro/internal/ope"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -25,6 +27,10 @@ type Fig3Params struct {
 	// Resims is the number of partial-information simulations per size
 	// (paper: 1000).
 	Resims int
+	// Workers bounds the replicate scheduler's concurrency: 1 runs the
+	// serial path, <1 selects runtime.NumCPU(). Results are identical for
+	// every value — each resimulation draws from a (seed, index) substream.
+	Workers int
 	// Config is the machine-health generative model.
 	Config healthsim.Config
 }
@@ -96,16 +102,24 @@ func Fig3(p Fig3Params) (*Fig3Result, error) {
 		}
 		truth /= float64(len(test))
 
+		// One root draw per test size seeds this size's substream family;
+		// each resimulation then derives its own RNG from (base, rep), so
+		// no replicate's stream depends on another's consumption (the old
+		// shared simR) or on goroutine scheduling.
 		relErrs := make([]float64, p.Resims)
-		simR := stats.Split(root)
-		for rep := 0; rep < p.Resims; rep++ {
-			explTest := learn.SimulateExploration(simR, test)
+		base := root.Int63()
+		err := parallel.ForSeeded(p.Workers, p.Resims, base, func(rep int, r *rand.Rand) error {
+			explTest := learn.SimulateExploration(r, test)
 			norm := healthsim.NormalizeRewards(explTest, maxDown)
 			est, err := (ope.IPS{}).Estimate(policy, norm)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: fig3 resim %d: %w", rep, err)
+				return fmt.Errorf("experiments: fig3 resim %d: %w", rep, err)
 			}
 			relErrs[rep] = math.Abs(est.Value-truth) / truth
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		qs, err := stats.QuantilesSorted(relErrs, 0.05, 0.5, 0.95)
 		if err != nil {

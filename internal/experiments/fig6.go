@@ -15,6 +15,10 @@ type Fig6Params struct {
 	Config frontdoor.Config
 	// K is the policy-class size to bound; C/Delta as in Eq. 1.
 	K, C, Delta float64
+	// Workers bounds the per-endpoint training scheduler's concurrency:
+	// 1 runs the serial path, <1 selects runtime.NumCPU(). Results are
+	// identical for every value.
+	Workers int
 }
 
 // DefaultFig6Params uses the 4×5 deployment and the Fig. 2 class size.
@@ -48,7 +52,7 @@ func Fig6(p Fig6Params) (*Fig6Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig6: %w", err)
 	}
-	edge, clusters, err := frontdoor.TrainHierarchical(res, len(p.Config.Clusters))
+	edge, clusters, err := frontdoor.TrainHierarchicalParallel(res, len(p.Config.Clusters), p.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig6 training: %w", err)
 	}

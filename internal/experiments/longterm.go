@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lbsim"
 	"repro/internal/ope"
+	"repro/internal/parallel"
 	"repro/internal/policy"
 )
 
@@ -23,6 +24,11 @@ type LongTermParams struct {
 	N, Horizon int
 	// Outages is the number of staggered chaos outages injected.
 	Outages int
+	// Workers bounds the scheduler's concurrency: 1 runs the serial path,
+	// <1 selects runtime.NumCPU(). Results are identical for every value —
+	// the two collection passes use fixed seeds and the per-request IPS
+	// folds sharded accumulators in index order.
+	Workers int
 	// Config is the Fig. 5 deployment.
 	Config lbsim.Config
 }
@@ -61,11 +67,45 @@ func LongTerm(p LongTermParams) (*LongTermResult, error) {
 	if err := p.Config.Validate(); err != nil {
 		return nil, err
 	}
-	// Chaos-harvested log: outages on random servers concentrate traffic.
-	sched := chaos.RandomSchedule(p.Seed+1, len(p.Config.Servers), p.N, p.Outages, p.N/(2*p.Outages))
-	ds, err := chaos.Collect(p.Config, sched, p.N, p.Seed)
+	// The chaos-harvested log and the sustained-deployment truth run are
+	// independently seeded simulations, so they run as two scheduler tasks.
+	var ds core.Dataset
+	var truth float64
+	err := parallel.Do(p.Workers,
+		func() error {
+			// Chaos-harvested log: outages on random servers concentrate
+			// traffic.
+			sched := chaos.RandomSchedule(p.Seed+1, len(p.Config.Servers), p.N, p.Outages, p.N/(2*p.Outages))
+			var err error
+			ds, err = chaos.Collect(p.Config, sched, p.N, p.Seed)
+			if err != nil {
+				return fmt.Errorf("experiments: longterm collect: %w", err)
+			}
+			return nil
+		},
+		func() error {
+			// Truth in the same world: a permanent outage of every other
+			// server forces all traffic through server 1's queue — the
+			// sustained send-to-1 state the candidate would create.
+			truthSched := make(chaos.Schedule, 0, len(p.Config.Servers)-1)
+			for s := 1; s < len(p.Config.Servers); s++ {
+				truthSched = append(truthSched, chaos.Outage{Server: s, Start: 0, End: p.N})
+			}
+			truthDS, err := chaos.Collect(p.Config, truthSched, p.N, p.Seed+2)
+			if err != nil {
+				return fmt.Errorf("experiments: longterm truth: %w", err)
+			}
+			// Skip the warmup third so the queue is in its sustained state.
+			warm := truthDS[len(truthDS)/3:]
+			for i := range warm {
+				truth += warm[i].Reward
+			}
+			truth /= float64(len(warm))
+			return nil
+		},
+	)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: longterm collect: %w", err)
+		return nil, err
 	}
 	// Group consecutive requests into fixed windows (trajectories).
 	for i := range ds {
@@ -73,7 +113,10 @@ func LongTerm(p LongTermParams) (*LongTermResult, error) {
 	}
 	candidate := policy.Constant{A: 0}
 
-	plain, err := (ope.IPS{}).Estimate(candidate, ds)
+	// Per-request IPS over the full log, folded from per-shard harvester
+	// accumulators merged in index order — identical to the serial estimate
+	// for every worker count.
+	plainSnap, err := parallel.ShardedIPS(p.Workers, candidate, ds)
 	if err != nil {
 		return nil, err
 	}
@@ -82,25 +125,6 @@ func LongTerm(p LongTermParams) (*LongTermResult, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	// Truth in the same world: a permanent outage of every other server
-	// forces all traffic through server 1's queue — the sustained
-	// send-to-1 state the candidate would create.
-	truthSched := make(chaos.Schedule, 0, len(p.Config.Servers)-1)
-	for s := 1; s < len(p.Config.Servers); s++ {
-		truthSched = append(truthSched, chaos.Outage{Server: s, Start: 0, End: p.N})
-	}
-	truthDS, err := chaos.Collect(p.Config, truthSched, p.N, p.Seed+2)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: longterm truth: %w", err)
-	}
-	truth := 0.0
-	// Skip the warmup third so the queue is in its sustained state.
-	warm := truthDS[len(truthDS)/3:]
-	for i := range warm {
-		truth += warm[i].Reward
-	}
-	truth /= float64(len(warm))
 
 	h := float64(p.Horizon)
 	// Plain trajectory IS divides by ALL windows, most of which cannot
@@ -111,7 +135,7 @@ func LongTerm(p LongTermParams) (*LongTermResult, error) {
 	pdisPerStep := selfNormalizedPerStep(candidate, trajs, h, true)
 	return &LongTermResult{
 		Params:      p,
-		PlainIPS:    plain.Value,
+		PlainIPS:    plainSnap.Mean,
 		TrajIS:      trajPerStep,
 		PDIS:        pdisPerStep,
 		TrajMatched: tis.Matches,

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestSeedEquivalenceSerialVsParallel is the PR's correctness criterion:
+// for every experiment runner, Workers=1 (the legacy serial path) and
+// Workers=8 must produce identical output for the same seed. Each case
+// runs at reduced-but-representative sizes, zeroes the Workers field of
+// the embedded params (the only intentional difference), and compares the
+// full result structs with reflect.DeepEqual. The whole suite runs under
+// -race in CI, so it doubles as the scheduler's data-race probe.
+func TestSeedEquivalenceSerialVsParallel(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(seed int64, workers int) (any, error)
+	}{
+		{"fig1", func(seed int64, w int) (any, error) {
+			p := DefaultFig1Params()
+			p.Workers = w
+			res, err := Fig1(p)
+			if err != nil {
+				return nil, err
+			}
+			res.Params.Workers = 0
+			return res, nil
+		}},
+		{"fig2", func(seed int64, w int) (any, error) {
+			p := DefaultFig2Params()
+			p.Workers = w
+			res, err := Fig2(p)
+			if err != nil {
+				return nil, err
+			}
+			res.Params.Workers = 0
+			return res, nil
+		}},
+		{"fig3", func(seed int64, w int) (any, error) {
+			p := DefaultFig3Params()
+			p.Seed = seed
+			p.TrainN = 2000
+			p.TestNs = []int{250, 500}
+			p.Resims = 24
+			p.Workers = w
+			res, err := Fig3(p)
+			if err != nil {
+				return nil, err
+			}
+			res.Params.Workers = 0
+			return res, nil
+		}},
+		{"fig4", func(seed int64, w int) (any, error) {
+			p := DefaultFig4Params()
+			p.Seed = seed
+			p.ExplorationN = 2000
+			p.Checkpoints = []int{250, 1000, 2000}
+			p.TestN = 1000
+			p.Workers = w
+			res, err := Fig4(p)
+			if err != nil {
+				return nil, err
+			}
+			res.Params.Workers = 0
+			return res, nil
+		}},
+		{"table2", func(seed int64, w int) (any, error) {
+			p := DefaultTable2Params()
+			p.Seed = seed
+			p.Config.NumRequests = 4000
+			p.Config.Warmup = 400
+			p.Workers = w
+			res, err := Table2(p)
+			if err != nil {
+				return nil, err
+			}
+			res.Params.Workers = 0
+			return res, nil
+		}},
+		{"table3", func(seed int64, w int) (any, error) {
+			p := DefaultTable3Params()
+			p.Seed = seed
+			p.Requests = 8000
+			p.Workers = w
+			res, err := Table3(p)
+			if err != nil {
+				return nil, err
+			}
+			res.Params.Workers = 0
+			return res, nil
+		}},
+		{"fig6", func(seed int64, w int) (any, error) {
+			p := DefaultFig6Params()
+			p.Seed = seed
+			p.Config.NumRequests = 8000
+			p.Config.Warmup = 1000
+			p.Workers = w
+			res, err := Fig6(p)
+			if err != nil {
+				return nil, err
+			}
+			res.Params.Workers = 0
+			return res, nil
+		}},
+		{"eq1", func(seed int64, w int) (any, error) {
+			p := DefaultEq1Params()
+			p.Seed = seed
+			p.Ns = []int{1500}
+			p.Cuts = []float64{0.5}
+			p.Workers = w
+			res, err := Eq1(p)
+			if err != nil {
+				return nil, err
+			}
+			res.Params.Workers = 0
+			return res, nil
+		}},
+		{"rollout", func(seed int64, w int) (any, error) {
+			p := DefaultRolloutParams()
+			p.Seed = seed
+			p.Config.NumRequests = 5000
+			p.Config.Warmup = 500
+			p.Shares = []float64{0, 0.5, 1}
+			p.Workers = w
+			res, err := Rollout(p)
+			if err != nil {
+				return nil, err
+			}
+			res.Params.Workers = 0
+			return res, nil
+		}},
+		{"zipf", func(seed int64, w int) (any, error) {
+			p := DefaultZipfContrastParams()
+			p.Seed = seed
+			p.Requests = 8000
+			p.Workers = w
+			res, err := ZipfContrast(p)
+			if err != nil {
+				return nil, err
+			}
+			res.Params.Workers = 0
+			return res, nil
+		}},
+		{"p99", func(seed int64, w int) (any, error) {
+			p := DefaultP99Params()
+			p.Seed = seed
+			p.Config.NumRequests = 6000
+			p.Config.Warmup = 600
+			p.Workers = w
+			res, err := P99(p)
+			if err != nil {
+				return nil, err
+			}
+			res.Params.Workers = 0
+			return res, nil
+		}},
+		{"longterm", func(seed int64, w int) (any, error) {
+			p := DefaultLongTermParams()
+			p.Seed = seed
+			p.N = 6000
+			p.Outages = 4
+			p.Workers = w
+			res, err := LongTerm(p)
+			if err != nil {
+				return nil, err
+			}
+			res.Params.Workers = 0
+			return res, nil
+		}},
+		{"ablate-estimators", func(seed int64, w int) (any, error) {
+			return AblationEstimators(seed, 2000, w)
+		}},
+		{"ablate-propensity", func(seed int64, w int) (any, error) {
+			return AblationPropensity(seed, 2000, w)
+		}},
+		{"ablate-exploration", func(seed int64, w int) (any, error) {
+			return AblationExploration(seed, 2000, w)
+		}},
+		{"ablate-samplewidth", func(seed int64, w int) (any, error) {
+			return AblationSampleWidth(seed, 8000, []int{2, 5, 10}, w)
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range []int64{1, 2, 3} {
+				serial, err := c.run(seed, 1)
+				if err != nil {
+					t.Fatalf("seed %d workers=1: %v", seed, err)
+				}
+				par, err := c.run(seed, 8)
+				if err != nil {
+					t.Fatalf("seed %d workers=8: %v", seed, err)
+				}
+				if !reflect.DeepEqual(serial, par) {
+					t.Errorf("seed %d: workers=8 result differs from serial\nserial: %s\nparallel: %s",
+						seed, render(serial), render(par))
+				}
+			}
+		})
+	}
+}
+
+// render formats a result for the failure message.
+func render(v any) string {
+	return fmt.Sprintf("%+v", v)
+}

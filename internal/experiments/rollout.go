@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math/rand"
 
 	"repro/internal/lbsim"
 	"repro/internal/ope"
+	"repro/internal/parallel"
 	"repro/internal/policy"
 	"repro/internal/stats"
 )
@@ -24,6 +26,11 @@ type RolloutParams struct {
 	Seed   int64
 	Shares []float64
 	Config lbsim.Config
+	// Workers bounds the per-share scheduler's concurrency: 1 runs the
+	// serial path, <1 selects runtime.NumCPU(). Results are identical for
+	// every value — each share's blend RNGs and run seed derive from a
+	// (seed, index) substream.
+	Workers int
 }
 
 // DefaultRolloutParams sweeps five exposure levels on the Fig. 5 setup.
@@ -72,25 +79,32 @@ func Rollout(p RolloutParams) (*RolloutResult, error) {
 		return nil, fmt.Errorf("experiments: rollout full deployment: %w", err)
 	}
 	res := &RolloutResult{Params: p, TrueDeployed: deployed.MeanLatency}
-	for _, share := range p.Shares {
-		blend, err := policy.NewBlend(candidate, policy.UniformRandom{R: stats.Split(root)}, share, stats.Split(root))
+	res.Rows = make([]RolloutRow, len(p.Shares))
+	base := root.Int63()
+	err = parallel.ForSeeded(p.Workers, len(p.Shares), base, func(i int, r *rand.Rand) error {
+		share := p.Shares[i]
+		blend, err := policy.NewBlend(candidate, policy.UniformRandom{R: stats.Split(r)}, share, stats.Split(r))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: rollout share %v: %w", share, err)
+			return fmt.Errorf("experiments: rollout share %v: %w", share, err)
 		}
-		run, err := lbsim.Run(p.Config, blend, root.Int63(), true)
+		run, err := lbsim.Run(p.Config, blend, r.Int63(), true)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: rollout share %v: %w", share, err)
+			return fmt.Errorf("experiments: rollout share %v: %w", share, err)
 		}
 		est, err := (ope.IPS{}).Estimate(candidate, run.Exploration)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: rollout share %v ips: %w", share, err)
+			return fmt.Errorf("experiments: rollout share %v ips: %w", share, err)
 		}
-		res.Rows = append(res.Rows, RolloutRow{
+		res.Rows[i] = RolloutRow{
 			Share:        share,
 			Estimate:     est.Value,
 			BlendLatency: run.MeanLatency,
 			Matches:      est.Matches,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

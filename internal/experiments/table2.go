@@ -3,10 +3,12 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/lbsim"
 	"repro/internal/ope"
+	"repro/internal/parallel"
 	"repro/internal/policy"
 	"repro/internal/stats"
 )
@@ -20,6 +22,11 @@ type Table2Params struct {
 	// Fig. 5 latency model plus request types, which give the CB policy
 	// its edge over least-loaded).
 	Config lbsim.Config
+	// Workers bounds the candidate scheduler's concurrency: 1 runs the
+	// serial path, <1 selects runtime.NumCPU(). Results are identical for
+	// every value — each candidate's policy RNG and online deployment seed
+	// derive from a (seed, index) substream.
+	Workers int
 }
 
 // DefaultTable2Params returns the paper-shaped configuration.
@@ -57,30 +64,41 @@ func Table2(p Table2Params) (*Table2Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: table2 CB training: %w", err)
 	}
+	// Candidates are constructed inside the scheduler from per-index
+	// substreams, so a stochastic policy's RNG never depends on how the
+	// other candidates consumed a shared root.
 	candidates := []struct {
 		name string
-		pol  core.Policy
+		pol  func(r *rand.Rand) core.Policy
 	}{
-		{"Random", policy.UniformRandom{R: stats.Split(root)}},
-		{"Least loaded", lbsim.LeastLoaded{}},
-		{"Send to 1", policy.Constant{A: 0}},
-		{"CB policy", cbPolicy},
+		{"Random", func(r *rand.Rand) core.Policy { return policy.UniformRandom{R: stats.Split(r)} }},
+		{"Least loaded", func(*rand.Rand) core.Policy { return lbsim.LeastLoaded{} }},
+		{"Send to 1", func(*rand.Rand) core.Policy { return policy.Constant{A: 0} }},
+		{"CB policy", func(*rand.Rand) core.Policy { return cbPolicy }},
 	}
 	res := &Table2Result{Params: p}
-	for _, cand := range candidates {
-		est, err := (ope.IPS{}).Estimate(cand.pol, logRun.Exploration)
+	res.Rows = make([]Table2Row, len(candidates))
+	base := root.Int63()
+	err = parallel.ForSeeded(p.Workers, len(candidates), base, func(i int, r *rand.Rand) error {
+		cand := candidates[i]
+		pol := cand.pol(r)
+		est, err := (ope.IPS{}).Estimate(pol, logRun.Exploration)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table2 offline %s: %w", cand.name, err)
+			return fmt.Errorf("experiments: table2 offline %s: %w", cand.name, err)
 		}
-		online, err := lbsim.Run(p.Config, cand.pol, root.Int63(), false)
+		online, err := lbsim.Run(p.Config, pol, r.Int63(), false)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table2 online %s: %w", cand.name, err)
+			return fmt.Errorf("experiments: table2 online %s: %w", cand.name, err)
 		}
-		res.Rows = append(res.Rows, Table2Row{
+		res.Rows[i] = Table2Row{
 			Policy:  cand.name,
 			Offline: est.Value,
 			Online:  online.MeanLatency,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

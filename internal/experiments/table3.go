@@ -3,10 +3,12 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math/rand"
 
 	"repro/internal/cachesim"
 	"repro/internal/harvester"
 	"repro/internal/learn"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -23,6 +25,11 @@ type Table3Params struct {
 	SampleSize int
 	// Horizon caps the look-ahead reward for CB training.
 	Horizon float64
+	// Workers bounds the candidate scheduler's concurrency: 1 runs the
+	// serial path, <1 selects runtime.NumCPU(). Results are identical for
+	// every value — each candidate's cache and replay RNGs derive from a
+	// (seed, index) substream.
+	Workers int
 }
 
 // DefaultTable3Params returns the paper-shaped configuration.
@@ -96,12 +103,14 @@ func Table3(p Table3Params) (*Table3Result, error) {
 	}
 
 	res := &Table3Result{Params: p}
-	res.Rows = append(res.Rows, Table3Row{Policy: "Random", HitRate: randomHR})
 	runCfg, err := p.cacheConfig(false)
 	if err != nil {
 		return nil, err
 	}
-	for _, cand := range []struct {
+	// Each candidate's cache sampling and replay draws come from its own
+	// (seed, index) substream, so the rows are invariant to worker count
+	// and to the other candidates' RNG consumption.
+	cands := []struct {
 		name string
 		ev   cachesim.Evictor
 	}{
@@ -109,16 +118,25 @@ func Table3(p Table3Params) (*Table3Result, error) {
 		{"LFU", cachesim.LFUEvictor{}},
 		{"CB policy", cachesim.CBEvictor{Model: model}},
 		{"Freq/size", cachesim.FreqSizeEvictor{}},
-	} {
-		c, err := cachesim.New(runCfg, cand.ev, stats.Split(root))
+	}
+	res.Rows = make([]Table3Row, 1+len(cands))
+	res.Rows[0] = Table3Row{Policy: "Random", HitRate: randomHR}
+	base := root.Int63()
+	err = parallel.ForSeeded(p.Workers, len(cands), base, func(i int, r *rand.Rand) error {
+		cand := cands[i]
+		c, err := cachesim.New(runCfg, cand.ev, stats.Split(r))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		hr, err := cachesim.Replay(c, p.Workload, stats.Split(root), p.Requests)
+		hr, err := cachesim.Replay(c, p.Workload, stats.Split(r), p.Requests)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table3 %s replay: %w", cand.name, err)
+			return fmt.Errorf("experiments: table3 %s replay: %w", cand.name, err)
 		}
-		res.Rows = append(res.Rows, Table3Row{Policy: cand.name, HitRate: hr})
+		res.Rows[i+1] = Table3Row{Policy: cand.name, HitRate: hr}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

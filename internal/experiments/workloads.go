@@ -3,11 +3,13 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math/rand"
 
 	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/lbsim"
 	"repro/internal/ope"
+	"repro/internal/parallel"
 	"repro/internal/policy"
 	"repro/internal/stats"
 )
@@ -26,6 +28,11 @@ type ZipfContrastParams struct {
 	NumKeys    int
 	Exponent   float64
 	CacheShare float64
+	// Workers bounds the candidate scheduler's concurrency: 1 runs the
+	// serial path, <1 selects runtime.NumCPU(). Results are identical for
+	// every value — each candidate's RNGs derive from a (seed, index)
+	// substream.
+	Workers int
 }
 
 // DefaultZipfContrastParams uses a classic 1.0-exponent Zipf.
@@ -47,31 +54,41 @@ func ZipfContrast(p ZipfContrastParams) (*ZipfContrastResult, error) {
 	if p.Requests <= 0 || p.NumKeys <= 0 || p.Exponent <= 0 || p.CacheShare <= 0 || p.CacheShare > 1 {
 		return nil, fmt.Errorf("experiments: zipf params %+v", p)
 	}
-	root := stats.NewRand(p.Seed)
 	w := &cachesim.ZipfWorkload{NumKeys: p.NumKeys, Size: 100, Exponent: p.Exponent}
+	// Validate also precomputes the CDF, so the concurrent replays below
+	// share the workload read-only.
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
 	budget := int64(float64(p.NumKeys) * 100 * p.CacheShare)
 	res := &ZipfContrastResult{Params: p}
-	for _, cand := range []struct {
+	// Evictors are constructed inside the scheduler from per-index
+	// substreams (RandomEvictor carries its own RNG).
+	cands := []struct {
 		name string
-		ev   cachesim.Evictor
+		ev   func(r *rand.Rand) cachesim.Evictor
 	}{
-		{"Random", cachesim.RandomEvictor{R: stats.Split(root)}},
-		{"LRU", cachesim.LRUEvictor{}},
-		{"LFU", cachesim.LFUEvictor{}},
-		{"Freq/size", cachesim.FreqSizeEvictor{}},
-	} {
-		c, err := cachesim.New(cachesim.Config{MaxBytes: budget, SampleSize: 10}, cand.ev, stats.Split(root))
+		{"Random", func(r *rand.Rand) cachesim.Evictor { return cachesim.RandomEvictor{R: stats.Split(r)} }},
+		{"LRU", func(*rand.Rand) cachesim.Evictor { return cachesim.LRUEvictor{} }},
+		{"LFU", func(*rand.Rand) cachesim.Evictor { return cachesim.LFUEvictor{} }},
+		{"Freq/size", func(*rand.Rand) cachesim.Evictor { return cachesim.FreqSizeEvictor{} }},
+	}
+	res.Rows = make([]Table3Row, len(cands))
+	err := parallel.ForSeeded(p.Workers, len(cands), p.Seed, func(i int, r *rand.Rand) error {
+		cand := cands[i]
+		c, err := cachesim.New(cachesim.Config{MaxBytes: budget, SampleSize: 10}, cand.ev(r), stats.Split(r))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		hr, err := cachesim.Replay(c, w, stats.Split(root), p.Requests)
+		hr, err := cachesim.Replay(c, w, stats.Split(r), p.Requests)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: zipf %s: %w", cand.name, err)
+			return fmt.Errorf("experiments: zipf %s: %w", cand.name, err)
 		}
-		res.Rows = append(res.Rows, Table3Row{Policy: cand.name, HitRate: hr})
+		res.Rows[i] = Table3Row{Policy: cand.name, HitRate: hr}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -104,6 +121,11 @@ func (r *ZipfContrastResult) WriteTo(w io.Writer) (int64, error) {
 type P99Params struct {
 	Seed   int64
 	Config lbsim.Config
+	// Workers bounds the candidate scheduler's concurrency: 1 runs the
+	// serial path, <1 selects runtime.NumCPU(). Results are identical for
+	// every value — each candidate's policy RNG and online deployment seed
+	// derive from a (seed, index) substream.
+	Workers int
 }
 
 // DefaultP99Params uses the Fig. 5 setup.
@@ -137,27 +159,36 @@ func P99(p P99Params) (*P99Result, error) {
 		return nil, fmt.Errorf("experiments: p99 exploration: %w", err)
 	}
 	res := &P99Result{Params: p}
-	for _, cand := range []struct {
+	cands := []struct {
 		name string
-		pol  core.Policy
+		pol  func(r *rand.Rand) core.Policy
 	}{
-		{"Random", policy.UniformRandom{R: stats.Split(root)}},
-		{"Least loaded", lbsim.LeastLoaded{}},
-		{"Send to 1", policy.Constant{A: 0}},
-	} {
-		est, err := (ope.QuantileIPS{Q: 0.99}).Estimate(cand.pol, logRun.Exploration)
+		{"Random", func(r *rand.Rand) core.Policy { return policy.UniformRandom{R: stats.Split(r)} }},
+		{"Least loaded", func(*rand.Rand) core.Policy { return lbsim.LeastLoaded{} }},
+		{"Send to 1", func(*rand.Rand) core.Policy { return policy.Constant{A: 0} }},
+	}
+	res.Rows = make([]P99Row, len(cands))
+	base := root.Int63()
+	err = parallel.ForSeeded(p.Workers, len(cands), base, func(i int, r *rand.Rand) error {
+		cand := cands[i]
+		pol := cand.pol(r)
+		est, err := (ope.QuantileIPS{Q: 0.99}).Estimate(pol, logRun.Exploration)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: p99 offline %s: %w", cand.name, err)
+			return fmt.Errorf("experiments: p99 offline %s: %w", cand.name, err)
 		}
-		online, err := lbsim.Run(p.Config, cand.pol, root.Int63(), false)
+		online, err := lbsim.Run(p.Config, pol, r.Int63(), false)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: p99 online %s: %w", cand.name, err)
+			return fmt.Errorf("experiments: p99 online %s: %w", cand.name, err)
 		}
-		res.Rows = append(res.Rows, P99Row{
+		res.Rows[i] = P99Row{
 			Policy:     cand.name,
 			OfflineP99: est.Value,
 			Online:     online.P99Latency,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

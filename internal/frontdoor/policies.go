@@ -7,6 +7,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/lbsim"
 	"repro/internal/learn"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -101,6 +102,14 @@ func RunWithPolicies(cfg Config, edge core.Policy, clusters []core.Policy, seed 
 // a shared linear latency model per level, played greedily (argmin). This
 // is the optimization step of the methodology applied hierarchically.
 func TrainHierarchical(res *Result, numEndpoints int) (edge core.Policy, clusters []core.Policy, err error) {
+	return TrainHierarchicalParallel(res, numEndpoints, 1)
+}
+
+// TrainHierarchicalParallel is TrainHierarchical with the per-endpoint
+// cluster-model fits running on the deterministic scheduler: each fit is a
+// pure function of its endpoint's data, so the trained policies are
+// identical for every worker count (1 = serial, <1 = runtime.NumCPU()).
+func TrainHierarchicalParallel(res *Result, numEndpoints, workers int) (edge core.Policy, clusters []core.Policy, err error) {
 	if res == nil || len(res.EdgeData) == 0 {
 		return nil, nil, core.ErrNoData
 	}
@@ -116,17 +125,21 @@ func TrainHierarchical(res *Result, numEndpoints int) (edge core.Policy, cluster
 		d := res.ClusterData[i]
 		byEndpoint[d.Tag] = append(byEndpoint[d.Tag], d)
 	}
-	for ei := 0; ei < numEndpoints; ei++ {
+	err = parallel.For(workers, numEndpoints, func(ei int) error {
 		tag := fmt.Sprintf("ep%d", ei)
 		ds := byEndpoint[tag]
 		if len(ds) == 0 {
-			return nil, nil, fmt.Errorf("frontdoor: no cluster data for endpoint %d", ei)
+			return fmt.Errorf("frontdoor: no cluster data for endpoint %d", ei)
 		}
 		m, err := learn.FitRewardModel(ds, learn.FitOptions{Lambda: 1e-4})
 		if err != nil {
-			return nil, nil, fmt.Errorf("frontdoor: cluster %d model: %w", ei, err)
+			return fmt.Errorf("frontdoor: cluster %d model: %w", ei, err)
 		}
 		clusters[ei] = m.GreedyPolicy(true)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return edge, clusters, nil
 }

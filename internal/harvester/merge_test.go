@@ -1,0 +1,92 @@
+package harvester
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// TestMergeOrderInsensitive is the property test backing the parallel
+// scheduler's sharded-IPS reduction: folding K per-shard estimators into
+// one must give the same snapshot regardless of the order the shards are
+// merged in. N and match counts are integer sums, so they must be exact;
+// the floating-point accumulators (mean, stderr) see a different summation
+// order per permutation, so they get a tight relative tolerance.
+func TestMergeOrderInsensitive(t *testing.T) {
+	r := stats.NewRand(41)
+	const shards = 7
+	pol := policy.Constant{A: 2}
+
+	// Build one dataset per shard, sizes deliberately ragged.
+	data := make([]core.Dataset, shards)
+	for s := range data {
+		n := 50 + r.Intn(200)
+		ds := make(core.Dataset, n)
+		for i := range ds {
+			ds[i] = core.Datapoint{
+				Context:    core.Context{Features: core.Vector{r.Float64()}, NumActions: 5},
+				Action:     core.Action(r.Intn(5)),
+				Reward:     r.Float64(),
+				Propensity: 0.2,
+			}
+		}
+		data[s] = ds
+	}
+	fold := func(ds core.Dataset) *IncrementalEstimator {
+		ie, err := NewIncrementalEstimator(pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range ds {
+			if err := ie.Add(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ie
+	}
+	mergeInOrder := func(order []int) Snapshot {
+		acc := fold(data[order[0]])
+		for _, s := range order[1:] {
+			if err := acc.Merge(fold(data[s])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return acc.Snapshot()
+	}
+
+	identity := make([]int, shards)
+	for i := range identity {
+		identity[i] = i
+	}
+	ref := mergeInOrder(identity)
+	if ref.N == 0 {
+		t.Fatal("reference snapshot folded nothing")
+	}
+
+	shuffler := stats.NewRand(42)
+	for trial := 0; trial < 20; trial++ {
+		order := append([]int(nil), identity...)
+		shuffler.Shuffle(len(order), func(i, j int) {
+			order[i], order[j] = order[j], order[i]
+		})
+		got := mergeInOrder(order)
+		if got.N != ref.N || got.MatchRate != ref.MatchRate {
+			t.Fatalf("order %v: counts differ: %+v vs %+v", order, got, ref)
+		}
+		if relDiff(got.Mean, ref.Mean) > 1e-9 {
+			t.Errorf("order %v: mean %v vs %v", order, got.Mean, ref.Mean)
+		}
+		if relDiff(got.StdErr, ref.StdErr) > 1e-9 {
+			t.Errorf("order %v: stderr %v vs %v", order, got.StdErr, ref.StdErr)
+		}
+	}
+}
+
+// relDiff is |a-b| scaled by the larger magnitude (absolute below 1).
+func relDiff(a, b float64) float64 {
+	scale := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+	return math.Abs(a-b) / scale
+}

@@ -106,6 +106,13 @@ func TestRawRandApprovedPackage(t *testing.T) {
 	runGolden(t, "rawrand_approved", "repro/internal/stats", RawRand)
 }
 
+// TestRawRandParallelPackage covers the second approved package, the
+// deterministic replicate scheduler: rand.New passes under
+// repro/internal/parallel, global-source calls do not.
+func TestRawRandParallelPackage(t *testing.T) {
+	runGolden(t, "rawrand_parallel", "repro/internal/parallel", RawRand)
+}
+
 func TestPropDivGolden(t *testing.T) {
 	runGolden(t, "propdiv", "repro/internal/fixture", PropDiv)
 }

@@ -5,11 +5,14 @@ import (
 )
 
 // rawrandApproved lists the packages allowed to construct math/rand
-// generators directly: the seeded RNG plumbing every experiment threads.
-// Everywhere else, rand.New hides a seed from the logs and breaks
-// paired-seed reproducibility.
+// generators directly: the seeded RNG plumbing every experiment threads,
+// and the deterministic replicate scheduler, which materializes one
+// generator per (rootSeed, replicateIndex) substream — seed-threaded by
+// construction. Everywhere else, rand.New hides a seed from the logs and
+// breaks paired-seed reproducibility.
 var rawrandApproved = map[string]bool{
-	"repro/internal/stats": true,
+	"repro/internal/stats":    true,
+	"repro/internal/parallel": true,
 }
 
 // rawrandGlobal lists the math/rand (and math/rand/v2) top-level functions

@@ -1,0 +1,15 @@
+// Package fixture is loaded under the approved import path
+// repro/internal/parallel: the replicate scheduler constructs one
+// generator per (rootSeed, index) substream, so rand.New passes here —
+// but the global source stays banned even inside the scheduler.
+package fixture
+
+import "math/rand"
+
+func substreamRNG(seed int64, index int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(index))) // clean: approved package
+}
+
+func stillGlobal() float64 {
+	return rand.Float64() // want "global source"
+}

@@ -31,6 +31,24 @@ type Selection struct {
 	Separated bool
 }
 
+// DeriveRangeHi returns the default per-datapoint IPS range bound for a
+// dataset: max reward over the minimum logged propensity (for rewards in
+// [0,1] it is 1/ε — the paper's Eq. 1 scale).
+func DeriveRangeHi(data core.Dataset) (float64, error) {
+	if len(data) == 0 {
+		return 0, core.ErrNoData
+	}
+	eps := data.MinPropensity()
+	if !(eps > 0) {
+		return 0, fmt.Errorf("ope: cannot derive range: min propensity %v", eps)
+	}
+	_, hi := data.RewardRange()
+	if hi <= 0 {
+		hi = 1
+	}
+	return hi / eps, nil
+}
+
 // SelectBest evaluates every candidate policy on the same exploration data
 // — the core capability Fig. 1 quantifies: one log, K policies — and
 // returns per-policy estimates with simultaneous 1-delta confidence
@@ -46,27 +64,17 @@ func SelectBest(est Estimator, policies []core.Policy, data core.Dataset, rangeH
 	if len(data) == 0 {
 		return nil, core.ErrNoData
 	}
-	if delta <= 0 || delta >= 1 {
-		return nil, fmt.Errorf("ope: delta %v out of (0,1)", delta)
-	}
 	if est == nil {
 		est = IPS{}
 	}
 	if rangeHi <= 0 {
-		eps := data.MinPropensity()
-		if !(eps > 0) {
-			return nil, fmt.Errorf("ope: cannot derive range: min propensity %v", eps)
+		var err error
+		rangeHi, err = DeriveRangeHi(data)
+		if err != nil {
+			return nil, err
 		}
-		_, hi := data.RewardRange()
-		if hi <= 0 {
-			hi = 1
-		}
-		rangeHi = hi / eps
 	}
-	perPolicyDelta := delta / float64(len(policies)) // union bound
-
-	sel := &Selection{Scores: make([]Scored, len(policies))}
-	bestIdx := -1
+	ests := make([]Estimate, len(policies))
 	for i, p := range policies {
 		if p == nil {
 			return nil, fmt.Errorf("ope: candidate %d is nil", i)
@@ -75,6 +83,32 @@ func SelectBest(est Estimator, policies []core.Policy, data core.Dataset, rangeH
 		if err != nil {
 			return nil, fmt.Errorf("ope: candidate %d: %w", i, err)
 		}
+		ests[i] = e
+	}
+	return SelectFromEstimates(ests, rangeHi, delta, minimize)
+}
+
+// SelectFromEstimates performs the selection step of SelectBest on
+// already-computed per-candidate estimates (in candidate order): it attaches
+// simultaneous 1-delta confidence intervals via the union bound and picks
+// the winner by confidence bound. Callers that fan the Estimate calls out
+// across workers (cmd/evalpolicy does) reduce through this so the selection
+// itself stays serial and deterministic in candidate order.
+func SelectFromEstimates(ests []Estimate, rangeHi, delta float64, minimize bool) (*Selection, error) {
+	if len(ests) == 0 {
+		return nil, fmt.Errorf("ope: no candidate estimates")
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("ope: delta %v out of (0,1)", delta)
+	}
+	if rangeHi <= 0 {
+		return nil, fmt.Errorf("ope: rangeHi %v must be positive", rangeHi)
+	}
+	perPolicyDelta := delta / float64(len(ests)) // union bound
+
+	sel := &Selection{Scores: make([]Scored, len(ests))}
+	bestIdx := -1
+	for i, e := range ests {
 		iv := HighConfidenceInterval(e, rangeHi, perPolicyDelta)
 		sel.Scores[i] = Scored{Index: i, Estimate: e, Interval: iv}
 		if bestIdx == -1 {

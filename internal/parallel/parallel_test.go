@@ -1,0 +1,192 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ope"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+func TestResolve(t *testing.T) {
+	if Resolve(1) != 1 || Resolve(7) != 7 {
+		t.Error("explicit worker counts must pass through")
+	}
+	if Resolve(0) < 1 || Resolve(-3) < 1 {
+		t.Error("non-positive workers must resolve to at least one")
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		hits := make([]int, 100)
+		if err := For(workers, len(hits), func(i int) error {
+			hits[i]++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+	if err := For(4, 0, func(int) error { t.Error("n=0 must not run tasks"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := For(workers, 50, func(i int) error {
+			if i == 7 || i == 31 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 7 failed" {
+			t.Errorf("workers=%d: err = %v, want the lowest failing index", workers, err)
+		}
+	}
+}
+
+// TestForSeededWorkerInvariance pins the scheduler's core guarantee: the
+// values produced at every index are identical for any worker count.
+func TestForSeededWorkerInvariance(t *testing.T) {
+	draw := func(workers int) []int64 {
+		vals := make([]int64, 200)
+		if err := ForSeeded(workers, len(vals), 42, func(i int, r *rand.Rand) error {
+			vals[i] = r.Int63()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	serial := draw(1)
+	for _, workers := range []int{2, 4, 16} {
+		if got := draw(workers); !reflect.DeepEqual(serial, got) {
+			t.Errorf("workers=%d produced different replicate streams than serial", workers)
+		}
+	}
+}
+
+// TestForSeededReplicateIndependence is the regression test for the bug
+// class the scheduler removed from the experiment runners: replicates that
+// draw from one shared stream (fig3's old simR, candidates splitting a
+// shared root) make replicate k's randomness depend on replicates 0..k-1.
+// With substreams, replicate i's draws are invariant to how many other
+// replicates the loop runs.
+func TestForSeededReplicateIndependence(t *testing.T) {
+	draw := func(n int) []int64 {
+		vals := make([]int64, n)
+		if err := ForSeeded(4, n, 7, func(i int, r *rand.Rand) error {
+			vals[i] = r.Int63()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	short, long := draw(3), draw(100)
+	if !reflect.DeepEqual(short, long[:3]) {
+		t.Error("replicate streams depend on the loop length — substream derivation broken")
+	}
+}
+
+func TestForSeededMatchesSubstream(t *testing.T) {
+	var got int64
+	if err := ForSeeded(1, 3, 99, func(i int, r *rand.Rand) error {
+		if i == 2 {
+			got = r.Int63()
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := stats.Substream(99, 2).Int63(); got != want {
+		t.Errorf("ForSeeded RNG diverges from stats.Substream: %d vs %d", got, want)
+	}
+}
+
+func TestDo(t *testing.T) {
+	a, b := 0, 0
+	if err := Do(2, func() error { a = 1; return nil }, func() error { b = 2; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if a != 1 || b != 2 {
+		t.Errorf("tasks did not run: a=%d b=%d", a, b)
+	}
+	if err := Do(2, func() error { return nil }, func() error { return fmt.Errorf("boom") }); err == nil {
+		t.Error("Do must propagate task errors")
+	}
+}
+
+// shardedDataset builds exploration data spanning several shards.
+func shardedDataset(n int) core.Dataset {
+	r := stats.NewRand(3)
+	ds := make(core.Dataset, n)
+	for i := range ds {
+		ds[i] = core.Datapoint{
+			Context:    core.Context{Features: core.Vector{r.Float64()}, NumActions: 4},
+			Action:     core.Action(r.Intn(4)),
+			Reward:     r.Float64(),
+			Propensity: 0.25,
+		}
+	}
+	return ds
+}
+
+func TestShardedIPSWorkerInvariance(t *testing.T) {
+	ds := shardedDataset(3*ipsShardSize + 517)
+	pol := policy.Constant{A: 1}
+	serial, err := ShardedIPS(1, pol, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		snap, err := ShardedIPS(workers, pol, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap != serial {
+			t.Errorf("workers=%d snapshot %+v differs from serial %+v", workers, snap, serial)
+		}
+	}
+}
+
+func TestShardedIPSAgreesWithOPE(t *testing.T) {
+	ds := shardedDataset(2*ipsShardSize + 99)
+	pol := policy.Constant{A: 1}
+	snap, err := ShardedIPS(4, pol, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := (ope.IPS{}).Estimate(pol, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.N != len(ds) {
+		t.Errorf("snapshot folded %d of %d datapoints", snap.N, len(ds))
+	}
+	if math.Abs(snap.Mean-est.Value) > 1e-9 {
+		t.Errorf("sharded mean %v vs ope ips %v", snap.Mean, est.Value)
+	}
+}
+
+func TestShardedIPSErrors(t *testing.T) {
+	if _, err := ShardedIPS(2, policy.Constant{A: 0}, nil); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	bad := shardedDataset(10)
+	bad[3].Propensity = 0
+	if _, err := ShardedIPS(2, policy.Constant{A: 0}, bad); err == nil {
+		t.Error("non-positive propensity should fail")
+	}
+}

@@ -19,6 +19,35 @@ func Split(parent *rand.Rand) *rand.Rand {
 	return rand.New(rand.NewSource(parent.Int63()))
 }
 
+// SubstreamSeed derives the seed of replicate index's RNG substream from a
+// root seed. Unlike Split, which consumes from a parent stream (so replicate
+// k's stream depends on how much replicates 0..k-1 drew), the derivation is
+// a pure function of (root, index): the same pair always yields the same
+// seed, no matter which goroutine computes it or in what order — the
+// property the deterministic parallel replicate scheduler rests on.
+//
+// The mix is SplitMix64-style. Distinct indices are guaranteed distinct
+// seeds for a fixed root: index is scaled by an odd constant (injective mod
+// 2^64) and mix64 is a bijection, so the composition cannot collide.
+func SubstreamSeed(root, index int64) int64 {
+	h := mix64(uint64(root) ^ 0x9E3779B97F4A7C15)
+	return int64(mix64(h ^ (uint64(index)*0xD1B54A32D192ED03 + 0x8CB92BA72F3D8DD7)))
+}
+
+// mix64 is the SplitMix64 finalizer: a bijection on uint64 with strong
+// avalanche, so consecutive indices land on statistically unrelated seeds.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Substream returns the seeded RNG of replicate index under the given root
+// seed: NewRand(SubstreamSeed(root, index)).
+func Substream(root, index int64) *rand.Rand {
+	return NewRand(SubstreamSeed(root, index))
+}
+
 // Bernoulli returns true with probability p.
 func Bernoulli(r *rand.Rand, p float64) bool {
 	if p <= 0 {

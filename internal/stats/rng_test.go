@@ -29,6 +29,60 @@ func TestSplitIndependentStreams(t *testing.T) {
 	}
 }
 
+func TestSubstreamPure(t *testing.T) {
+	// Same (root, index) → same seed and same stream prefix, regardless of
+	// any other derivations in between.
+	s1 := SubstreamSeed(42, 17)
+	_ = SubstreamSeed(42, 18)
+	_ = SubstreamSeed(99, 17)
+	if s2 := SubstreamSeed(42, 17); s1 != s2 {
+		t.Fatalf("SubstreamSeed not pure: %d vs %d", s1, s2)
+	}
+	a, b := Substream(42, 17), Substream(42, 17)
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (root, index) should give same stream")
+		}
+	}
+}
+
+func TestSubstreamSeedsDistinct(t *testing.T) {
+	// Within one root, every replicate index gets its own seed; and the
+	// same index under nearby roots must not coincide either.
+	seen := map[int64]int64{}
+	for idx := int64(0); idx < 10000; idx++ {
+		s := SubstreamSeed(1, idx)
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("indices %d and %d collide on seed %d", prev, idx, s)
+		}
+		seen[s] = idx
+	}
+	for root := int64(0); root < 100; root++ {
+		if root == 1 {
+			continue
+		}
+		s := SubstreamSeed(root, 5)
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("root %d index 5 collides with root 1 index %d", root, prev)
+		}
+	}
+}
+
+func TestSubstreamIndependentStreams(t *testing.T) {
+	// Adjacent indices must look unrelated (the mix64 avalanche): their
+	// streams should rarely agree value-for-value.
+	c1, c2 := Substream(7, 0), Substream(7, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Int63() == c2.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("substreams look identical (%d/100 collisions)", same)
+	}
+}
+
 func TestBernoulliEdges(t *testing.T) {
 	r := NewRand(1)
 	for i := 0; i < 50; i++ {
