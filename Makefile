@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-parallel experiments fuzz harvestd-demo clean
+.PHONY: all build vet lint test race bench bench-parallel experiments fuzz harvestd-demo trace-demo clean
 
 all: build vet lint test
 
@@ -47,6 +47,13 @@ harvestd-demo:
 	$(GO) run ./cmd/harvestd -nginx /tmp/harvestd-demo.log -follow \
 		-policies uniform,leastloaded,constant:0 \
 		-checkpoint /tmp/harvestd-demo.ckpt
+
+# Trace a quick fig3 run and validate/summarize the JSONL span trace:
+# tracecat exits non-zero unless every line parses, IDs are unique, and
+# every parent reference resolves.
+trace-demo:
+	$(GO) run ./cmd/harvest -quick -workers 2 -trace /tmp/harvest-fig3-trace.jsonl fig3
+	$(GO) run ./cmd/tracecat /tmp/harvest-fig3-trace.jsonl
 
 # Short fuzz pass over the wire-format parsers.
 fuzz:

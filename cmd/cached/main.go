@@ -5,34 +5,50 @@
 // Usage:
 //
 //	cached [-addr HOST:PORT] [-maxbytes N] [-samples K]
-//	       [-policy random|lru|lfu|freqsize]
+//	       [-policy random|lru|lfu|freqsize] [-metrics-addr HOST:PORT]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"repro/internal/cachesim"
+	"repro/internal/obs"
 	"repro/internal/resp"
 	"repro/internal/stats"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "cached:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	addr := flag.String("addr", "127.0.0.1:6399", "listen address")
-	maxBytes := flag.Int64("maxbytes", 1<<20, "cache byte budget")
-	samples := flag.Int("samples", 5, "eviction candidates sampled per decision (Redis maxmemory-samples)")
-	polName := flag.String("policy", "random", "eviction policy: random|lru|lfu|freqsize")
-	seed := flag.Int64("seed", 1, "RNG seed")
-	flag.Parse()
+// run wires flags → cache → RESP server and serves until ctx is cancelled.
+// When ready is non-nil the bound RESP address is sent on it after startup —
+// the hook tests use to drive a full server lifecycle in-process.
+func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("cached", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:6399", "listen address")
+	maxBytes := fs.Int64("maxbytes", 1<<20, "cache byte budget")
+	samples := fs.Int("samples", 5, "eviction candidates sampled per decision (Redis maxmemory-samples)")
+	polName := fs.String("policy", "random", "eviction policy: random|lru|lfu|freqsize")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	metricsAddr := fs.String("metrics-addr", "", "Prometheus /metrics listen address (empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	r := stats.NewRand(*seed)
 	var ev cachesim.Evictor
@@ -67,11 +83,26 @@ func run() error {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("cached (%s eviction, %d bytes, %d samples) listening on %s\n",
-		*polName, *maxBytes, *samples, bound)
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
-	<-stop
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		srv.RegisterMetrics(reg)
+		obs.RegisterGoRuntime(reg)
+		mux := obs.MetricsMux(reg)
+		ms, err := obs.ServeMux(*metricsAddr, mux)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = ms.Close() }()
+		fmt.Fprintf(stdout, "cached: metrics on http://%s/metrics\n", ms.Addr())
+	}
+
+	fmt.Fprintf(stdout, "cached (%s eviction, %d bytes, %d samples) listening on %s\n",
+		*polName, *maxBytes, *samples, bound)
+	if ready != nil {
+		ready <- bound.String()
+	}
+
+	<-ctx.Done()
 	return nil
 }

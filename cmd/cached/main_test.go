@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resp"
+)
+
+// syncBuffer makes run's stdout writer safe to read while the daemon may
+// still be printing from its own goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startRun launches run() as main would, returning the bound RESP address,
+// the stdout buffer, and the exit-error channel.
+func startRun(t *testing.T, ctx context.Context, args []string) (string, *syncBuffer, <-chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	out := &syncBuffer{}
+	go func() { errc <- run(ctx, args, out, ready) }()
+	select {
+	case addr := <-ready:
+		return addr, out, errc
+	case err := <-errc:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for startup")
+	}
+	return "", nil, nil
+}
+
+// metricsURL extracts the metrics base printed at startup.
+func metricsURL(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	for _, line := range strings.Split(out.String(), "\n") {
+		if i := strings.Index(line, "metrics on "); i >= 0 {
+			return strings.TrimSpace(line[i+len("metrics on "):])
+		}
+	}
+	t.Fatalf("no metrics line in output:\n%s", out.String())
+	return ""
+}
+
+// TestRunLifecycleWithMetrics drives a full server lifecycle: serve RESP
+// traffic, scrape /metrics on the side listener, shut down on cancel.
+func TestRunLifecycleWithMetrics(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	addr, out, errc := startRun(t, ctx, []string{
+		"-addr", "127.0.0.1:0", "-policy", "lru", "-metrics-addr", "127.0.0.1:0",
+	})
+
+	c, err := resp.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("k1", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Get("k1"); err != nil || !ok || v != "v1" {
+		t.Fatalf("GET k1 = %q, %v, %v", v, ok, err)
+	}
+	if _, _, err := c.Get("absent"); err != nil {
+		t.Fatal(err)
+	}
+
+	httpResp, err := http.Get(metricsURL(t, out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(body)
+	for _, want := range []string{
+		"# TYPE cached_commands_total counter",
+		"cached_keyspace_hits_total 1",
+		"cached_keyspace_misses_total 1",
+		"cached_items 1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("metrics missing %q:\n%s", want, got)
+		}
+	}
+
+	// Close the client before cancelling: the server drains in-flight
+	// connections on shutdown, so a held-open connection would block exit.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("run exited: %v", err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	ctx := context.Background()
+	for _, args := range [][]string{
+		{"-policy", "martian"},
+		{"-addr", "256.0.0.1:bad"},
+		{"positional"},
+	} {
+		if err := run(ctx, args, io.Discard, nil); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	harvest [-seed N] [-quick] [-workers N] <experiment>
+//	harvest [-seed N] [-quick] [-workers N] [-trace PATH] <experiment>
 //
 // where <experiment> is one of:
 //
@@ -30,6 +30,10 @@
 // -workers bounds the deterministic replicate scheduler: 1 forces the
 // legacy serial path, 0 (the default) uses runtime.NumCPU(). Output is
 // byte-identical for every worker count at the same seed.
+//
+// -trace PATH writes a JSONL span trace: one "experiment/<name>" span per
+// experiment run, with one "replicates" child span per scheduler batch, so
+// slow replicate batches are attributable. Tracing never changes results.
 package main
 
 import (
@@ -39,14 +43,17 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "root RNG seed (experiments are deterministic given a seed)")
 	quick := flag.Bool("quick", false, "reduce sample sizes for a fast smoke run")
 	workers := flag.Int("workers", 0, "replicate scheduler concurrency (0 = NumCPU, 1 = serial; output identical for any value)")
+	tracePath := flag.String("trace", "", "write a JSONL span trace to this file (empty disables)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: harvest [-seed N] [-quick] [-workers N] fig1|fig2|fig3|fig4|table2|table3|fig6|eq1|loop|drift|rollout|zipf|p99|longterm|ablate|all\n")
+		fmt.Fprintf(os.Stderr, "usage: harvest [-seed N] [-quick] [-workers N] [-trace PATH] fig1|fig2|fig3|fig4|table2|table3|fig6|eq1|loop|drift|rollout|zipf|p99|longterm|ablate|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -54,14 +61,45 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, flag.Arg(0), *seed, *quick, *workers); err != nil {
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "harvest:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f, nil)
+	}
+	if err := run(os.Stdout, flag.Arg(0), *seed, *quick, *workers, tracer); err != nil {
 		fmt.Fprintln(os.Stderr, "harvest:", err)
+		os.Exit(1)
+	}
+	if err := tracer.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "harvest: trace:", err)
 		os.Exit(1)
 	}
 }
 
-// run dispatches one experiment (or all) to w.
-func run(w io.Writer, name string, seed int64, quick bool, workers int) error {
+// run dispatches one experiment (or all) to w, tracing each experiment as a
+// root span when tr is non-nil (nil disables tracing entirely).
+func run(w io.Writer, name string, seed int64, quick bool, workers int, tr *obs.Tracer) error {
+	if name == "all" {
+		for _, sub := range []string{"fig1", "fig2", "fig3", "fig4", "table2", "table3", "fig6", "eq1", "loop", "drift", "rollout", "zipf", "p99", "longterm", "ablate"} {
+			if err := run(w, sub, seed, quick, workers, tr); err != nil {
+				return fmt.Errorf("%s: %w", sub, err)
+			}
+		}
+		return nil
+	}
+
+	sp := tr.Start("experiment/"+name, nil, map[string]any{
+		"seed": seed, "quick": quick, "workers": workers,
+	})
+	defer sp.End()
+	restore := parallel.SetTrace(tr, sp)
+	defer restore()
+
 	type writerTo interface {
 		WriteTo(io.Writer) (int64, error)
 	}
@@ -198,13 +236,6 @@ func run(w io.Writer, name string, seed int64, quick bool, workers int) error {
 			return err
 		}
 		return exec(experiments.AblationSampleWidth(seed, requests, []int{2, 3, 5, 10, 20}, workers))
-	case "all":
-		for _, sub := range []string{"fig1", "fig2", "fig3", "fig4", "table2", "table3", "fig6", "eq1", "loop", "drift", "rollout", "zipf", "p99", "longterm", "ablate"} {
-			if err := run(w, sub, seed, quick, workers); err != nil {
-				return fmt.Errorf("%s: %w", sub, err)
-			}
-		}
-		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

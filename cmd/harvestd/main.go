@@ -9,7 +9,8 @@
 //	harvestd [-addr HOST:PORT] [-nginx PATH,...] [-jsonl PATH,...]
 //	         [-cachelog PATH,...] [-follow] [-strict] [-types N] [-horizon F]
 //	         [-policies SPEC] [-workers N] [-queue N] [-clip F] [-delta F]
-//	         [-checkpoint PATH] [-checkpoint-interval D]
+//	         [-floor F] [-checkpoint PATH] [-checkpoint-interval D]
+//	         [-debug-addr HOST:PORT] [-trace PATH]
 //
 // A policy SPEC is a comma-separated list of candidates to evaluate:
 // "uniform" (uniform random), "leastloaded" (least-connections), and
@@ -35,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harvestd"
 	"repro/internal/lbsim"
+	"repro/internal/obs"
 	"repro/internal/policy"
 )
 
@@ -67,8 +69,12 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	queue := fs.Int("queue", 4096, "ingestion queue capacity")
 	clip := fs.Float64("clip", 10, "importance-weight cap for clipped IPS (<=0 disables)")
 	delta := fs.Float64("delta", 0.05, "default interval failure probability")
+	floor := fs.Float64("floor", harvestd.DefaultPropensityFloor,
+		"propensity floor for estimator-health diagnostics (<=0 disables)")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file (empty disables)")
 	ckptEvery := fs.Duration("checkpoint-interval", 30*time.Second, "time between checkpoints")
+	debugAddr := fs.String("debug-addr", "", "pprof/expvar listen address (empty disables)")
+	tracePath := fs.String("trace", "", "write JSONL pipeline trace to this file (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,6 +97,21 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		return err
 	}
 
+	floorVal := *floor
+	if floorVal <= 0 {
+		floorVal = -1 // negative Config value disables floor accounting
+	}
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		tracer = obs.NewTracer(f, nil)
+	}
+
 	d, err := harvestd.New(harvestd.Config{
 		Workers:            nWorkers,
 		QueueSize:          *queue,
@@ -99,12 +120,23 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		Addr:               *addr,
 		CheckpointPath:     *checkpoint,
 		CheckpointInterval: *ckptEvery,
+		PropensityFloor:    floorVal,
+		Tracer:             tracer,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(stdout, format+"\n", a...)
 		},
 	}, reg)
 	if err != nil {
 		return err
+	}
+
+	debug, err := obs.StartDebug(*debugAddr)
+	if err != nil {
+		return err
+	}
+	if debug != nil {
+		defer func() { _ = debug.Close() }()
+		fmt.Fprintf(stdout, "harvestd: debug (pprof/expvar) on http://%s/debug/pprof/\n", debug.Addr())
 	}
 	for _, p := range splitPaths(*nginx) {
 		d.AddSource(&harvestd.NginxSource{

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -164,6 +165,99 @@ func TestRunBadFlags(t *testing.T) {
 			t.Errorf("run(%v) should fail", args)
 		}
 	}
+}
+
+// TestRunDebugHandlersGated pins the -debug-addr contract: with the flag
+// unset (the default) the API server exposes no pprof/expvar handlers; with
+// it set they appear on their own listener, never on the API address.
+func TestRunDebugHandlersGated(t *testing.T) {
+	status := func(url string) int {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Off by default: the debug paths 404 on the API server.
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	url1, errc1 := startRun(t, ctx1, []string{
+		"-addr", "127.0.0.1:0", "-policies", "constant:0",
+	})
+	for _, p := range []string{"/debug/pprof/", "/debug/vars"} {
+		if code := status(url1 + p); code != http.StatusNotFound {
+			t.Errorf("GET %s without -debug-addr = %d, want 404", p, code)
+		}
+	}
+	cancel1()
+	if err := <-errc1; err != nil {
+		t.Fatalf("run exited: %v", err)
+	}
+
+	// Opted in: the handlers serve on the debug listener, and the API
+	// server still refuses them.
+	var out syncBuffer
+	ready := make(chan string, 1)
+	errc2 := make(chan error, 1)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		errc2 <- run(ctx2, []string{
+			"-addr", "127.0.0.1:0", "-policies", "constant:0",
+			"-debug-addr", "127.0.0.1:0",
+		}, &out, ready)
+	}()
+	var url2 string
+	select {
+	case url2 = <-ready:
+	case err := <-errc2:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for startup")
+	}
+	var debugBase string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.Contains(line, "debug (pprof/expvar)") {
+			i := strings.Index(line, "http://")
+			debugBase = strings.TrimSuffix(strings.TrimSpace(line[i:]), "/debug/pprof/")
+		}
+	}
+	if debugBase == "" {
+		t.Fatalf("no debug line in output:\n%s", out.String())
+	}
+	for _, p := range []string{"/debug/pprof/", "/debug/vars"} {
+		if code := status(debugBase + p); code != http.StatusOK {
+			t.Errorf("GET %s on debug listener = %d, want 200", p, code)
+		}
+		if code := status(url2 + p); code != http.StatusNotFound {
+			t.Errorf("GET %s on API server = %d, want 404", p, code)
+		}
+	}
+	cancel2()
+	if err := <-errc2; err != nil {
+		t.Fatalf("run exited: %v", err)
+	}
+}
+
+// syncBuffer makes run's stdout writer safe to read while daemon goroutines
+// may still be logging to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 func TestRunMissingSourceStillServes(t *testing.T) {

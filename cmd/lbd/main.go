@@ -6,7 +6,8 @@
 // Usage:
 //
 //	lbd [-backends N] [-policy random|leastloaded|sendto0] [-log PATH]
-//	    [-requests N] [-rate R]
+//	    [-requests N] [-rate R] [-metrics-addr HOST:PORT]
+//	    [-debug-addr HOST:PORT]
 //
 // With -requests > 0 the command generates that much load itself, prints
 // the measured latency, and exits; with -requests 0 it serves until
@@ -14,36 +15,54 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/lbsim"
 	"repro/internal/netlb"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/stats"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "lbd:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	numBackends := flag.Int("backends", 2, "number of backend servers")
-	polName := flag.String("policy", "random", "routing policy: random|leastloaded|sendto0")
-	logPath := flag.String("log", "access.log", "access log path (empty disables)")
-	requests := flag.Int("requests", 2000, "requests to self-generate (0 = serve until interrupted)")
-	rate := flag.Float64("rate", 200, "self-generated request rate per second")
-	base := flag.Duration("base", 2*time.Millisecond, "backend 0 base service time (each later backend +50%)")
-	slope := flag.Duration("slope", 500*time.Microsecond, "added service time per in-flight request")
-	seed := flag.Int64("seed", 1, "RNG seed")
-	flag.Parse()
+// run wires flags → backends → proxy, then either self-generates load or
+// serves until ctx is cancelled. When ready is non-nil the proxy base URL
+// is sent on it after startup — the hook tests use to drive the cluster
+// in-process.
+func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("lbd", flag.ContinueOnError)
+	numBackends := fs.Int("backends", 2, "number of backend servers")
+	polName := fs.String("policy", "random", "routing policy: random|leastloaded|sendto0")
+	logPath := fs.String("log", "access.log", "access log path (empty disables)")
+	requests := fs.Int("requests", 2000, "requests to self-generate (0 = serve until interrupted)")
+	rate := fs.Float64("rate", 200, "self-generated request rate per second")
+	base := fs.Duration("base", 2*time.Millisecond, "backend 0 base service time (each later backend +50%)")
+	slope := fs.Duration("slope", 500*time.Microsecond, "added service time per in-flight request")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	metricsAddr := fs.String("metrics-addr", "", "Prometheus /metrics listen address (empty disables)")
+	debugAddr := fs.String("debug-addr", "", "pprof/expvar listen address (empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	if *numBackends < 2 {
 		return fmt.Errorf("need at least 2 backends")
@@ -59,7 +78,7 @@ func run() error {
 		defer be.Close()
 		backends[i] = be
 		addrs[i] = be.Addr()
-		fmt.Printf("backend %d at %s (base %v)\n", i, be.Addr(), b)
+		fmt.Fprintf(stdout, "backend %d at %s (base %v)\n", i, be.Addr(), b)
 	}
 
 	var pol core.Policy
@@ -88,17 +107,39 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		proxy.SetMetrics(reg)
+		obs.RegisterGoRuntime(reg)
+		ms, err := obs.ServeMux(*metricsAddr, obs.MetricsMux(reg))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = ms.Close() }()
+		fmt.Fprintf(stdout, "metrics on http://%s/metrics\n", ms.Addr())
+	}
+	debug, err := obs.StartDebug(*debugAddr)
+	if err != nil {
+		return err
+	}
+	if debug != nil {
+		defer func() { _ = debug.Close() }()
+		fmt.Fprintf(stdout, "debug (pprof/expvar) on http://%s/debug/pprof/\n", debug.Addr())
+	}
+
 	addr, err := proxy.Start()
 	if err != nil {
 		return err
 	}
 	defer proxy.Close()
-	fmt.Printf("proxy (%s policy) at http://%s\n", *polName, addr)
+	fmt.Fprintf(stdout, "proxy (%s policy) at http://%s\n", *polName, addr)
+	if ready != nil {
+		ready <- proxy.URL()
+	}
 
 	if *requests <= 0 {
-		stop := make(chan os.Signal, 1)
-		signal.Notify(stop, os.Interrupt)
-		<-stop
+		<-ctx.Done()
 		return nil
 	}
 	res, err := netlb.GenerateLoad(proxy.URL(), *requests, *rate, stats.Split(r))
@@ -109,10 +150,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("completed %d requests (%d errors): mean %v, p99 %v\n",
+	fmt.Fprintf(stdout, "completed %d requests (%d errors): mean %v, p99 %v\n",
 		len(res.Latencies), res.Errors, res.Mean(), p99)
 	if *logPath != "" {
-		fmt.Printf("access log written to %s — harvest it with the harvester package\n", *logPath)
+		fmt.Fprintf(stdout, "access log written to %s — harvest it with the harvester package\n", *logPath)
 	}
 	return nil
 }

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer makes run's stdout writer safe to read while the daemon may
+// still be printing from its own goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startRun launches run() in serve mode, returning the proxy base URL, the
+// stdout buffer, and the exit-error channel.
+func startRun(t *testing.T, ctx context.Context, args []string) (string, *syncBuffer, <-chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	out := &syncBuffer{}
+	go func() { errc <- run(ctx, args, out, ready) }()
+	select {
+	case url := <-ready:
+		return url, out, errc
+	case err := <-errc:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for startup")
+	}
+	return "", nil, nil
+}
+
+// serveURL extracts the http://host:port base printed for a startup line
+// containing marker.
+func serveURL(t *testing.T, out *syncBuffer, marker string) string {
+	t.Helper()
+	for _, line := range strings.Split(out.String(), "\n") {
+		if !strings.Contains(line, marker) {
+			continue
+		}
+		if i := strings.Index(line, "http://"); i >= 0 {
+			return strings.TrimSpace(line[i:])
+		}
+	}
+	t.Fatalf("no %q line in output:\n%s", marker, out.String())
+	return ""
+}
+
+// TestRunSelfLoad is the batch-mode lifecycle: generate load, write the
+// access log, print the latency summary, exit on its own.
+func TestRunSelfLoad(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "access.log")
+	var out syncBuffer
+	err := run(context.Background(), []string{
+		"-backends", "2", "-requests", "40", "-rate", "4000",
+		"-base", "1ms", "-slope", "100us", "-log", logPath,
+	}, &out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "completed 40 requests") {
+		t.Errorf("missing completion line:\n%s", out.String())
+	}
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 40 {
+		t.Errorf("access log has %d lines, want 40", lines)
+	}
+}
+
+// TestRunMetricsNoDebug serves until cancelled with -metrics-addr set and
+// -debug-addr unset: /metrics works, the metrics listener exposes no debug
+// surface, and no debug listener was announced at all.
+func TestRunMetricsNoDebug(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	url, out, errc := startRun(t, ctx, []string{
+		"-backends", "2", "-requests", "0", "-log", "",
+		"-metrics-addr", "127.0.0.1:0",
+	})
+
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(url + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	mURL := serveURL(t, out, "metrics on")
+	resp, err := http.Get(mURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(body)
+	for _, want := range []string{
+		"# TYPE netlb_backend_requests_total counter",
+		"# TYPE netlb_backend_latency_seconds histogram",
+		"go_goroutines",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("metrics missing %q:\n%s", want, got)
+		}
+	}
+
+	// The debug surface must be absent when -debug-addr is unset: nothing
+	// announced it, and the metrics listener serves only /metrics.
+	if strings.Contains(out.String(), "debug (pprof/expvar)") {
+		t.Errorf("debug listener announced without -debug-addr:\n%s", out.String())
+	}
+	base := strings.TrimSuffix(mURL, "/metrics")
+	for _, p := range []string{"/debug/pprof/", "/debug/vars"} {
+		resp, err := http.Get(base + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404 (debug handlers must be absent)", p, resp.StatusCode)
+		}
+	}
+
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("run exited: %v", err)
+	}
+}
+
+// TestRunDebugAddr opts in to the debug surface and checks it serves pprof
+// and expvar on its own listener.
+func TestRunDebugAddr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	_, out, errc := startRun(t, ctx, []string{
+		"-backends", "2", "-requests", "0", "-log", "",
+		"-debug-addr", "127.0.0.1:0",
+	})
+
+	dURL := serveURL(t, out, "debug (pprof/expvar)")
+	base := strings.TrimSuffix(dURL, "/debug/pprof/")
+	for _, p := range []string{"/debug/pprof/", "/debug/vars"} {
+		resp, err := http.Get(base + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", p, resp.StatusCode)
+		}
+	}
+
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("run exited: %v", err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	ctx := context.Background()
+	for _, args := range [][]string{
+		{"-backends", "1"},
+		{"-policy", "martian"},
+		{"positional"},
+	} {
+		if err := run(ctx, args, io.Discard, nil); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

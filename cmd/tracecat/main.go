@@ -1,0 +1,97 @@
+// Command tracecat validates and summarizes a JSONL trace written by the
+// obs tracer (harvestd -trace, harvest -trace). It checks the structural
+// invariants — every line parses, IDs are unique, every parent reference
+// resolves — and prints per-name span counts and durations, so CI can
+// assert a trace is well-formed and a human can see where time went.
+//
+// Usage:
+//
+//	tracecat FILE...
+//
+// Exit status is non-zero if any file fails validation.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecat FILE...")
+		os.Exit(2)
+	}
+	code := 0
+	for _, path := range os.Args[1:] {
+		if err := catFile(os.Stdout, path); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecat: %s: %v\n", path, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func catFile(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := obs.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	return summarize(w, path, recs)
+}
+
+// summarize prints one line per distinct span/event name, sorted, with
+// counts and total duration, then roots and overall bounds.
+func summarize(w io.Writer, path string, recs []obs.Record) error {
+	type agg struct {
+		kind  string
+		count int
+		durUS int64
+	}
+	byName := make(map[string]*agg)
+	spans, events, roots := 0, 0, 0
+	var minStart, maxEnd int64
+	for i, r := range recs {
+		a := byName[r.Name]
+		if a == nil {
+			a = &agg{kind: r.Type}
+			byName[r.Name] = a
+		}
+		a.count++
+		a.durUS += r.DurUS
+		if r.Type == "span" {
+			spans++
+		} else {
+			events++
+		}
+		if r.Parent == 0 {
+			roots++
+		}
+		if end := r.StartUS + r.DurUS; i == 0 || end > maxEnd {
+			maxEnd = end
+		}
+		if i == 0 || r.StartUS < minStart {
+			minStart = r.StartUS
+		}
+	}
+	fmt.Fprintf(w, "%s: %d records (%d spans, %d events, %d roots), %.3fs traced\n",
+		path, len(recs), spans, events, roots, float64(maxEnd-minStart)/1e6)
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := byName[name]
+		fmt.Fprintf(w, "  %-28s %-5s ×%-5d %.3fs\n", name, a.kind, a.count, float64(a.durUS)/1e6)
+	}
+	return nil
+}

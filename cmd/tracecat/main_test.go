@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestTracecatValidTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &obs.FixedClock{T: time.Unix(100, 0)}
+	tr := obs.NewTracer(f, clk)
+	root := tr.Start("experiment/demo", nil, nil)
+	for i := 0; i < 3; i++ {
+		sp := tr.Start("replicates", root, map[string]any{"n": 10})
+		clk.Advance(time.Second)
+		sp.End()
+	}
+	tr.Event("checkpoint", root, nil)
+	root.End()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := catFile(&out, path); err != nil {
+		t.Fatalf("catFile: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"5 records (4 spans, 1 events, 1 roots)",
+		"experiment/demo",
+		"replicates",
+		"×3",
+		"checkpoint",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTracecatRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"garbage.jsonl": "not json\n",
+		"orphan.jsonl":  `{"type":"span","id":1,"parent":99,"name":"x","start_us":0,"dur_us":1}` + "\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := catFile(&out, path); err == nil {
+			t.Errorf("%s: catFile accepted a malformed trace", name)
+		}
+	}
+	if err := catFile(&bytes.Buffer{}, filepath.Join(dir, "absent.jsonl")); err == nil {
+		t.Error("catFile accepted a missing file")
+	}
+}

@@ -72,6 +72,7 @@ func (d *Daemon) Checkpoint() error {
 		return fmt.Errorf("harvestd: publishing checkpoint: %w", err)
 	}
 	d.ctr.checkpoints.Add(1)
+	d.cfg.Tracer.Event("checkpoint", d.root, map[string]any{"folded": ck.Folded})
 	return nil
 }
 

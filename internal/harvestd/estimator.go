@@ -46,23 +46,35 @@ type Accum struct {
 	MaxCTerm float64 `json:"max_cterm"`
 	MinR     float64 `json:"min_r"`
 	MaxR     float64 `json:"max_r"`
+
+	// Estimator-health tallies (absent from pre-observability checkpoints,
+	// which resume with zeros): Clipped counts datapoints whose importance
+	// weight exceeded the clip cap, FloorHits those whose logged propensity
+	// fell below the configured floor — the §4 "estimator error" warning
+	// signs /diagnostics reports.
+	Clipped   int64 `json:"clipped"`
+	FloorHits int64 `json:"floor_hits"`
 }
 
 // Fold adds one datapoint given the candidate's probability pi of the
 // logged action, the logged propensity p > 0, and the reward r. clip <= 0
-// disables clipping (the clipped estimator then coincides with plain IPS).
-// A datapoint with non-positive propensity is dropped: the sources
-// validate upstream, and folding one would poison every running sum with
-// ±Inf.
-func (a *Accum) Fold(pi, p, r, clip float64) {
+// disables clipping (the clipped estimator then coincides with plain IPS);
+// floor <= 0 disables propensity-floor accounting. A datapoint with
+// non-positive propensity is dropped: the sources validate upstream, and
+// folding one would poison every running sum with ±Inf.
+func (a *Accum) Fold(pi, p, r, clip, floor float64) {
 	w, ok := core.ImportanceWeight(pi, p)
 	if !ok {
 		return
+	}
+	if floor > 0 && p < floor {
+		a.FloorHits++
 	}
 	term := w * r
 	cw := w
 	if clip > 0 && cw > clip {
 		cw = clip
+		a.Clipped++
 	}
 	cterm := cw * r
 	if a.N == 0 {
@@ -121,6 +133,8 @@ func (a *Accum) Merge(o *Accum) {
 	a.SumCW += o.SumCW
 	a.SumCWR += o.SumCWR
 	a.SumCWRSq += o.SumCWRSq
+	a.Clipped += o.Clipped
+	a.FloorHits += o.FloorHits
 }
 
 // EstimatorValue is one estimator's view of a policy: point estimate,
@@ -179,6 +193,62 @@ func (a *Accum) Estimate(name string, delta float64) PolicyEstimate {
 		pe.SNIPS.Lo, pe.SNIPS.Hi = normalCI(v, pe.SNIPS.StdErr, delta)
 	}
 	return pe
+}
+
+// PolicyDiagnostics is one policy's estimator-health report: the runtime
+// properties that decide whether the policy's confidence interval can be
+// trusted, derived from the same running sums as the estimates themselves
+// so the two views can never disagree about the data they describe.
+type PolicyDiagnostics struct {
+	Policy    string  `json:"policy"`
+	N         int64   `json:"n"`
+	Matches   int64   `json:"matches"`
+	MatchRate float64 `json:"match_rate"`
+	// ESS is Kish's effective sample size (Σw)²/Σw²: how many "full value"
+	// datapoints the importance-weighted estimate is really built on.
+	// ESSFraction (= ESS/N) near 1 means the candidate stays close to the
+	// logging policy; near 0 means a few huge weights dominate and the
+	// nominal N wildly overstates the evidence.
+	ESS         float64 `json:"ess"`
+	ESSFraction float64 `json:"ess_fraction"`
+	// MeanWeight is Σw/N (≈1 for a well-calibrated candidate/log pair);
+	// MaxWeight is the largest single importance weight folded.
+	MeanWeight float64 `json:"mean_weight"`
+	MaxWeight  float64 `json:"max_weight"`
+	// ClippedN / ClipFraction count datapoints whose weight hit the clip
+	// cap — the bias the clipped-IPS estimate traded for variance.
+	ClippedN     int64   `json:"clipped_n"`
+	ClipFraction float64 `json:"clip_fraction"`
+	// FloorHits / FloorFraction count datapoints logged with a propensity
+	// below the configured floor — the SAYER-style warning that the logging
+	// policy barely explored those actions.
+	FloorHits     int64   `json:"floor_hits"`
+	FloorFraction float64 `json:"floor_fraction"`
+}
+
+// Diagnostics derives the estimator-health view of the accumulator.
+func (a *Accum) Diagnostics(name string) PolicyDiagnostics {
+	d := PolicyDiagnostics{
+		Policy:    name,
+		N:         a.N,
+		Matches:   a.Matches,
+		MaxWeight: a.MaxW,
+		ClippedN:  a.Clipped,
+		FloorHits: a.FloorHits,
+	}
+	if a.N == 0 {
+		return d
+	}
+	nf := float64(a.N)
+	d.MatchRate = float64(a.Matches) / nf
+	d.MeanWeight = a.SumW / nf
+	if a.SumWSq > 0 {
+		d.ESS = a.SumW * a.SumW / a.SumWSq
+	}
+	d.ESSFraction = d.ESS / nf
+	d.ClipFraction = float64(a.Clipped) / nf
+	d.FloorFraction = float64(a.FloorHits) / nf
+	return d
 }
 
 // meanValue builds the EstimatorValue of a plain sample mean from its term

@@ -36,7 +36,7 @@ func foldAll(t *testing.T, ds core.Dataset, pol core.Policy, clip float64) *Accu
 	var acc Accum
 	for i := range ds {
 		pi := core.ActionProb(pol, &ds[i].Context, ds[i].Action)
-		acc.Fold(pi, ds[i].Propensity, ds[i].Reward, clip)
+		acc.Fold(pi, ds[i].Propensity, ds[i].Reward, clip, 0)
 	}
 	return &acc
 }
@@ -85,7 +85,7 @@ func TestAccumMergeEqualsSingleStream(t *testing.T) {
 	shards := make([]Accum, 4)
 	for i := range ds {
 		pi := core.ActionProb(pol, &ds[i].Context, ds[i].Action)
-		shards[i%4].Fold(pi, ds[i].Propensity, ds[i].Reward, 5)
+		shards[i%4].Fold(pi, ds[i].Propensity, ds[i].Reward, 5, 0)
 	}
 	var merged Accum
 	for i := range shards {
@@ -121,7 +121,7 @@ func TestAccumIntervalsContainTruthOnSyntheticData(t *testing.T) {
 		if a == 0 {
 			pi = 1
 		}
-		acc.Fold(pi, 0.5, reward, 0)
+		acc.Fold(pi, 0.5, reward, 0, 0)
 	}
 	pe := acc.Estimate("always-0", 0.05)
 	if !(pe.IPS.Lo <= 1 && 1 <= pe.IPS.Hi) {
@@ -144,13 +144,108 @@ func TestAccumIntervalsContainTruthOnSyntheticData(t *testing.T) {
 	}
 }
 
+// TestAccumDiagnosticsAgreeWithOfflineRecompute folds a skewed dataset and
+// checks every diagnostics field against a direct second pass over the raw
+// weights — the acceptance check that /diagnostics reports the same
+// estimator health an offline audit would compute.
+func TestAccumDiagnosticsAgreeWithOfflineRecompute(t *testing.T) {
+	ds := testDataset(4000, 21)
+	pol := lbsim.LeastLoaded{}
+	const (
+		clip  = 5.0
+		floor = 0.1 // above the 0.05 skewed propensities, so floor hits occur
+	)
+	var acc Accum
+	for i := range ds {
+		pi := core.ActionProb(pol, &ds[i].Context, ds[i].Action)
+		acc.Fold(pi, ds[i].Propensity, ds[i].Reward, clip, floor)
+	}
+	diag := acc.Diagnostics("p")
+
+	// Offline recompute from the raw data.
+	var (
+		n, matches, clipped, floorHits int64
+		sumW, sumWSq, maxW             float64
+	)
+	for i := range ds {
+		pi := core.ActionProb(pol, &ds[i].Context, ds[i].Action)
+		w, ok := core.ImportanceWeight(pi, ds[i].Propensity)
+		if !ok {
+			continue
+		}
+		n++
+		if pi > 0 {
+			matches++
+		}
+		if ds[i].Propensity < floor {
+			floorHits++
+		}
+		if w > clip {
+			clipped++
+		}
+		sumW += w
+		sumWSq += w * w
+		maxW = math.Max(maxW, w)
+	}
+	if n == 0 || clipped == 0 || floorHits == 0 {
+		t.Fatalf("degenerate dataset: n=%d clipped=%d floorHits=%d", n, clipped, floorHits)
+	}
+	ess := sumW * sumW / sumWSq
+	nf := float64(n)
+	if diag.N != n || diag.Matches != matches {
+		t.Errorf("n/matches = %d/%d, want %d/%d", diag.N, diag.Matches, n, matches)
+	}
+	if math.Abs(diag.ESS-ess) > 1e-9 {
+		t.Errorf("ess = %v, want %v", diag.ESS, ess)
+	}
+	if math.Abs(diag.ESSFraction-ess/nf) > 1e-12 {
+		t.Errorf("ess fraction = %v, want %v", diag.ESSFraction, ess/nf)
+	}
+	if diag.MaxWeight != maxW {
+		t.Errorf("max weight = %v, want %v", diag.MaxWeight, maxW)
+	}
+	if math.Abs(diag.MeanWeight-sumW/nf) > 1e-12 {
+		t.Errorf("mean weight = %v, want %v", diag.MeanWeight, sumW/nf)
+	}
+	if diag.ClippedN != clipped || math.Abs(diag.ClipFraction-float64(clipped)/nf) > 1e-12 {
+		t.Errorf("clipped = %d (%v), want %d (%v)",
+			diag.ClippedN, diag.ClipFraction, clipped, float64(clipped)/nf)
+	}
+	if diag.FloorHits != floorHits || math.Abs(diag.FloorFraction-float64(floorHits)/nf) > 1e-12 {
+		t.Errorf("floor hits = %d (%v), want %d (%v)",
+			diag.FloorHits, diag.FloorFraction, floorHits, float64(floorHits)/nf)
+	}
+
+	// Diagnostics must survive sharding exactly (same sums, same merge).
+	shards := make([]Accum, 3)
+	for i := range ds {
+		pi := core.ActionProb(pol, &ds[i].Context, ds[i].Action)
+		shards[i%3].Fold(pi, ds[i].Propensity, ds[i].Reward, clip, floor)
+	}
+	var merged Accum
+	for i := range shards {
+		merged.Merge(&shards[i])
+	}
+	md := merged.Diagnostics("p")
+	if md.ClippedN != diag.ClippedN || md.FloorHits != diag.FloorHits ||
+		math.Abs(md.ESS-diag.ESS) > 1e-9 || md.MaxWeight != diag.MaxWeight {
+		t.Errorf("sharded diagnostics %+v != single-stream %+v", md, diag)
+	}
+
+	var empty Accum
+	ed := empty.Diagnostics("e")
+	if ed.N != 0 || ed.ESS != 0 || ed.ESSFraction != 0 {
+		t.Errorf("empty diagnostics = %+v", ed)
+	}
+}
+
 func TestAccumEmptyAndSingleton(t *testing.T) {
 	var acc Accum
 	pe := acc.Estimate("p", 0.05)
 	if pe.N != 0 || pe.IPS.Value != 0 || pe.IPS.EBOK {
 		t.Errorf("empty estimate = %+v", pe)
 	}
-	acc.Fold(1, 0.5, 3, 0)
+	acc.Fold(1, 0.5, 3, 0, 0)
 	pe = acc.Estimate("p", 0.05)
 	if pe.N != 1 || pe.IPS.Value != 6 {
 		t.Errorf("singleton = %+v", pe)

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Config tunes the daemon. The zero value is usable: defaults fill in.
@@ -50,6 +51,15 @@ type Config struct {
 	CheckpointPath string
 	// CheckpointInterval is the timer between checkpoints. Default 30s.
 	CheckpointInterval time.Duration
+	// PropensityFloor overrides the registry's diagnostics propensity floor
+	// (0 keeps the registry default; negative disables floor accounting).
+	PropensityFloor float64
+	// Clock supplies timestamps for uptime, rates, and trace spans. Default
+	// wall clock; tests inject obs.FixedClock for byte-stable /metrics.
+	Clock obs.Clock
+	// Tracer receives structured spans for the ingest→parse→fold→estimate
+	// pipeline; nil disables tracing.
+	Tracer *obs.Tracer
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -70,6 +80,9 @@ func (c *Config) fillDefaults() {
 	if c.CheckpointInterval <= 0 {
 		c.CheckpointInterval = 30 * time.Second
 	}
+	if c.Clock == nil {
+		c.Clock = obs.WallClock()
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -87,11 +100,13 @@ type counters struct {
 
 // Daemon is one running harvestd instance.
 type Daemon struct {
-	cfg   Config
-	reg   *Registry
-	queue chan core.Datapoint
-	ctr   counters
-	start time.Time
+	cfg    Config
+	reg    *Registry
+	queue  chan core.Datapoint
+	ctr    counters
+	start  time.Time
+	obsReg *obs.Registry
+	root   *obs.Span // pipeline root span (nil without a tracer)
 
 	sources []Source
 
@@ -123,15 +138,28 @@ func New(cfg Config, reg *Registry) (*Daemon, error) {
 		return nil, fmt.Errorf("harvestd: registry has %d shards for %d workers",
 			reg.NumShards(), cfg.Workers)
 	}
-	return &Daemon{
+	if cfg.PropensityFloor != 0 {
+		floor := cfg.PropensityFloor
+		if floor < 0 {
+			floor = 0
+		}
+		reg.SetPropensityFloor(floor)
+	}
+	d := &Daemon{
 		cfg:   cfg,
 		reg:   reg,
 		queue: make(chan core.Datapoint, cfg.QueueSize),
-	}, nil
+	}
+	d.initMetrics()
+	return d, nil
 }
 
 // Registry returns the daemon's policy registry.
 func (d *Daemon) Registry() *Registry { return d.reg }
+
+// Metrics returns the daemon's obs registry (for composing extra
+// instruments onto the same /metrics page).
+func (d *Daemon) Metrics() *obs.Registry { return d.obsReg }
 
 // AddSource wires a source; call before Start.
 func (d *Daemon) AddSource(s Source) {
@@ -169,8 +197,10 @@ func (d *Daemon) Start(ctx context.Context) error {
 		d.ln = ln
 	}
 
-	d.start = time.Now()
+	d.start = d.cfg.Clock.Now()
 	d.srcCtx, d.srcCancel = context.WithCancel(ctx)
+	d.root = d.cfg.Tracer.Start("harvestd/run", nil,
+		map[string]any{"workers": d.cfg.Workers, "sources": len(d.sources)})
 
 	for i := 0; i < d.cfg.Workers; i++ {
 		d.workerWG.Add(1)
@@ -182,7 +212,10 @@ func (d *Daemon) Start(ctx context.Context) error {
 		d.srcWG.Add(1)
 		go func(s Source) {
 			defer d.srcWG.Done()
+			sp := d.cfg.Tracer.Start("source/"+s.Name(), d.root, nil)
+			defer sp.End()
 			if err := s.Run(d.srcCtx, sink); err != nil {
+				sp.SetAttr("error", err.Error())
 				d.cfg.Logf("harvestd: source %s failed: %v", s.Name(), err)
 				d.errMu.Lock()
 				d.srcErrs = append(d.srcErrs, err)
@@ -223,9 +256,16 @@ func (d *Daemon) Addr() string {
 func (d *Daemon) URL() string { return "http://" + d.Addr() }
 
 // worker drains the queue, folding each datapoint into its own shard of
-// every registered policy.
+// every registered policy. One span covers the worker's whole life (fold
+// stage of the pipeline); per-datapoint spans would dwarf the work traced.
 func (d *Daemon) worker(id int) {
 	defer d.workerWG.Done()
+	sp := d.cfg.Tracer.Start("fold/worker", d.root, map[string]any{"id": id})
+	var folded int64
+	defer func() {
+		sp.SetAttr("folded", folded)
+		sp.End()
+	}()
 	for dp := range d.queue {
 		if dp.Validate() != nil {
 			d.ctr.rejected.Add(1)
@@ -233,6 +273,7 @@ func (d *Daemon) worker(id int) {
 		}
 		d.reg.Fold(id, &dp)
 		d.ctr.folded.Add(1)
+		folded++
 	}
 }
 
@@ -322,6 +363,7 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	d.stateMu.Lock()
 	d.running = false
 	d.stateMu.Unlock()
+	d.root.End()
 
 	if ckptErr != nil {
 		return fmt.Errorf("harvestd: final checkpoint: %w", ckptErr)

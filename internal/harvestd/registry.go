@@ -18,6 +18,7 @@ import (
 type Registry struct {
 	numShards int
 	clip      float64
+	floor     float64 // propensity floor for diagnostics (<= 0 disables)
 
 	mu      sync.RWMutex // guards entries/names (registration vs. iteration)
 	entries map[string]*regEntry
@@ -25,6 +26,12 @@ type Registry struct {
 
 	evalPanics atomic.Int64 // policy evaluations recovered from a panic
 }
+
+// DefaultPropensityFloor is the logged-propensity threshold below which a
+// datapoint is counted as a floor hit in the estimator-health diagnostics:
+// a weight of 1/0.001 = 1000 from a single sample is exactly the kind of
+// tail that makes an IPS interval untrustworthy.
+const DefaultPropensityFloor = 1e-3
 
 type regEntry struct {
 	name   string
@@ -47,6 +54,7 @@ func NewRegistry(workers int, clip float64) (*Registry, error) {
 	return &Registry{
 		numShards: workers,
 		clip:      clip,
+		floor:     DefaultPropensityFloor,
 		entries:   make(map[string]*regEntry),
 	}, nil
 }
@@ -56,6 +64,13 @@ func (g *Registry) NumShards() int { return g.numShards }
 
 // Clip returns the importance-weight cap (0 = unclipped).
 func (g *Registry) Clip() float64 { return g.clip }
+
+// SetPropensityFloor overrides the diagnostics propensity floor (<= 0
+// disables floor accounting). Call before ingestion starts.
+func (g *Registry) SetPropensityFloor(f float64) { g.floor = f }
+
+// PropensityFloor returns the diagnostics propensity floor.
+func (g *Registry) PropensityFloor() float64 { return g.floor }
 
 // Register adds a named candidate policy. Registering while ingestion is
 // running is safe; the new policy starts estimating from the next datapoint.
@@ -109,7 +124,7 @@ func (g *Registry) Fold(worker int, d *core.Datapoint) {
 		}
 		sh := e.shards[worker]
 		sh.mu.Lock()
-		sh.acc.Fold(pi, d.Propensity, d.Reward, g.clip)
+		sh.acc.Fold(pi, d.Propensity, d.Reward, g.clip, g.floor)
 		sh.mu.Unlock()
 	}
 }
@@ -165,6 +180,23 @@ func (g *Registry) Estimates(delta float64) []PolicyEstimate {
 	for i, e := range entries {
 		acc := e.merged()
 		out[i] = acc.Estimate(e.name, delta)
+	}
+	return out
+}
+
+// Diagnostics reports every policy's estimator-health view, sorted by
+// name — the /diagnostics read path.
+func (g *Registry) Diagnostics() []PolicyDiagnostics {
+	g.mu.RLock()
+	entries := make([]*regEntry, 0, len(g.names))
+	for _, name := range g.names {
+		entries = append(entries, g.entries[name])
+	}
+	g.mu.RUnlock()
+	out := make([]PolicyDiagnostics, len(entries))
+	for i, e := range entries {
+		acc := e.merged()
+		out[i] = acc.Diagnostics(e.name)
 	}
 	return out
 }

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -20,8 +19,11 @@ import (
 //	GET  /policies   registered policies with sample counts
 //	GET  /estimates  per-policy IPS/clipped/SNIPS estimates with intervals
 //	                 (?policy=name filters, ?delta=0.01 overrides confidence)
-//	GET  /metrics    Prometheus-style text: ingest counters, queue depth,
-//	                 per-policy n/mean/stderr, Go runtime stats
+//	GET  /metrics    Prometheus text (obs registry, deterministic order):
+//	                 ingest counters, queue depth, per-policy estimates and
+//	                 estimator-health gauges, Go runtime stats
+//	GET  /diagnostics estimator-health JSON: per-policy ESS, weight tails,
+//	                 clip and propensity-floor fractions
 //	POST /ingest     push raw log lines (?format=nginx|jsonl), for smoke
 //	                 tests and push-based producers
 //	POST /checkpoint force a checkpoint now
@@ -31,6 +33,7 @@ func (d *Daemon) handler() http.Handler {
 	mux.HandleFunc("/policies", d.handlePolicies)
 	mux.HandleFunc("/estimates", d.handleEstimates)
 	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/diagnostics", d.handleDiagnostics)
 	mux.HandleFunc("/ingest", d.handleIngest)
 	mux.HandleFunc("/checkpoint", d.handleCheckpoint)
 	return mux
@@ -38,7 +41,8 @@ func (d *Daemon) handler() http.Handler {
 
 func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "ok uptime=%s\n", time.Since(d.start).Round(time.Millisecond))
+	uptime := d.cfg.Clock.Now().Sub(d.start)
+	fmt.Fprintf(w, "ok uptime=%s\n", uptime.Round(time.Millisecond))
 }
 
 // policyInfo is one row of /policies.
@@ -58,6 +62,8 @@ func (d *Daemon) handlePolicies(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Daemon) handleEstimates(w http.ResponseWriter, r *http.Request) {
+	sp := d.cfg.Tracer.Start("estimate", d.root, nil)
+	defer sp.End()
 	delta := d.cfg.Delta
 	if s := r.URL.Query().Get("delta"); s != "" {
 		v, err := strconv.ParseFloat(s, 64)
@@ -95,7 +101,13 @@ func (d *Daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown format %q", format), http.StatusBadRequest)
 		return
 	}
+	sp := d.cfg.Tracer.Start("ingest/http", d.root, map[string]any{"format": format})
+	defer sp.End()
 	var lines, ingested, rejected, parseErrors int64
+	defer func() {
+		sp.SetAttr("lines", lines)
+		sp.SetAttr("ingested", ingested)
+	}()
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
 	for sc.Scan() {
@@ -181,50 +193,50 @@ func (d *Daemon) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "checkpointed to %s\n", d.cfg.CheckpointPath)
 }
 
-// handleMetrics renders Prometheus-style text metrics: stream counters,
-// queue pressure, per-policy estimator state, and Go runtime stats.
+// handleMetrics serves the obs registry as Prometheus text. Static series
+// (counters, queue gauges, Go runtime) are registered once in initMetrics
+// and read through scrape-time functions; the per-policy estimator series
+// are refreshed here from the merged shards. The registry renders families
+// and series in sorted order, so two scrapes of the same state are
+// byte-identical — the fix for the map-iteration nondeterminism the
+// hand-rolled renderer had.
 func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	var b strings.Builder
-	uptime := time.Since(d.start).Seconds()
-	lines := d.ctr.lines.Load()
-	fmt.Fprintf(&b, "harvestd_uptime_seconds %g\n", uptime)
-	fmt.Fprintf(&b, "harvestd_lines_total %d\n", lines)
-	fmt.Fprintf(&b, "harvestd_parse_errors_total %d\n", d.ctr.parseErrors.Load())
-	fmt.Fprintf(&b, "harvestd_rejected_total %d\n", d.ctr.rejected.Load())
-	fmt.Fprintf(&b, "harvestd_ingested_total %d\n", d.ctr.ingested.Load())
-	fmt.Fprintf(&b, "harvestd_folded_total %d\n", d.ctr.folded.Load())
-	fmt.Fprintf(&b, "harvestd_checkpoints_total %d\n", d.ctr.checkpoints.Load())
-	rate := 0.0
-	if uptime > 0 {
-		rate = float64(lines) / uptime
-	}
-	fmt.Fprintf(&b, "harvestd_ingest_rate_lines_per_second %g\n", rate)
-	fmt.Fprintf(&b, "harvestd_queue_depth %d\n", len(d.queue))
-	fmt.Fprintf(&b, "harvestd_queue_capacity %d\n", cap(d.queue))
-	fmt.Fprintf(&b, "harvestd_workers %d\n", d.cfg.Workers)
-	fmt.Fprintf(&b, "harvestd_sources %d\n", len(d.sources))
-	fmt.Fprintf(&b, "harvestd_policy_eval_panics_total %d\n", d.reg.EvalPanics())
+	d.updatePolicyMetrics()
+	d.obsReg.Handler().ServeHTTP(w, r)
+}
 
-	for _, pe := range d.reg.Estimates(d.cfg.Delta) {
-		l := fmt.Sprintf("policy=%q", pe.Policy)
-		fmt.Fprintf(&b, "harvestd_policy_n{%s} %d\n", l, pe.N)
-		fmt.Fprintf(&b, "harvestd_policy_match_rate{%s} %g\n", l, pe.MatchRate)
-		for est, ev := range map[string]EstimatorValue{
-			"ips": pe.IPS, "clipped_ips": pe.ClippedIPS, "snips": pe.SNIPS,
-		} {
-			fmt.Fprintf(&b, "harvestd_policy_mean{%s,estimator=%q} %g\n", l, est, ev.Value)
-			fmt.Fprintf(&b, "harvestd_policy_stderr{%s,estimator=%q} %g\n", l, est, ev.StdErr)
-		}
-	}
+// diagnosticsReport is the /diagnostics payload: the estimator-health view
+// of every policy plus the pipeline settings that shape it.
+type diagnosticsReport struct {
+	UptimeSeconds   float64             `json:"uptime_seconds"`
+	Clip            float64             `json:"clip"`
+	PropensityFloor float64             `json:"propensity_floor"`
+	Delta           float64             `json:"delta"`
+	QueueDepth      int                 `json:"queue_depth"`
+	QueueCapacity   int                 `json:"queue_capacity"`
+	Workers         int                 `json:"workers"`
+	EvalPanics      int64               `json:"eval_panics"`
+	Policies        []PolicyDiagnostics `json:"policies"`
+}
 
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	fmt.Fprintf(&b, "go_goroutines %d\n", runtime.NumGoroutine())
-	fmt.Fprintf(&b, "go_heap_alloc_bytes %d\n", ms.HeapAlloc)
-	fmt.Fprintf(&b, "go_total_alloc_bytes %d\n", ms.TotalAlloc)
-	fmt.Fprintf(&b, "go_gc_runs_total %d\n", ms.NumGC)
-	_, _ = w.Write([]byte(b.String()))
+// handleDiagnostics reports per-policy estimator health as JSON: effective
+// sample size, importance-weight tails, clip and propensity-floor
+// fractions — the §4 "estimator error" warning signs, computed from the
+// same running sums as the estimates so the two views cannot diverge.
+func (d *Daemon) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
+	sp := d.cfg.Tracer.Start("diagnostics", d.root, nil)
+	defer sp.End()
+	writeJSON(w, diagnosticsReport{
+		UptimeSeconds:   d.cfg.Clock.Now().Sub(d.start).Seconds(),
+		Clip:            d.reg.Clip(),
+		PropensityFloor: d.reg.PropensityFloor(),
+		Delta:           d.cfg.Delta,
+		QueueDepth:      len(d.queue),
+		QueueCapacity:   cap(d.queue),
+		Workers:         d.cfg.Workers,
+		EvalPanics:      d.reg.EvalPanics(),
+		Policies:        d.reg.Diagnostics(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -4,11 +4,18 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/harvester"
+	"repro/internal/lbsim"
+	"repro/internal/obs"
+	"repro/internal/policy"
 )
 
 // startTestDaemon brings up a daemon (no listener) and an httptest server
@@ -171,19 +178,158 @@ func TestServerMetrics(t *testing.T) {
 		t.Fatalf("metrics = %d", code)
 	}
 	for _, want := range []string{
+		"# TYPE harvestd_lines_total counter",
+		"# HELP harvestd_lines_total",
 		"harvestd_lines_total 21",
 		"harvestd_parse_errors_total 1",
 		"harvestd_folded_total 20",
 		"harvestd_ingested_total 20",
 		"harvestd_queue_capacity",
 		"harvestd_ingest_rate_lines_per_second",
+		"# TYPE harvestd_policy_ess gauge",
 		`harvestd_policy_n{policy="always-0"} 20`,
-		`harvestd_policy_mean{policy="leastloaded",estimator="ips"}`,
+		`harvestd_policy_ess{policy="always-0"}`,
+		`harvestd_policy_max_weight{policy="leastloaded"} 2`,
+		`harvestd_policy_clip_fraction{policy="always-0"} 0`,
+		`harvestd_policy_mean{estimator="ips",policy="leastloaded"}`,
 		"go_goroutines",
 		"go_heap_alloc_bytes",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// stripVolatile drops the go_* runtime series, whose values legitimately
+// change between scrapes; everything else must be byte-stable under a
+// fixed clock.
+func stripVolatile(body string) string {
+	var keep []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "go_") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestServerMetricsDeterministic is the regression test for the old
+// hand-rolled renderer's map-iteration bug: with a fixed clock, two
+// consecutive scrapes of unchanged estimator state must be byte-identical,
+// including the per-policy per-estimator series that used to come out in
+// random order.
+func TestServerMetricsDeterministic(t *testing.T) {
+	d, srv := startTestDaemon(t, Config{Clock: &obs.FixedClock{T: time.Unix(1000, 0)}})
+	resp, err := http.Post(srv.URL+"/ingest", "text/plain", strings.NewReader(genNginxLog(30, 54)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitFor(t, 10*time.Second, "folds", func() bool { return d.reg.TotalN() == 30 })
+
+	code, first := get(t, srv.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for i := 0; i < 5; i++ {
+		_, again := get(t, srv.URL+"/metrics")
+		if stripVolatile(again) != stripVolatile(first) {
+			t.Fatalf("render %d differs:\n--- first ---\n%s\n--- again ---\n%s",
+				i, stripVolatile(first), stripVolatile(again))
+		}
+	}
+	// The estimator label values must appear in sorted order within the
+	// family — the specific instability the old renderer had.
+	idx := func(s string) int { return strings.Index(first, s) }
+	ci, ips, sn := idx(`estimator="clipped_ips"`), idx(`estimator="ips"`), idx(`estimator="snips"`)
+	if ci < 0 || ips < 0 || sn < 0 || !(ci < ips && ips < sn) {
+		t.Errorf("estimator series out of sorted order: clipped_ips@%d ips@%d snips@%d", ci, ips, sn)
+	}
+}
+
+// TestServerDiagnostics checks the /diagnostics endpoint against an
+// offline recompute: an independent single-threaded fold over the same log
+// lines must agree with the live sharded daemon on every health field.
+func TestServerDiagnostics(t *testing.T) {
+	d, srv := startTestDaemon(t, Config{})
+	logText := genNginxLog(80, 55)
+	resp, err := http.Post(srv.URL+"/ingest", "text/plain", strings.NewReader(logText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitFor(t, 10*time.Second, "folds", func() bool { return d.reg.TotalN() == 80 })
+
+	code, body := get(t, srv.URL+"/diagnostics")
+	if code != 200 {
+		t.Fatalf("diagnostics = %d", code)
+	}
+	var rep diagnosticsReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("bad diagnostics JSON: %v\n%s", err, body)
+	}
+	if rep.Clip != d.reg.Clip() || rep.PropensityFloor != d.reg.PropensityFloor() {
+		t.Errorf("settings = clip %v floor %v", rep.Clip, rep.PropensityFloor)
+	}
+	if len(rep.Policies) != 3 {
+		t.Fatalf("got %d policies", len(rep.Policies))
+	}
+
+	// Offline recompute: re-parse the raw log and fold single-threaded.
+	offline := map[string]*Accum{}
+	for _, name := range d.reg.Names() {
+		offline[name] = &Accum{}
+	}
+	pols := map[string]core.Policy{
+		"always-0":    policy.Constant{A: core.Action(0)},
+		"always-1":    policy.Constant{A: core.Action(1)},
+		"leastloaded": lbsim.LeastLoaded{},
+	}
+	for _, line := range strings.Split(strings.TrimSpace(logText), "\n") {
+		e, err := harvester.ParseNginxLine(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, ok, err := entryToDatapoint(e, 1)
+		if err != nil || !ok {
+			t.Fatalf("line rejected: %v", err)
+		}
+		for name, pol := range pols {
+			pi := core.ActionProb(pol, &dp.Context, dp.Action)
+			offline[name].Fold(pi, dp.Propensity, dp.Reward, d.reg.Clip(), d.reg.PropensityFloor())
+		}
+	}
+	for _, got := range rep.Policies {
+		want := offline[got.Policy].Diagnostics(got.Policy)
+		if got.N != want.N || got.Matches != want.Matches ||
+			got.ClippedN != want.ClippedN || got.FloorHits != want.FloorHits {
+			t.Errorf("%s counts: got %+v want %+v", got.Policy, got, want)
+		}
+		for _, f := range []struct {
+			name     string
+			got, exp float64
+		}{
+			{"ess", got.ESS, want.ESS},
+			{"ess_fraction", got.ESSFraction, want.ESSFraction},
+			{"mean_weight", got.MeanWeight, want.MeanWeight},
+			{"max_weight", got.MaxWeight, want.MaxWeight},
+			{"clip_fraction", got.ClipFraction, want.ClipFraction},
+			{"floor_fraction", got.FloorFraction, want.FloorFraction},
+		} {
+			if math.Abs(f.got-f.exp) > 1e-9 {
+				t.Errorf("%s %s = %v, offline recompute %v", got.Policy, f.name, f.got, f.exp)
+			}
+		}
+	}
+	// Sanity on the uniform-logging log: mean weight ≈ match_rate / 0.5.
+	for _, pd := range rep.Policies {
+		if pd.N != 80 {
+			t.Errorf("%s n = %d", pd.Policy, pd.N)
+		}
+		if math.Abs(pd.MeanWeight-2*pd.MatchRate) > 1e-9 {
+			t.Errorf("%s mean weight %v vs match rate %v", pd.Policy, pd.MeanWeight, pd.MatchRate)
 		}
 	}
 }

@@ -121,6 +121,26 @@ func TestWallTimeGolden(t *testing.T) {
 	runGolden(t, "walltime", "repro/internal/des", WallTime)
 }
 
+// TestWallTimeObsGolden loads the obs-mode fixture as repro/internal/obs,
+// where clock injection is enforced: host-clock reads outside the
+// WallClock constructor path are flagged, the constructor and the
+// wallClock method are exempt.
+func TestWallTimeObsGolden(t *testing.T) {
+	runGolden(t, "obswalltime", "repro/internal/obs", WallTime)
+}
+
+// TestWallTimeObsFixtureElsewhere reuses the obs fixture under a plain
+// import path, where none of its reads are the analyzer's business.
+func TestWallTimeObsFixtureElsewhere(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "obswalltime"), "repro/internal/netlb2")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if findings := RunPackage(pkg, []*Analyzer{WallTime}); len(findings) != 0 {
+		t.Errorf("walltime fired outside its scoped packages: %v", findings)
+	}
+}
+
 // TestWallTimeNonSimPackage reuses the walltime fixture under a
 // non-simulation import path, where wall-clock reads are legitimate: the
 // analyzer must stay silent, so every want comment must fail — assert by

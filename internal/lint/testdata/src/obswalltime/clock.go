@@ -1,0 +1,49 @@
+// Package fixture exercises the walltime analyzer's internal/obs mode: the
+// golden test loads it as repro/internal/obs, where only the WallClock
+// constructor path may read the host clock — everything else must take an
+// injected Clock.
+package fixture
+
+import "time"
+
+// Clock is the injected time source.
+type Clock interface{ Now() time.Time }
+
+// WallClock is the sanctioned constructor: exempt by name.
+func WallClock() Clock {
+	_ = time.Now() // ok: inside the constructor itself
+	return wallClock{}
+}
+
+type wallClock struct{}
+
+// Now is the one sanctioned host-clock read: exempt by receiver type.
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Span models a traced operation; durations must come from the injected
+// clock, not from sampling the host clock at End.
+type Span struct {
+	clock Clock
+	start time.Time
+}
+
+func (s *Span) end() time.Duration {
+	return time.Since(s.start) // want "host clock"
+}
+
+func (s *Span) endInjected() time.Duration {
+	return s.clock.Now().Sub(s.start) // ok: injected clock
+}
+
+func stamp() time.Time {
+	return time.Now() // want "host clock"
+}
+
+func deadline(d time.Time) time.Duration {
+	return time.Until(d) // want "host clock"
+}
+
+func suppressed() time.Time {
+	//lint:ignore walltime fixture demonstrates suppression
+	return time.Now()
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/stats"
 )
@@ -340,5 +341,94 @@ func TestLoadResultEmpty(t *testing.T) {
 	}
 	if _, err := lr.P99(); err == nil {
 		t.Error("empty p99 should error")
+	}
+}
+
+// TestProxyMetrics drives traffic through an instrumented proxy and checks
+// the per-backend series: request counts sum to the traffic sent, latency
+// histograms carry the same counts, errors stay zero on a healthy cluster
+// and increment when a backend dies mid-run.
+func TestProxyMetrics(t *testing.T) {
+	b0, err := StartBackend(0, time.Millisecond, 100*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b0.Close() })
+	b1, err := StartBackend(1, time.Millisecond, 100*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b1.Close() })
+	p, err := NewProxy([]string{b0.Addr(), b1.Addr()}, policy.UniformRandom{R: stats.NewRand(4)}, stats.NewRand(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	p.SetMetrics(reg)
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	const reqs = 40
+	for i := 0; i < reqs; i++ {
+		resp, err := http.Get(p.URL() + "/r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	total := p.metrics.requests[0].Value() + p.metrics.requests[1].Value()
+	if total != reqs {
+		t.Errorf("requests total = %d, want %d", total, reqs)
+	}
+	for i := 0; i < 2; i++ {
+		if p.metrics.errors[i].Value() != 0 {
+			t.Errorf("backend %d errors = %d on healthy cluster", i, p.metrics.errors[i].Value())
+		}
+		snap := p.metrics.latency[i].Snapshot()
+		if int64(snap.Count) != p.metrics.requests[i].Value() {
+			t.Errorf("backend %d latency count %d != requests %d",
+				i, snap.Count, p.metrics.requests[i].Value())
+		}
+		if snap.Count > 0 && snap.Sum <= 0 {
+			t.Errorf("backend %d latency sum = %v", i, snap.Sum)
+		}
+	}
+
+	// Exposition carries the per-backend series with sorted labels.
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE netlb_backend_requests_total counter",
+		"# TYPE netlb_backend_latency_seconds histogram",
+		`netlb_backend_requests_total{backend="` + b0.Addr() + `"}`,
+		`netlb_backend_active_requests{backend="` + b1.Addr() + `"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Kill backend 1: routed requests now fail and count as errors.
+	b1.Close()
+	for i := 0; i < 20; i++ {
+		resp, err := http.Get(p.URL() + "/r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if p.metrics.errors[1].Value() == 0 {
+		t.Error("no errors recorded against the dead backend")
+	}
+	if p.metrics.errors[0].Value() != 0 {
+		t.Errorf("healthy backend charged %d errors", p.metrics.errors[0].Value())
 	}
 }

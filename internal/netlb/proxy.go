@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lbsim"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -34,10 +35,61 @@ type Proxy struct {
 
 	health   *HealthChecker
 	numTypes int
+	metrics  *proxyMetrics
 
 	client *http.Client
 	ln     net.Listener
 	srv    *http.Server
+}
+
+// proxyMetrics caches per-backend instrument handles: the registry lookup
+// locks, so handles are resolved once in SetMetrics and indexed by the
+// routing action on the hot path.
+type proxyMetrics struct {
+	requests []*obs.Counter
+	errors   []*obs.Counter
+	latency  []*obs.Histogram
+}
+
+// SetMetrics registers per-backend instruments on the registry and starts
+// recording: request and error counts, a request latency histogram, and a
+// scrape-time active-request gauge, all labelled by backend address. Call
+// before Start.
+func (p *Proxy) SetMetrics(r *obs.Registry) {
+	m := &proxyMetrics{
+		requests: make([]*obs.Counter, len(p.backends)),
+		errors:   make([]*obs.Counter, len(p.backends)),
+		latency:  make([]*obs.Histogram, len(p.backends)),
+	}
+	for i, addr := range p.backends {
+		m.requests[i] = r.Counter("netlb_backend_requests_total",
+			"requests routed to the backend", "backend", addr)
+		m.errors[i] = r.Counter("netlb_backend_errors_total",
+			"proxy failures and 5xx responses from the backend", "backend", addr)
+		m.latency[i] = r.Histogram("netlb_backend_latency_seconds",
+			"request time through the backend", obs.DefLatencyBuckets(), "backend", addr)
+		i := i
+		r.GaugeFunc("netlb_backend_active_requests",
+			"in-flight requests on the backend", func() float64 {
+				p.mu.Lock()
+				defer p.mu.Unlock()
+				return float64(p.conns[i])
+			}, "backend", addr)
+	}
+	p.metrics = m
+}
+
+// observe records one completed request against the chosen backend.
+func (p *Proxy) observe(a core.Action, status int, rt time.Duration) {
+	m := p.metrics
+	if m == nil || int(a) >= len(m.requests) {
+		return
+	}
+	m.requests[a].Inc()
+	if status >= 500 {
+		m.errors[a].Inc()
+	}
+	m.latency[a].Observe(rt.Seconds())
 }
 
 // SetNumTypes enables typed routing contexts: requests with paths of the
@@ -206,6 +258,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, outURL, r.Body)
 	if err != nil {
 		http.Error(w, "bad gateway: "+err.Error(), http.StatusBadGateway)
+		p.observe(a, http.StatusBadGateway, time.Since(start))
 		p.logAccess(r, http.StatusBadGateway, 0, time.Since(start), a, prop, snapshot, reqType)
 		return
 	}
@@ -213,6 +266,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	resp, err := p.client.Do(req)
 	if err != nil {
 		http.Error(w, "bad gateway: "+err.Error(), http.StatusBadGateway)
+		p.observe(a, http.StatusBadGateway, time.Since(start))
 		p.logAccess(r, http.StatusBadGateway, 0, time.Since(start), a, prop, snapshot, reqType)
 		return
 	}
@@ -224,6 +278,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(resp.StatusCode)
 	n, _ := io.Copy(w, resp.Body)
+	p.observe(a, resp.StatusCode, time.Since(start))
 	p.logAccess(r, resp.StatusCode, n, time.Since(start), a, prop, snapshot, reqType)
 }
 

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"time"
+
+	"repro/internal/des"
+)
+
+// Clock abstracts "what time is it" so the tracer (and any timestamped
+// telemetry) can run on the host wall clock in daemons and on a virtual
+// clock in simulations. harvestlint's walltime rule pins the boundary:
+// inside this package only the WallClock constructor may read time.Now —
+// everything else takes an injected Clock.
+type Clock interface {
+	// Now returns the current time. Implementations need not be safe for
+	// concurrent use unless documented (WallClock is; SimClock is not).
+	Now() time.Time
+}
+
+// WallClock returns the host wall clock. It is the one sanctioned
+// time.Now call site in this package and is safe for concurrent use.
+func WallClock() Clock { return wallClock{} }
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// SimClock adapts a des.Simulator's virtual clock: virtual time t seconds
+// maps to Epoch + t. Like the simulator itself it is single-goroutine —
+// spans traced against a SimClock must be created and ended on the
+// simulation goroutine.
+type SimClock struct {
+	Sim *des.Simulator
+	// Epoch anchors virtual time zero; the zero value means the Unix epoch,
+	// so start_us in traces equals virtual microseconds directly.
+	Epoch time.Time
+}
+
+// Now implements Clock.
+func (c SimClock) Now() time.Time {
+	base := c.Epoch
+	if base.IsZero() {
+		base = time.Unix(0, 0).UTC()
+	}
+	return base.Add(time.Duration(c.Sim.Now() * float64(time.Second)))
+}
+
+// FixedClock is a manually advanced clock for tests that need
+// byte-identical timestamps across renders.
+type FixedClock struct{ T time.Time }
+
+// Now implements Clock.
+func (c *FixedClock) Now() time.Time { return c.T }
+
+// Advance moves the clock forward by d.
+func (c *FixedClock) Advance(d time.Duration) { c.T = c.T.Add(d) }

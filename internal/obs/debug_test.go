@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestStartDebugDisabled(t *testing.T) {
+	s, err := StartDebug("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != nil {
+		t.Fatal("empty addr should disable the debug server")
+	}
+	// The disabled server is inert, not a crash.
+	if s.Addr() != "" {
+		t.Error("disabled server has an address")
+	}
+	if err := s.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	s, err := StartDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/vars"} {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s = %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Errorf("%s: empty body", path)
+		}
+	}
+	// Anything off the debug surface 404s.
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("/metrics on debug server = %d, want 404", resp.StatusCode)
+	}
+}

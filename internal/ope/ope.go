@@ -46,6 +46,16 @@ type Estimate struct {
 	// policy strays far from the logging policy. Zero when the estimator
 	// does not use importance weights.
 	ESS float64
+	// MeanWeight is the average importance weight actually used by the
+	// estimator (post-clipping, when the estimator clips). For a
+	// well-calibrated candidate/log pair it is ≈1; drift in either
+	// direction is an estimator-health warning. Zero for weight-free
+	// estimators.
+	MeanWeight float64
+	// ClipFraction is the fraction of datapoints whose importance weight
+	// exceeded the clip cap — the amount of deliberate bias a clipped
+	// estimate carries. Zero when the estimator does not clip.
+	ClipFraction float64
 }
 
 // String renders the estimate compactly.
@@ -135,6 +145,7 @@ func weightedEstimate(policy core.Policy, data core.Dataset, clip float64, selfN
 		var (
 			acc        stats.Welford
 			matches    int
+			clipped    int
 			maxW       float64
 			wsum, w2um float64
 		)
@@ -148,6 +159,7 @@ func weightedEstimate(policy core.Policy, data core.Dataset, clip float64, selfN
 			}
 			if clip > 0 && w > clip {
 				w = clip
+				clipped++
 			}
 			if pi > 0 {
 				matches++
@@ -165,12 +177,14 @@ func weightedEstimate(policy core.Policy, data core.Dataset, clip float64, selfN
 			ess = wsum * wsum / w2um
 		}
 		return Estimate{
-			Value:     acc.Mean(),
-			StdErr:    math.Sqrt(acc.Variance() / n),
-			N:         len(data),
-			Matches:   matches,
-			MaxWeight: maxW,
-			ESS:       ess,
+			Value:        acc.Mean(),
+			StdErr:       math.Sqrt(acc.Variance() / n),
+			N:            len(data),
+			Matches:      matches,
+			MaxWeight:    maxW,
+			ESS:          ess,
+			MeanWeight:   wsum / n,
+			ClipFraction: float64(clipped) / n,
 		}, nil
 	}
 
@@ -178,6 +192,7 @@ func weightedEstimate(policy core.Policy, data core.Dataset, clip float64, selfN
 		sum     float64 // Σ w_t r_t
 		wsum    float64 // Σ w_t
 		matches int
+		clipped int
 		maxW    float64
 		terms   = make([]float64, 0, len(data)) // w_t r_t
 		weights = make([]float64, 0, len(data))
@@ -192,6 +207,7 @@ func weightedEstimate(policy core.Policy, data core.Dataset, clip float64, selfN
 		}
 		if clip > 0 && w > clip {
 			w = clip
+			clipped++
 		}
 		if pi > 0 {
 			matches++
@@ -205,7 +221,10 @@ func weightedEstimate(policy core.Policy, data core.Dataset, clip float64, selfN
 		weights = append(weights, w)
 	}
 	n := float64(len(data))
-	est := Estimate{N: len(data), Matches: matches, MaxWeight: maxW}
+	est := Estimate{
+		N: len(data), Matches: matches, MaxWeight: maxW,
+		MeanWeight: wsum / n, ClipFraction: float64(clipped) / n,
+	}
 	if wsum == 0 {
 		return Estimate{}, fmt.Errorf("ope: %w: no datapoint matches the candidate policy", ErrNoOverlap)
 	}
@@ -289,7 +308,9 @@ func (dr DoublyRobust) Estimate(policy core.Policy, data core.Dataset) (Estimate
 	terms := make([]float64, len(data))
 	sum := 0.0
 	matches := 0
+	clipped := 0
 	maxW := 0.0
+	wsum, w2sum := 0.0, 0.0
 	for i := range data {
 		d := &data[i]
 		aPi := policy.Act(&d.Context)
@@ -302,6 +323,7 @@ func (dr DoublyRobust) Estimate(policy core.Policy, data core.Dataset) (Estimate
 		}
 		if dr.Clip > 0 && w > dr.Clip {
 			w = dr.Clip
+			clipped++
 		}
 		if pi > 0 {
 			matches++
@@ -309,18 +331,26 @@ func (dr DoublyRobust) Estimate(policy core.Policy, data core.Dataset) (Estimate
 		if w > maxW {
 			maxW = w
 		}
+		wsum += w
+		w2sum += w * w
 		t := base + w*(d.Reward-dr.Model.Predict(&d.Context, d.Action))
 		terms[i] = t
 		sum += t
 	}
 	n := float64(len(data))
-	return Estimate{
-		Value:     sum / n,
-		StdErr:    math.Sqrt(stats.Variance(terms) / n),
-		N:         len(data),
-		Matches:   matches,
-		MaxWeight: maxW,
-	}, nil
+	est := Estimate{
+		Value:        sum / n,
+		StdErr:       math.Sqrt(stats.Variance(terms) / n),
+		N:            len(data),
+		Matches:      matches,
+		MaxWeight:    maxW,
+		MeanWeight:   wsum / n,
+		ClipFraction: float64(clipped) / n,
+	}
+	if w2sum > 0 {
+		est.ESS = wsum * wsum / w2sum
+	}
+	return est, nil
 }
 
 var (

@@ -407,3 +407,69 @@ func (u uniformCandidate) Distribution(ctx *core.Context) []float64 {
 	}
 	return d
 }
+
+// TestEstimateWeightDiagnostics checks the MeanWeight/ClipFraction health
+// fields against hand-computable values on a uniform log.
+func TestEstimateWeightDiagnostics(t *testing.T) {
+	r := stats.NewRand(7)
+	const k = 4
+	ds := genUniformLog(r, 8000, k)
+
+	// A deterministic candidate over uniform-1/k logging has weight k on
+	// matches and 0 elsewhere, so the mean weight is k·matchRate ≈ 1.
+	est, err := (IPS{}).Estimate(always(1), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := float64(k) * float64(est.Matches) / float64(est.N)
+	if math.Abs(est.MeanWeight-wantMean) > 1e-9 {
+		t.Errorf("mean weight = %v, want %v", est.MeanWeight, wantMean)
+	}
+	if est.ClipFraction != 0 {
+		t.Errorf("unclipped estimator reports clip fraction %v", est.ClipFraction)
+	}
+
+	// Clipping at 2 hits exactly the matched datapoints (weight 4 > 2),
+	// and the post-clip mean weight shrinks accordingly.
+	cl, err := (ClippedIPS{Max: 2}).Estimate(always(1), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFrac := float64(cl.Matches) / float64(cl.N)
+	if math.Abs(cl.ClipFraction-wantFrac) > 1e-9 {
+		t.Errorf("clip fraction = %v, want %v", cl.ClipFraction, wantFrac)
+	}
+	if math.Abs(cl.MeanWeight-2*wantFrac) > 1e-9 {
+		t.Errorf("clipped mean weight = %v, want %v", cl.MeanWeight, 2*wantFrac)
+	}
+	if cl.MaxWeight != 2 {
+		t.Errorf("clipped max weight = %v, want 2", cl.MaxWeight)
+	}
+
+	// SNIPS carries the same raw-weight diagnostics as IPS.
+	sn, err := (SNIPS{}).Estimate(always(1), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sn.MeanWeight-est.MeanWeight) > 1e-9 || sn.ClipFraction != 0 {
+		t.Errorf("snips diagnostics %v/%v != ips %v/0", sn.MeanWeight, sn.ClipFraction, est.MeanWeight)
+	}
+
+	// DR now reports ESS over its correction weights, matching IPS's.
+	dr := DoublyRobust{Model: nilModel{}}
+	de, err := dr.Estimate(always(1), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(de.ESS-est.ESS) > 1e-6 {
+		t.Errorf("dr ESS = %v, want %v", de.ESS, est.ESS)
+	}
+	if math.Abs(de.MeanWeight-est.MeanWeight) > 1e-9 {
+		t.Errorf("dr mean weight = %v, want %v", de.MeanWeight, est.MeanWeight)
+	}
+}
+
+// nilModel predicts zero reward everywhere (reduces DR to IPS).
+type nilModel struct{}
+
+func (nilModel) Predict(*core.Context, core.Action) float64 { return 0 }

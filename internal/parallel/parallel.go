@@ -56,6 +56,8 @@ func For(workers, n int, task func(i int) error) error {
 	if w > n {
 		w = n
 	}
+	sp := traceStart("replicates", map[string]any{"n": n, "workers": w})
+	defer sp.End()
 	if w == 1 {
 		// Legacy serial path: same loop a pre-scheduler runner ran. It
 		// still runs every task so the error choice matches the pool's.

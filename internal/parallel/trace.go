@@ -1,0 +1,46 @@
+package parallel
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// The package-level trace target. Experiment runners call For/ForSeeded/Do
+// from deep inside their replicate loops with no spare parameter to thread a
+// tracer through ~15 Params structs, so the batch-span hook is ambient
+// state: the driver (cmd/harvest behind -trace) installs a tracer plus the
+// current experiment's span, and every batch the scheduler runs while it is
+// installed becomes a child span. A nil tracer — the default — keeps the
+// scheduler span-free, and tracing never touches task execution or RNG
+// derivation, so the reproducibility contract is unaffected.
+var (
+	traceMu     sync.Mutex
+	traceTr     *obs.Tracer
+	traceParent *obs.Span
+)
+
+// SetTrace installs the tracer and parent span under which For emits one
+// "replicates" span per batch, returning a restore func that reinstates the
+// previous target (call it when the traced region ends). SetTrace(nil, nil)
+// disables batch spans.
+func SetTrace(tr *obs.Tracer, parent *obs.Span) (restore func()) {
+	traceMu.Lock()
+	prevTr, prevParent := traceTr, traceParent
+	traceTr, traceParent = tr, parent
+	traceMu.Unlock()
+	return func() {
+		traceMu.Lock()
+		traceTr, traceParent = prevTr, prevParent
+		traceMu.Unlock()
+	}
+}
+
+// traceStart opens a batch span under the installed target. With no tracer
+// installed it returns a nil span, on which End is a no-op.
+func traceStart(name string, attrs map[string]any) *obs.Span {
+	traceMu.Lock()
+	tr, parent := traceTr, traceParent
+	traceMu.Unlock()
+	return tr.Start(name, parent, attrs)
+}

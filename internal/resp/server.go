@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/cachesim"
+	"repro/internal/obs"
 )
 
 // Server is a minimal Redis-like TCP server fronting a cachesim.Cache.
@@ -18,10 +19,11 @@ import (
 // QUIT. Values are stored verbatim; the byte budget is charged with
 // len(key)+len(value), like Redis's memory accounting in spirit.
 type Server struct {
-	mu     sync.Mutex
-	cache  *cachesim.Cache
-	values map[string]string
-	start  time.Time
+	mu       sync.Mutex
+	cache    *cachesim.Cache
+	values   map[string]string
+	start    time.Time
+	commands int64 // dispatched commands (all kinds), guarded by mu
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -98,6 +100,53 @@ func (s *Server) Close() error {
 	return err
 }
 
+// CacheStats returns the underlying cache's statistics plus the server's
+// hit rate and total dispatched commands, taking the command lock — the
+// cachesim.Cache is not safe for concurrent use, so metrics readers must
+// come through here rather than touching the cache directly.
+func (s *Server) CacheStats() (st cachesim.Stats, hitRate float64, commands int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.Stats(), s.cache.HitRate(), s.commands
+}
+
+// RegisterMetrics adds the server's cache gauges and counters to an obs
+// registry, all read at scrape time through CacheStats.
+func (s *Server) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("cached_commands_total", "RESP commands dispatched", func() int64 {
+		_, _, n := s.CacheStats()
+		return n
+	})
+	r.CounterFunc("cached_keyspace_hits_total", "cache hits", func() int64 {
+		st, _, _ := s.CacheStats()
+		return st.Hits
+	})
+	r.CounterFunc("cached_keyspace_misses_total", "cache misses", func() int64 {
+		st, _, _ := s.CacheStats()
+		return st.Misses
+	})
+	r.CounterFunc("cached_evictions_total", "keys evicted", func() int64 {
+		st, _, _ := s.CacheStats()
+		return st.Evictions
+	})
+	r.GaugeFunc("cached_used_bytes", "bytes charged against the budget", func() float64 {
+		st, _, _ := s.CacheStats()
+		return float64(st.UsedBytes)
+	})
+	r.GaugeFunc("cached_max_bytes", "cache byte budget", func() float64 {
+		st, _, _ := s.CacheStats()
+		return float64(st.MaxBytes)
+	})
+	r.GaugeFunc("cached_items", "resident keys", func() float64 {
+		st, _, _ := s.CacheStats()
+		return float64(st.Items)
+	})
+	r.GaugeFunc("cached_hit_rate", "lifetime hit rate", func() float64 {
+		_, hr, _ := s.CacheStats()
+		return hr
+	})
+}
+
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
@@ -140,6 +189,7 @@ func (s *Server) dispatch(req Value) (Value, bool) {
 	cmd := strings.ToUpper(args[0])
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.commands++
 	// Advance the cache clock in wall seconds since server start so
 	// recency features are meaningful.
 	s.cache.Advance(time.Since(s.start).Seconds())
