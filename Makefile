@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-parallel experiments fuzz harvestd-demo trace-demo clean
+.PHONY: all build vet lint test race bench bench-all bench-parallel experiments fuzz harvestd-demo trace-demo fleet-demo clean
 
 all: build vet lint test
 
@@ -23,7 +23,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused federation hot-path benchmarks (per-line fold, accumulator merge,
+# registry fan-out, snapshot encode/decode, router assignment), emitted as
+# BENCH_harvestd.json for CI trend tracking. bench-all is the full sweep.
 bench:
+	$(GO) test -run NONE -bench 'AccumFold|AccumMerge|RegistryFold|SnapshotEncode|SnapshotDecode|RouterAssign' \
+		-benchmem ./internal/harvestd ./internal/fleet | $(GO) run ./cmd/benchjson -o BENCH_harvestd.json
+	@cat BENCH_harvestd.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Serial-vs-parallel scaling of the deterministic replicate scheduler
@@ -47,6 +55,12 @@ harvestd-demo:
 	$(GO) run ./cmd/harvestd -nginx /tmp/harvestd-demo.log -follow \
 		-policies uniform,leastloaded,constant:0 \
 		-checkpoint /tmp/harvestd-demo.ckpt
+
+# Launch the federated demo topology: three harvestd shards over disjoint
+# log slices, one harvestagg serving the merged fleet-wide estimates; kills
+# and checkpoint-revives a shard along the way. Ctrl-C stops the fleet.
+fleet-demo:
+	sh scripts/fleet_demo.sh
 
 # Trace a quick fig3 run and validate/summarize the JSONL span trace:
 # tracecat exits non-zero unless every line parses, IDs are unique, and

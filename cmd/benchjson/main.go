@@ -1,0 +1,171 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON report (BENCH_harvestd.json in CI) so benchmark trends are diffable
+// and machine-checkable without re-parsing Go's bench format downstream.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson [-o FILE]
+//
+// Each benchmark line contributes one record with iterations, ns/op, the
+// derived ops/sec, and — when -benchmem was on — B/op and allocs/op.
+// Exit status is non-zero when the input contains no benchmark lines (a CI
+// bench step that silently measured nothing should fail) or when any
+// benchmark line is malformed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Package    string  `json:"package,omitempty"`
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	// BytesPerOp/AllocsPerOp are present only when the run used -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: go test -bench . | benchjson [-o FILE]")
+		os.Exit(2)
+	}
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output, tracking the pkg/goos/goarch/cpu
+// header lines and collecting every Benchmark result line.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			b.Package = pkg
+			rep.Benchmarks = append(rep.Benchmarks, *b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in input")
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkAccumFold-8   12345678   95.3 ns/op   0 B/op   0 allocs/op
+func parseBenchLine(line string) (*Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("short benchmark line %q", line)
+	}
+	name, procs := splitProcs(strings.TrimPrefix(fields[0], "Benchmark"))
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("benchmark %s: bad iteration count %q", name, fields[1])
+	}
+	b := &Benchmark{Name: name, Procs: procs, Iterations: iters}
+	// The rest is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchmark %s: bad value %q", name, fields[i])
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+			if v > 0 {
+				b.OpsPerSec = 1e9 / v
+			}
+		case "B/op":
+			val := v
+			b.BytesPerOp = &val
+		case "allocs/op":
+			val := v
+			b.AllocsPerOp = &val
+		}
+	}
+	if b.NsPerOp == 0 && b.OpsPerSec == 0 {
+		return nil, fmt.Errorf("benchmark %s: no ns/op measurement in %q", name, line)
+	}
+	return b, nil
+}
+
+// splitProcs splits the -N GOMAXPROCS suffix off a benchmark name; a name
+// without one (GOMAXPROCS=1) reports procs=1.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro/internal/harvestd
+cpu: AMD EPYC 7B13
+BenchmarkAccumFold-8        	25000000	        40.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSnapshotEncode-8   	   60000	     20000 ns/op	     657 B/op	       7 allocs/op
+PASS
+ok  	repro/internal/harvestd	2.5s
+pkg: repro/internal/fleet
+BenchmarkRouterAssign-8     	 5000000	       250.0 ns/op
+PASS
+ok  	repro/internal/fleet	1.4s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header = %q/%q/%q", rep.Goos, rep.Goarch, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	fold := rep.Benchmarks[0]
+	if fold.Name != "AccumFold" || fold.Procs != 8 {
+		t.Errorf("first benchmark = %+v", fold)
+	}
+	if fold.Package != "repro/internal/harvestd" {
+		t.Errorf("package = %q", fold.Package)
+	}
+	if fold.Iterations != 25000000 || fold.NsPerOp != 40 {
+		t.Errorf("measurements = %+v", fold)
+	}
+	if fold.OpsPerSec != 25e6 {
+		t.Errorf("ops/sec = %v, want 25e6", fold.OpsPerSec)
+	}
+	if fold.BytesPerOp == nil || *fold.BytesPerOp != 0 {
+		t.Errorf("bytes/op = %v", fold.BytesPerOp)
+	}
+	if fold.AllocsPerOp == nil || *fold.AllocsPerOp != 0 {
+		t.Errorf("allocs/op = %v", fold.AllocsPerOp)
+	}
+
+	enc := rep.Benchmarks[1]
+	if enc.Name != "SnapshotEncode" || *enc.BytesPerOp != 657 || *enc.AllocsPerOp != 7 {
+		t.Errorf("second benchmark = %+v", enc)
+	}
+
+	// The pkg header switches mid-stream; no -benchmem on the last one.
+	router := rep.Benchmarks[2]
+	if router.Package != "repro/internal/fleet" {
+		t.Errorf("router package = %q", router.Package)
+	}
+	if router.BytesPerOp != nil || router.AllocsPerOp != nil {
+		t.Errorf("router should have no memory stats: %+v", router)
+	}
+	if router.NsPerOp != 250 || router.OpsPerSec != 4e6 {
+		t.Errorf("router measurements = %+v", router)
+	}
+}
+
+func TestParseRejectsEmptyAndMalformed(t *testing.T) {
+	for name, input := range map[string]string{
+		"empty":       "",
+		"no-bench":    "PASS\nok  \trepro/internal/harvestd\t0.1s\n",
+		"short-line":  "BenchmarkX-8\t100\n",
+		"bad-iters":   "BenchmarkX-8\tmany\t40 ns/op\n",
+		"bad-value":   "BenchmarkX-8\t100\tforty ns/op\n",
+		"no-ns-units": "BenchmarkX-8\t100\t5 B/op\t1 allocs/op\n",
+	} {
+		if _, err := parse(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: parse accepted %q", name, input)
+		}
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"AccumFold-8", "AccumFold", 8},
+		{"AccumFold", "AccumFold", 1},
+		{"Fold/clip-3-16", "Fold/clip-3", 16},
+		{"Weird-", "Weird-", 1},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = %q,%d want %q,%d", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Command harvestagg runs the fleet aggregation tier: it periodically
+// pulls per-shard estimator snapshots from N harvestd /snapshot endpoints,
+// merges them through the order-insensitive accumulator merge, and serves
+// fleet-wide /estimates, /diagnostics, /shards, /route, and /metrics from
+// the merged state. Shards that stop answering are retried with backoff and
+// dropped from the merge once their last snapshot ages past -stale-after;
+// estimates degrade gracefully (coverage shrinks, intervals widen) and
+// recover when the shard returns.
+//
+// Usage:
+//
+//	harvestagg -shards NAME=URL,NAME=URL,... [-addr HOST:PORT]
+//	           [-pull-interval D] [-pull-timeout D] [-stale-after D]
+//	           [-max-backoff D] [-delta F] [-checkpoint PATH]
+//	           [-checkpoint-interval D] [-debug-addr HOST:PORT]
+//
+// The aggregator runs until SIGINT/SIGTERM, then writes a final checkpoint
+// (when -checkpoint is set) and prints the merged estimates. A restart with
+// the same -checkpoint resumes serving the last pulled state immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "harvestagg:", err)
+		os.Exit(1)
+	}
+}
+
+// run wires flags → aggregator, serves until ctx is cancelled (the SIGTERM
+// path), then shuts down gracefully. When ready is non-nil the API base URL
+// is sent on it after startup — the hook the tests use to drive a full
+// aggregator lifecycle in-process.
+func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("harvestagg", flag.ContinueOnError)
+	shardsSpec := fs.String("shards", "", "fleet shards as NAME=URL,NAME=URL,... (required)")
+	addr := fs.String("addr", "127.0.0.1:8348", "HTTP API listen address")
+	pullInterval := fs.Duration("pull-interval", 2*time.Second, "per-shard snapshot poll period")
+	pullTimeout := fs.Duration("pull-timeout", 5*time.Second, "per-pull request timeout")
+	staleAfter := fs.Duration("stale-after", 30*time.Second,
+		"drop a shard from the merge when its last snapshot is older than this (<=0 never)")
+	maxBackoff := fs.Duration("max-backoff", 30*time.Second, "cap on per-shard retry backoff")
+	delta := fs.Float64("delta", 0.05, "default interval failure probability")
+	checkpoint := fs.String("checkpoint", "", "aggregator checkpoint file (empty disables)")
+	ckptEvery := fs.Duration("checkpoint-interval", 30*time.Second, "time between checkpoints")
+	debugAddr := fs.String("debug-addr", "", "pprof/expvar listen address (empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	shards, err := parseShards(*shardsSpec)
+	if err != nil {
+		return err
+	}
+
+	a, err := fleet.New(fleet.Config{
+		Shards:             shards,
+		PullInterval:       *pullInterval,
+		PullTimeout:        *pullTimeout,
+		MaxBackoff:         *maxBackoff,
+		StaleAfter:         *staleAfter,
+		Delta:              *delta,
+		Addr:               *addr,
+		CheckpointPath:     *checkpoint,
+		CheckpointInterval: *ckptEvery,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stdout, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	debug, err := obs.StartDebug(*debugAddr)
+	if err != nil {
+		return err
+	}
+	if debug != nil {
+		defer func() { _ = debug.Close() }()
+		fmt.Fprintf(stdout, "harvestagg: debug (pprof/expvar) on http://%s/debug/pprof/\n", debug.Addr())
+	}
+
+	if err := a.Start(ctx); err != nil {
+		return err
+	}
+	names := make([]string, len(shards))
+	for i, s := range shards {
+		names[i] = s.Name
+	}
+	fmt.Fprintf(stdout, "harvestagg: aggregating %s on %s\n", strings.Join(names, ", "), a.URL())
+	if ready != nil {
+		ready <- a.URL()
+	}
+
+	<-ctx.Done()
+	fmt.Fprintln(stdout, "harvestagg: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := a.Shutdown(sctx); err != nil {
+		return err
+	}
+	for _, pe := range a.Estimates(*delta) {
+		fmt.Fprintf(stdout, "harvestagg: %-14s n=%-8d snips=%.6f ± %.6f\n",
+			pe.Policy, pe.N, pe.SNIPS.Value, pe.SNIPS.StdErr)
+	}
+	return nil
+}
+
+// parseShards parses "a=http://h1:p,b=http://h2:p" into the fleet config.
+func parseShards(spec string) ([]fleet.Shard, error) {
+	var out []fleet.Shard
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(item, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad shard %q (want NAME=URL)", item)
+		}
+		out = append(out, fleet.Shard{Name: name, URL: strings.TrimSuffix(url, "/")})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no shards given (want -shards NAME=URL,...)")
+	}
+	return out, nil
+}

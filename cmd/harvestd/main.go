@@ -9,7 +9,7 @@
 //	harvestd [-addr HOST:PORT] [-nginx PATH,...] [-jsonl PATH,...]
 //	         [-cachelog PATH,...] [-follow] [-strict] [-types N] [-horizon F]
 //	         [-policies SPEC] [-workers N] [-queue N] [-clip F] [-delta F]
-//	         [-floor F] [-checkpoint PATH] [-checkpoint-interval D]
+//	         [-floor F] [-shard-id NAME] [-checkpoint PATH] [-checkpoint-interval D]
 //	         [-debug-addr HOST:PORT] [-trace PATH]
 //
 // A policy SPEC is a comma-separated list of candidates to evaluate:
@@ -71,6 +71,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	delta := fs.Float64("delta", 0.05, "default interval failure probability")
 	floor := fs.Float64("floor", harvestd.DefaultPropensityFloor,
 		"propensity floor for estimator-health diagnostics (<=0 disables)")
+	shardID := fs.String("shard-id", "", "shard name reported in fleet snapshots (empty = listen address)")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file (empty disables)")
 	ckptEvery := fs.Duration("checkpoint-interval", 30*time.Second, "time between checkpoints")
 	debugAddr := fs.String("debug-addr", "", "pprof/expvar listen address (empty disables)")
@@ -121,6 +122,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		CheckpointPath:     *checkpoint,
 		CheckpointInterval: *ckptEvery,
 		PropensityFloor:    floorVal,
+		ShardID:            *shardID,
 		Tracer:             tracer,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(stdout, format+"\n", a...)

@@ -1,4 +1,4 @@
-// Command tracecat validates and summarizes a JSONL trace written by the
+// Command tracecat validates and summarizes JSONL traces written by the
 // obs tracer (harvestd -trace, harvest -trace). It checks the structural
 // invariants — every line parses, IDs are unique, every parent reference
 // resolves — and prints per-name span counts and durations, so CI can
@@ -6,51 +6,111 @@
 //
 // Usage:
 //
-//	tracecat FILE...
+//	tracecat FILE|GLOB...
 //
-// Exit status is non-zero if any file fails validation.
+// Each argument may be a literal path or a glob pattern (quoted so the
+// shell does not expand it), so a sharded fleet's traces validate in one
+// invocation: tracecat 'shard-*.trace'. When more than one file is given,
+// a combined fleet summary follows the per-file ones — the per-shard
+// traces viewed as one run. Exit status is non-zero if any argument fails
+// validation or matches nothing.
 package main
 
 import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/obs"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecat FILE...")
+	paths, err := expandArgs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "usage: tracecat FILE|GLOB...")
+		fmt.Fprintln(os.Stderr, "tracecat:", err)
 		os.Exit(2)
 	}
 	code := 0
-	for _, path := range os.Args[1:] {
-		if err := catFile(os.Stdout, path); err != nil {
+	var fleet []obs.Record
+	valid := 0
+	for _, path := range paths {
+		recs, err := catFile(os.Stdout, path)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracecat: %s: %v\n", path, err)
 			code = 1
+			continue
 		}
+		fleet = append(fleet, recs...)
+		valid++
+	}
+	if valid > 1 {
+		summarize(os.Stdout, fmt.Sprintf("fleet (%d traces)", valid), fleet)
 	}
 	os.Exit(code)
 }
 
-func catFile(w io.Writer, path string) error {
+// expandArgs resolves each argument: glob patterns expand to their matches
+// (a pattern matching nothing is an error — a fleet run that produced no
+// traces should fail loudly, not validate vacuously), literal paths pass
+// through so a missing file is reported per-file with exit code 1.
+func expandArgs(args []string) ([]string, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("no trace files given")
+	}
+	var paths []string
+	for _, arg := range args {
+		matches, err := filepath.Glob(arg)
+		if err != nil {
+			return nil, fmt.Errorf("bad pattern %q: %w", arg, err)
+		}
+		switch {
+		case len(matches) > 0:
+			sort.Strings(matches)
+			paths = append(paths, matches...)
+		case hasGlobMeta(arg):
+			return nil, fmt.Errorf("pattern %q matches no files", arg)
+		default:
+			paths = append(paths, arg)
+		}
+	}
+	return paths, nil
+}
+
+// hasGlobMeta reports whether the argument was a pattern rather than a
+// literal path.
+func hasGlobMeta(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '*', '?', '[', '\\':
+			return true
+		}
+	}
+	return false
+}
+
+// catFile validates and summarizes one trace, returning its records so the
+// caller can fold them into the fleet-wide summary.
+func catFile(w io.Writer, path string) ([]obs.Record, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer f.Close()
 	recs, err := obs.ReadTrace(f)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return summarize(w, path, recs)
+	return recs, summarize(w, path, recs)
 }
 
 // summarize prints one line per distinct span/event name, sorted, with
-// counts and total duration, then roots and overall bounds.
-func summarize(w io.Writer, path string, recs []obs.Record) error {
+// counts and total duration, then roots and overall bounds. The records may
+// come from one trace or from several concatenated ones (span IDs need not
+// be unique across files; per-file validation already ran in catFile).
+func summarize(w io.Writer, label string, recs []obs.Record) error {
 	type agg struct {
 		kind  string
 		count int
@@ -83,7 +143,7 @@ func summarize(w io.Writer, path string, recs []obs.Record) error {
 		}
 	}
 	fmt.Fprintf(w, "%s: %d records (%d spans, %d events, %d roots), %.3fs traced\n",
-		path, len(recs), spans, events, roots, float64(maxEnd-minStart)/1e6)
+		label, len(recs), spans, events, roots, float64(maxEnd-minStart)/1e6)
 	names := make([]string, 0, len(byName))
 	for name := range byName {
 		names = append(names, name)

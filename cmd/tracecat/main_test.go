@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -11,29 +12,39 @@ import (
 	"repro/internal/obs"
 )
 
-func TestTracecatValidTrace(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "trace.jsonl")
+// writeTrace materializes a small valid trace with nSpans replicate spans.
+func writeTrace(t *testing.T, path string, root string, nSpans int) {
+	t.Helper()
 	f, err := os.Create(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	clk := &obs.FixedClock{T: time.Unix(100, 0)}
 	tr := obs.NewTracer(f, clk)
-	root := tr.Start("experiment/demo", nil, nil)
-	for i := 0; i < 3; i++ {
-		sp := tr.Start("replicates", root, map[string]any{"n": 10})
+	rs := tr.Start(root, nil, nil)
+	for i := 0; i < nSpans; i++ {
+		sp := tr.Start("replicates", rs, map[string]any{"n": 10})
 		clk.Advance(time.Second)
 		sp.End()
 	}
-	tr.Event("checkpoint", root, nil)
-	root.End()
+	tr.Event("checkpoint", rs, nil)
+	rs.End()
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestTracecatValidTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	writeTrace(t, path, "experiment/demo", 3)
 
 	var out bytes.Buffer
-	if err := catFile(&out, path); err != nil {
+	recs, err := catFile(&out, path)
+	if err != nil {
 		t.Fatalf("catFile: %v\n%s", err, out.String())
+	}
+	if len(recs) != 5 {
+		t.Fatalf("catFile returned %d records, want 5", len(recs))
 	}
 	got := out.String()
 	for _, want := range []string{
@@ -60,11 +71,92 @@ func TestTracecatRejectsMalformed(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out bytes.Buffer
-		if err := catFile(&out, path); err == nil {
+		if _, err := catFile(&out, path); err == nil {
 			t.Errorf("%s: catFile accepted a malformed trace", name)
 		}
 	}
-	if err := catFile(&bytes.Buffer{}, filepath.Join(dir, "absent.jsonl")); err == nil {
+	if _, err := catFile(&bytes.Buffer{}, filepath.Join(dir, "absent.jsonl")); err == nil {
 		t.Error("catFile accepted a missing file")
+	}
+}
+
+func TestExpandArgsGlob(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"shard-2.trace", "shard-0.trace", "shard-1.trace", "other.log"} {
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A glob expands sorted, so fleet summaries are deterministic.
+	got, err := expandArgs([]string{filepath.Join(dir, "shard-*.trace")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		filepath.Join(dir, "shard-0.trace"),
+		filepath.Join(dir, "shard-1.trace"),
+		filepath.Join(dir, "shard-2.trace"),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("expandArgs = %v, want %v", got, want)
+	}
+
+	// Literal paths pass through even when absent (reported per-file later);
+	// globs matching nothing fail up front.
+	lit := filepath.Join(dir, "absent.trace")
+	if got, err := expandArgs([]string{lit}); err != nil || !reflect.DeepEqual(got, []string{lit}) {
+		t.Errorf("literal path: %v, %v", got, err)
+	}
+	if _, err := expandArgs([]string{filepath.Join(dir, "nope-*.trace")}); err == nil {
+		t.Error("empty glob should fail")
+	}
+	if _, err := expandArgs(nil); err == nil {
+		t.Error("no args should fail")
+	}
+
+	// Globs and literals mix.
+	got, err = expandArgs([]string{filepath.Join(dir, "shard-*.trace"), filepath.Join(dir, "other.log")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("mixed args = %v", got)
+	}
+}
+
+// TestTracecatFleetSummary validates several per-shard traces and checks
+// their combined summary counts every shard's records as one run.
+func TestTracecatFleetSummary(t *testing.T) {
+	dir := t.TempDir()
+	for i, n := range []int{2, 3, 4} {
+		writeTrace(t, filepath.Join(dir, "shard-"+string(rune('0'+i))+".trace"), "harvestd/run", n)
+	}
+	paths, err := expandArgs([]string{filepath.Join(dir, "shard-*.trace")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	var fleet []obs.Record
+	for _, p := range paths {
+		recs, err := catFile(&out, p)
+		if err != nil {
+			t.Fatalf("catFile(%s): %v", p, err)
+		}
+		fleet = append(fleet, recs...)
+	}
+	if err := summarize(&out, "fleet (3 traces)", fleet); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// 3 traces × (1 root + n replicate spans + 1 event): 15 records total,
+	// 12 spans, 3 events, 3 roots, 9 replicates.
+	for _, want := range []string{
+		"fleet (3 traces): 15 records (12 spans, 3 events, 3 roots)",
+		"×9",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("fleet summary missing %q:\n%s", want, got)
+		}
 	}
 }

@@ -1,0 +1,489 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harvestd"
+	"repro/internal/obs"
+)
+
+// Shard names one harvestd shard and where to pull its snapshot from.
+type Shard struct {
+	Name string `json:"name"`
+	URL  string `json:"url"` // base URL, e.g. http://10.0.0.3:8347
+}
+
+// Config tunes the aggregator. The zero value is usable: defaults fill in.
+type Config struct {
+	// Shards is the fixed fleet membership. At least one is required.
+	Shards []Shard
+	// PullInterval is the per-shard snapshot poll period. Default 2s.
+	PullInterval time.Duration
+	// PullTimeout bounds one snapshot request. Default 5s.
+	PullTimeout time.Duration
+	// MaxBackoff caps the exponential retry backoff after consecutive pull
+	// failures. Default 30s.
+	MaxBackoff time.Duration
+	// StaleAfter is the tolerance window: a shard whose last successful
+	// pull is older than this is dropped from the merged view (coverage
+	// shrinks, intervals widen) until it recovers. <= 0 means never drop —
+	// the last snapshot is merged forever. Default 30s.
+	StaleAfter time.Duration
+	// Delta is the default interval failure probability. Default 0.05.
+	Delta float64
+	// Addr is the HTTP listen address; empty disables the API (tests can
+	// drive the aggregator in-process); "127.0.0.1:0" picks a free port.
+	Addr string
+	// CheckpointPath enables aggregator checkpointing; empty disables.
+	CheckpointPath string
+	// CheckpointInterval is the timer between checkpoints. Default 30s.
+	CheckpointInterval time.Duration
+	// Clock supplies timestamps for staleness and uptime. Default wall
+	// clock; tests inject obs.FixedClock for deterministic staleness.
+	Clock obs.Clock
+	// Client issues the snapshot pulls; nil uses a dedicated client (the
+	// per-pull timeout still applies via request contexts).
+	Client *http.Client
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.PullInterval <= 0 {
+		c.PullInterval = 2 * time.Second
+	}
+	if c.PullTimeout <= 0 {
+		c.PullTimeout = 5 * time.Second
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 30 * time.Second
+	}
+	if c.StaleAfter == 0 {
+		c.StaleAfter = 30 * time.Second
+	}
+	if c.Delta <= 0 || c.Delta >= 1 {
+		c.Delta = 0.05
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 30 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = obs.WallClock()
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// shardState is the aggregator's view of one shard: the last snapshot it
+// delivered and the pull bookkeeping that decides liveness and backoff.
+type shardState struct {
+	shard Shard
+
+	mu          sync.Mutex
+	snap        *harvestd.StateSnapshot
+	lastSuccess time.Time // zero: never pulled successfully
+	lastErr     string
+	failures    int // consecutive pull failures
+
+	pulls      atomic.Int64
+	pullErrors atomic.Int64
+	restarts   atomic.Int64 // snapshot Seq regressions observed
+}
+
+// Aggregator federates the shards: it pulls snapshots, merges estimator
+// state, and serves the fleet-wide read API. One Aggregator instance runs
+// per fleet (or per region, with another tier above — the merge is
+// associative, so tiers compose).
+type Aggregator struct {
+	cfg    Config
+	router *Router
+	shards []*shardState // sorted by name: the canonical merge order
+	obsReg *obs.Registry
+	start  time.Time
+
+	checkpoints atomic.Int64
+
+	stateMu sync.Mutex
+	running bool
+
+	loopCtx  context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	ckptDone chan struct{}
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// New builds an aggregator over the configured shard fleet.
+func New(cfg Config) (*Aggregator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("fleet: aggregator needs at least one shard")
+	}
+	cfg.fillDefaults()
+	names := make([]string, len(cfg.Shards))
+	for i, s := range cfg.Shards {
+		if s.URL == "" {
+			return nil, fmt.Errorf("fleet: shard %q has no URL", s.Name)
+		}
+		names[i] = s.Name
+	}
+	router, err := NewRouter(names) // also rejects empty/duplicate names
+	if err != nil {
+		return nil, err
+	}
+	a := &Aggregator{cfg: cfg, router: router}
+	shards := append([]Shard(nil), cfg.Shards...)
+	sort.Slice(shards, func(i, j int) bool { return shards[i].Name < shards[j].Name })
+	for _, s := range shards {
+		a.shards = append(a.shards, &shardState{shard: s})
+	}
+	a.initMetrics()
+	return a, nil
+}
+
+// Router returns the fleet's source-to-shard router.
+func (a *Aggregator) Router() *Router { return a.router }
+
+// Metrics returns the aggregator's obs registry.
+func (a *Aggregator) Metrics() *obs.Registry { return a.obsReg }
+
+// Start resumes from the checkpoint (when one exists), launches one pull
+// loop per shard, the checkpoint timer, and the HTTP API, then returns. The
+// aggregator runs until Shutdown.
+func (a *Aggregator) Start(ctx context.Context) error {
+	a.stateMu.Lock()
+	defer a.stateMu.Unlock()
+	if a.running {
+		return fmt.Errorf("fleet: aggregator already started")
+	}
+
+	if a.cfg.CheckpointPath != "" {
+		n, err := a.loadCheckpoint()
+		switch {
+		case err == nil:
+			a.cfg.Logf("harvestagg: resumed %d shard snapshots from %s", n, a.cfg.CheckpointPath)
+		case isNotExist(err):
+			// First run: nothing to resume.
+		default:
+			return fmt.Errorf("fleet: loading checkpoint: %w", err)
+		}
+	}
+
+	if a.cfg.Addr != "" {
+		ln, err := net.Listen("tcp", a.cfg.Addr)
+		if err != nil {
+			return fmt.Errorf("fleet: listen %s: %w", a.cfg.Addr, err)
+		}
+		a.ln = ln
+	}
+
+	a.start = a.cfg.Clock.Now()
+	a.loopCtx, a.cancel = context.WithCancel(ctx)
+	for _, st := range a.shards {
+		a.wg.Add(1)
+		go a.pullLoop(st)
+	}
+
+	a.ckptDone = make(chan struct{})
+	if a.cfg.CheckpointPath != "" {
+		go a.checkpointLoop()
+	} else {
+		close(a.ckptDone)
+	}
+
+	if a.ln != nil {
+		a.srv = &http.Server{Handler: a.handler()}
+		go func(srv *http.Server, ln net.Listener) { _ = srv.Serve(ln) }(a.srv, a.ln)
+		a.cfg.Logf("harvestagg: serving on http://%s (%d shards)", a.ln.Addr(), len(a.shards))
+	}
+
+	a.running = true
+	return nil
+}
+
+// Addr returns the API's host:port (empty when the API is disabled or the
+// aggregator has not started).
+func (a *Aggregator) Addr() string {
+	a.stateMu.Lock()
+	defer a.stateMu.Unlock()
+	if a.ln == nil {
+		return ""
+	}
+	return a.ln.Addr().String()
+}
+
+// URL returns the API's base URL (after Start).
+func (a *Aggregator) URL() string { return "http://" + a.Addr() }
+
+// pullLoop polls one shard forever: an immediate first pull, then the
+// configured interval, stretched exponentially (capped at MaxBackoff) while
+// the shard keeps failing so a dead shard costs one cheap request per
+// backoff period instead of hammering a struggling one.
+func (a *Aggregator) pullLoop(st *shardState) {
+	defer a.wg.Done()
+	for {
+		err := a.pullShard(a.loopCtx, st)
+		if err != nil && a.loopCtx.Err() == nil {
+			a.cfg.Logf("harvestagg: pull %s: %v", st.shard.Name, err)
+		}
+		st.mu.Lock()
+		failures := st.failures
+		st.mu.Unlock()
+		delay := a.cfg.PullInterval
+		for i := 0; i < failures && delay < a.cfg.MaxBackoff; i++ {
+			delay *= 2
+		}
+		if delay > a.cfg.MaxBackoff {
+			delay = a.cfg.MaxBackoff
+		}
+		select {
+		case <-a.loopCtx.Done():
+			return
+		case <-time.After(delay):
+		}
+	}
+}
+
+// pullShard fetches and installs one snapshot from the shard's /snapshot
+// endpoint, recording success or failure for liveness and backoff.
+func (a *Aggregator) pullShard(ctx context.Context, st *shardState) error {
+	st.pulls.Add(1)
+	pctx, cancel := context.WithTimeout(ctx, a.cfg.PullTimeout)
+	defer cancel()
+	snap, err := fetchSnapshot(pctx, a.cfg.Client, st.shard.URL)
+	if err != nil {
+		st.pullErrors.Add(1)
+		st.mu.Lock()
+		st.failures++
+		st.lastErr = err.Error()
+		st.mu.Unlock()
+		return err
+	}
+	st.mu.Lock()
+	if st.snap != nil && snap.Seq < st.snap.Seq {
+		st.restarts.Add(1)
+	}
+	st.snap = snap
+	st.lastSuccess = a.cfg.Clock.Now()
+	st.failures = 0
+	st.lastErr = ""
+	st.mu.Unlock()
+	return nil
+}
+
+// fetchSnapshot performs one GET {base}/snapshot and decodes the result.
+func fetchSnapshot(ctx context.Context, client *http.Client, base string) (*harvestd.StateSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/snapshot", nil)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: building snapshot request: %w", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }() // read-only response body
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: %s/snapshot: HTTP %d", base, resp.StatusCode)
+	}
+	return harvestd.DecodeSnapshot(resp.Body)
+}
+
+// PullAll pulls every shard once, synchronously — the startup warm-up and
+// the POST /pull handler. It returns the first error but attempts every
+// shard regardless.
+func (a *Aggregator) PullAll(ctx context.Context) error {
+	var first error
+	for _, st := range a.shards {
+		if err := a.pullShard(ctx, st); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ShardStatus is one shard's health row in the fleet view.
+type ShardStatus struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// Live reports whether the shard's state is included in the merged
+	// estimates: it has delivered a snapshot whose age is inside the
+	// staleness window.
+	Live bool `json:"live"`
+	// Stale reports a shard that has data but aged out of the window.
+	Stale bool `json:"stale"`
+	// AgeSeconds is the time since the last successful pull (-1: never).
+	AgeSeconds float64 `json:"age_seconds"`
+	// Seq is the last snapshot's sequence number (0: none).
+	Seq int64 `json:"seq"`
+	// N is the last snapshot's folded-datapoint count.
+	N int64 `json:"n"`
+	// ConsecutiveFailures counts pull failures since the last success.
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	LastError           string `json:"last_error,omitempty"`
+	// Restarts counts observed snapshot-sequence regressions.
+	Restarts int64 `json:"restarts"`
+}
+
+// View is a point-in-time merged view of the fleet: per-shard health plus
+// the merged per-policy accumulators over the live shards. Merging walks
+// shards in sorted-name order — a pure function of the snapshot set, so the
+// served estimates never depend on pull arrival order.
+type View struct {
+	Shards      []ShardStatus
+	Merged      map[string]harvestd.Accum
+	Counters    harvestd.SnapshotCounters
+	LiveShards  int
+	TotalShards int
+	EvalPanics  int64
+	Clip        float64 // from the first live shard (shards share settings)
+	Floor       float64
+}
+
+// View merges the current snapshot set.
+func (a *Aggregator) View() View {
+	now := a.cfg.Clock.Now()
+	v := View{
+		Merged:      make(map[string]harvestd.Accum),
+		TotalShards: len(a.shards),
+	}
+	for _, st := range a.shards {
+		st.mu.Lock()
+		snap := st.snap
+		lastSuccess := st.lastSuccess
+		status := ShardStatus{
+			Name:                st.shard.Name,
+			URL:                 st.shard.URL,
+			AgeSeconds:          -1,
+			ConsecutiveFailures: st.failures,
+			LastError:           st.lastErr,
+			Restarts:            st.restarts.Load(),
+		}
+		st.mu.Unlock()
+		if snap != nil {
+			status.Seq = snap.Seq
+			status.N = snap.Counters.Folded
+		}
+		if !lastSuccess.IsZero() {
+			status.AgeSeconds = now.Sub(lastSuccess).Seconds()
+		}
+		fresh := snap != nil &&
+			(a.cfg.StaleAfter <= 0 || now.Sub(lastSuccess) <= a.cfg.StaleAfter)
+		status.Live = fresh
+		status.Stale = snap != nil && !fresh
+		v.Shards = append(v.Shards, status)
+		if !fresh {
+			continue
+		}
+		if v.LiveShards == 0 {
+			v.Clip, v.Floor = snap.Clip, snap.Floor
+		}
+		v.LiveShards++
+		v.Counters.Add(snap.Counters)
+		v.EvalPanics += snap.EvalPanics
+		for name, acc := range snap.Policies {
+			merged := v.Merged[name]
+			merged.Merge(&acc)
+			v.Merged[name] = merged
+		}
+	}
+	return v
+}
+
+// policyNames returns the merged view's policy names, sorted.
+func (v *View) policyNames() []string {
+	names := make([]string, 0, len(v.Merged))
+	for name := range v.Merged {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Estimates reports the fleet-wide per-policy estimates at confidence
+// 1−delta, in the same shape (and, for identical merged state, the same
+// bytes) as a single harvestd's /estimates.
+func (v *View) Estimates(delta float64) []harvestd.PolicyEstimate {
+	names := v.policyNames()
+	out := make([]harvestd.PolicyEstimate, len(names))
+	for i, name := range names {
+		acc := v.Merged[name]
+		out[i] = acc.Estimate(name, delta)
+	}
+	return out
+}
+
+// Diagnostics reports the fleet-wide estimator-health view per policy.
+func (v *View) Diagnostics() []harvestd.PolicyDiagnostics {
+	names := v.policyNames()
+	out := make([]harvestd.PolicyDiagnostics, len(names))
+	for i, name := range names {
+		acc := v.Merged[name]
+		out[i] = acc.Diagnostics(name)
+	}
+	return out
+}
+
+// Estimates is the aggregator-level convenience over the current view.
+func (a *Aggregator) Estimates(delta float64) []harvestd.PolicyEstimate {
+	v := a.View()
+	return v.Estimates(delta)
+}
+
+// Shutdown stops the aggregator: pull loops stop, a final checkpoint is
+// written, and the HTTP listener closes.
+func (a *Aggregator) Shutdown(ctx context.Context) error {
+	a.stateMu.Lock()
+	if !a.running {
+		a.stateMu.Unlock()
+		return nil
+	}
+	a.running = false
+	a.stateMu.Unlock()
+
+	a.cancel()
+	a.wg.Wait()
+	<-a.ckptDone
+
+	var ckptErr error
+	if a.cfg.CheckpointPath != "" {
+		ckptErr = a.Checkpoint()
+	}
+
+	var srvErr error
+	if a.srv != nil {
+		srvErr = a.srv.Shutdown(ctx)
+	}
+	if ckptErr != nil {
+		return fmt.Errorf("fleet: final checkpoint: %w", ckptErr)
+	}
+	return srvErr
+}
+
+// checkpointLoop writes checkpoints on a timer until shutdown.
+func (a *Aggregator) checkpointLoop() {
+	defer close(a.ckptDone)
+	t := time.NewTicker(a.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := a.Checkpoint(); err != nil {
+				a.cfg.Logf("harvestagg: checkpoint failed: %v", err)
+			}
+		case <-a.loopCtx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("source-%04d.log", i)
+	}
+	return keys
+}
+
+func TestRouterRejectsBadShardSets(t *testing.T) {
+	for _, shards := range [][]string{nil, {}, {""}, {"a", "a"}, {"a", "b", "a"}} {
+		if _, err := NewRouter(shards); err == nil {
+			t.Errorf("NewRouter(%q): expected error", shards)
+		}
+	}
+}
+
+// TestRouterDeterministic: the assignment is a pure function of the
+// (key, shard set) pair — independent of configuration order and of the
+// router instance.
+func TestRouterDeterministic(t *testing.T) {
+	keys := testKeys(500)
+	r1, err := NewRouter([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRouter([]string{"c", "a", "b"}) // same set, different order
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if g1, g2 := r1.Assign(k), r2.Assign(k); g1 != g2 {
+			t.Fatalf("key %q: order-dependent assignment %q vs %q", k, g1, g2)
+		}
+		if again := r1.Assign(k); again != r1.Assign(k) {
+			t.Fatalf("key %q: unstable assignment", k)
+		}
+	}
+}
+
+// TestRouterBalance: rendezvous hashing should spread keys roughly evenly —
+// no shard ±50% off the fair share on 3000 keys over 5 shards.
+func TestRouterBalance(t *testing.T) {
+	shards := []string{"s0", "s1", "s2", "s3", "s4"}
+	r, err := NewRouter(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(3000)
+	byShard := r.Partition(keys)
+	fair := float64(len(keys)) / float64(len(shards))
+	for _, s := range shards {
+		got := float64(len(byShard[s]))
+		if got < fair/2 || got > fair*1.5 {
+			t.Errorf("shard %s owns %.0f keys (fair share %.0f)", s, got, fair)
+		}
+	}
+}
+
+// TestRouterMinimalMovementOnAdd: growing the fleet moves only the keys the
+// new shard wins — every key either stays put or moves to the new shard,
+// and the moved fraction is near 1/(n+1).
+func TestRouterMinimalMovementOnAdd(t *testing.T) {
+	keys := testKeys(2000)
+	before, err := NewRouter([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRouter([]string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Assign(k), after.Assign(k)
+		if was != is {
+			if is != "d" {
+				t.Fatalf("key %q moved %q→%q, not to the new shard", k, was, is)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.15 || frac > 0.35 { // fair share is 1/4
+		t.Errorf("adding a shard moved %.1f%% of keys (want ≈25%%)", 100*frac)
+	}
+}
+
+// TestRouterMinimalMovementOnRemove: removing a shard moves only the keys
+// it owned; every other assignment is untouched.
+func TestRouterMinimalMovementOnRemove(t *testing.T) {
+	keys := testKeys(2000)
+	before, err := NewRouter([]string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRouter([]string{"a", "b", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		was, is := before.Assign(k), after.Assign(k)
+		if was != "c" && was != is {
+			t.Fatalf("key %q moved %q→%q though its shard survived", k, was, is)
+		}
+	}
+}
+
+// TestRouterPartitionCoversEveryShard: Partition lists every configured
+// shard and places every key exactly once.
+func TestRouterPartitionCoversEveryShard(t *testing.T) {
+	shards := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	r, err := NewRouter(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(64)
+	parts := r.Partition(keys)
+	if len(parts) != len(shards) {
+		t.Fatalf("partition has %d shards, want %d", len(parts), len(shards))
+	}
+	total := 0
+	seen := map[string]bool{}
+	for _, ks := range parts {
+		for _, k := range ks {
+			if seen[k] {
+				t.Fatalf("key %q assigned twice", k)
+			}
+			seen[k] = true
+			total++
+		}
+	}
+	if total != len(keys) {
+		t.Fatalf("partition placed %d keys, want %d", total, len(keys))
+	}
+}
+
+// TestRouterShardsCanonical: Shards() reports the sorted set regardless of
+// construction order, and mutating the returned slice cannot corrupt the
+// router.
+func TestRouterShardsCanonical(t *testing.T) {
+	r, err := NewRouter([]string{"z", "m", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Shards()
+	if !reflect.DeepEqual(got, []string{"a", "m", "z"}) {
+		t.Fatalf("Shards() = %v", got)
+	}
+	got[0] = "corrupted"
+	if r.Shards()[0] != "a" {
+		t.Fatal("Shards() exposed internal state")
+	}
+}
+
+// TestRouterGoldenAssignments pins concrete assignments so an accidental
+// hash or tie-break change (which would silently re-route a live fleet's
+// sources) fails loudly.
+func TestRouterGoldenAssignments(t *testing.T) {
+	r, err := NewRouter([]string{"shard-a", "shard-b", "shard-c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"access.log": "shard-b",
+		"cache.log":  "shard-b",
+		"lb-0.log":   "shard-a",
+		"lb-1.log":   "shard-a",
+		"lb-2.log":   "shard-a",
+	}
+	got := map[string]string{}
+	for k := range want {
+		got[k] = r.Assign(k)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("golden assignments drifted: got %v want %v", got, want)
+	}
+}
+
+func BenchmarkRouterAssign(b *testing.B) {
+	shards := make([]string, 16)
+	for i := range shards {
+		shards[i] = fmt.Sprintf("shard-%02d", i)
+	}
+	r, err := NewRouter(shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := testKeys(1024)
+	order := stats.NewRand(1).Perm(len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Assign(keys[order[i%len(order)]])
+	}
+}

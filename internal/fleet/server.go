@@ -1,0 +1,187 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/harvestd"
+)
+
+// handler builds the aggregator's stdlib-only HTTP API:
+//
+//	GET  /healthz     liveness + uptime + live/total shard counts
+//	GET  /estimates   fleet-wide per-policy IPS/clipped/SNIPS estimates from
+//	                  the merged shard state — the same shape (and, for the
+//	                  same merged state, the same bytes) as one harvestd's
+//	                  /estimates (?policy=name filters, ?delta=0.01
+//	                  overrides confidence)
+//	GET  /diagnostics fleet estimator health: per-shard liveness/staleness
+//	                  plus merged per-policy ESS, weight tails, clip and
+//	                  floor fractions
+//	GET  /shards      per-shard pull status rows
+//	GET  /route?key=K the shard owning an ingest-source key (consistent-
+//	                  hash routing as a service: producers ask the
+//	                  aggregator where to send)
+//	GET  /metrics     Prometheus text: per-shard liveness/staleness/pull
+//	                  counters and merged per-policy estimator gauges
+//	POST /pull        force an immediate synchronous pull of every shard
+//	POST /checkpoint  force a checkpoint now
+func (a *Aggregator) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/estimates", a.handleEstimates)
+	mux.HandleFunc("/diagnostics", a.handleDiagnostics)
+	mux.HandleFunc("/shards", a.handleShards)
+	mux.HandleFunc("/route", a.handleRoute)
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/pull", a.handlePull)
+	mux.HandleFunc("/checkpoint", a.handleCheckpoint)
+	return mux
+}
+
+func (a *Aggregator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	v := a.View()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	uptime := a.cfg.Clock.Now().Sub(a.start)
+	fmt.Fprintf(w, "ok uptime=%s shards=%d/%d\n",
+		uptime.Round(time.Millisecond), v.LiveShards, v.TotalShards)
+}
+
+func (a *Aggregator) handleEstimates(w http.ResponseWriter, r *http.Request) {
+	delta := a.cfg.Delta
+	if s := r.URL.Query().Get("delta"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 || v >= 1 {
+			http.Error(w, fmt.Sprintf("bad delta %q", s), http.StatusBadRequest)
+			return
+		}
+		delta = v
+	}
+	view := a.View()
+	if name := r.URL.Query().Get("policy"); name != "" {
+		acc, ok := view.Merged[name]
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown policy %q", name), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, acc.Estimate(name, delta))
+		return
+	}
+	writeJSON(w, view.Estimates(delta))
+}
+
+// fleetDiagnostics is the /diagnostics payload: shard health, the merged
+// pipeline counters, and the merged per-policy estimator-health rows.
+type fleetDiagnostics struct {
+	UptimeSeconds    float64                      `json:"uptime_seconds"`
+	Delta            float64                      `json:"delta"`
+	PullIntervalSecs float64                      `json:"pull_interval_seconds"`
+	PullTimeoutSecs  float64                      `json:"pull_timeout_seconds"`
+	StaleAfterSecs   float64                      `json:"stale_after_seconds"`
+	TotalShards      int                          `json:"total_shards"`
+	LiveShards       int                          `json:"live_shards"`
+	Clip             float64                      `json:"clip"`
+	PropensityFloor  float64                      `json:"propensity_floor"`
+	EvalPanics       int64                        `json:"eval_panics"`
+	Counters         harvestd.SnapshotCounters    `json:"counters"`
+	Shards           []ShardStatus                `json:"shards"`
+	Policies         []harvestd.PolicyDiagnostics `json:"policies"`
+}
+
+func (a *Aggregator) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
+	v := a.View()
+	writeJSON(w, fleetDiagnostics{
+		UptimeSeconds:    a.cfg.Clock.Now().Sub(a.start).Seconds(),
+		Delta:            a.cfg.Delta,
+		PullIntervalSecs: a.cfg.PullInterval.Seconds(),
+		PullTimeoutSecs:  a.cfg.PullTimeout.Seconds(),
+		StaleAfterSecs:   a.cfg.StaleAfter.Seconds(),
+		TotalShards:      v.TotalShards,
+		LiveShards:       v.LiveShards,
+		Clip:             v.Clip,
+		PropensityFloor:  v.Floor,
+		EvalPanics:       v.EvalPanics,
+		Counters:         v.Counters,
+		Shards:           v.Shards,
+		Policies:         v.Diagnostics(),
+	})
+}
+
+func (a *Aggregator) handleShards(w http.ResponseWriter, r *http.Request) {
+	v := a.View()
+	writeJSON(w, v.Shards)
+}
+
+// routeReply is the /route payload.
+type routeReply struct {
+	Key   string `json:"key"`
+	Shard string `json:"shard"`
+	URL   string `json:"url"`
+}
+
+func (a *Aggregator) handleRoute(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, "missing ?key=", http.StatusBadRequest)
+		return
+	}
+	name := a.router.Assign(key)
+	url := ""
+	for _, st := range a.shards {
+		if st.shard.Name == name {
+			url = st.shard.URL
+			break
+		}
+	}
+	writeJSON(w, routeReply{Key: key, Shard: name, URL: url})
+}
+
+func (a *Aggregator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	a.updatePolicyMetrics()
+	a.obsReg.Handler().ServeHTTP(w, r)
+}
+
+func (a *Aggregator) handlePull(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	err := a.PullAll(r.Context())
+	v := a.View()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err != nil {
+		fmt.Fprintf(w, "pulled with errors (%v): shards=%d/%d\n", err, v.LiveShards, v.TotalShards)
+		return
+	}
+	fmt.Fprintf(w, "pulled: shards=%d/%d\n", v.LiveShards, v.TotalShards)
+}
+
+func (a *Aggregator) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if a.cfg.CheckpointPath == "" {
+		http.Error(w, "checkpointing disabled", http.StatusConflict)
+		return
+	}
+	if err := a.Checkpoint(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "checkpointed to %s\n", a.cfg.CheckpointPath)
+}
+
+// writeJSON matches harvestd's encoder settings exactly, so the merged
+// /estimates of a fleet and the /estimates of an equivalent single daemon
+// are comparable byte-for-byte.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}

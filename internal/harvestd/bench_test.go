@@ -1,0 +1,133 @@
+package harvestd
+
+// Benchmarks for the federation-relevant hot paths: folding one datapoint
+// (per-line ingest cost), merging accumulators (the aggregation tier's unit
+// of work), registry fan-out (one datapoint scored under every candidate),
+// and snapshot encode/decode (the per-pull wire cost). `make bench` runs
+// these and emits BENCH_harvestd.json for CI trend tracking.
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lbsim"
+	"repro/internal/stats"
+)
+
+// benchDatapoints fabricates n valid datapoints for fold benchmarks.
+func benchDatapoints(n int) []core.Datapoint {
+	r := stats.NewRand(1)
+	ds := make([]core.Datapoint, n)
+	for i := range ds {
+		conns := []int{r.Intn(8), r.Intn(8)}
+		ds[i] = core.Datapoint{
+			Context:    lbsim.BuildContext(conns, 0, 1),
+			Action:     core.Action(r.Intn(2)),
+			Reward:     0.002 + 0.003*r.Float64(),
+			Propensity: 0.5,
+		}
+	}
+	return ds
+}
+
+func BenchmarkAccumFold(b *testing.B) {
+	r := stats.NewRand(1)
+	pis := make([]float64, 1024)
+	rewards := make([]float64, 1024)
+	for i := range pis {
+		pis[i] = r.Float64()
+		rewards[i] = r.Float64()
+	}
+	var acc Accum
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % 1024
+		acc.Fold(pis[k], 0.5, rewards[k], 3.0, DefaultPropensityFloor)
+	}
+}
+
+func BenchmarkAccumMerge(b *testing.B) {
+	src := randomAccum(7, 1000)
+	var dst Accum
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Merge(&src)
+	}
+}
+
+// BenchmarkRegistryFold measures the full per-datapoint ingest cost: one
+// datapoint scored and folded under three registered candidates.
+func BenchmarkRegistryFold(b *testing.B) {
+	reg, err := NewRegistry(1, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.Register("always-0", constantAction(0)); err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.Register("always-1", constantAction(1)); err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.Register("leastloaded", lbsim.LeastLoaded{}); err != nil {
+		b.Fatal(err)
+	}
+	ds := benchDatapoints(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.Fold(0, &ds[i%len(ds)])
+	}
+}
+
+// constantAction is a minimal deterministic policy for benchmarks.
+type constantAction core.Action
+
+func (c constantAction) Act(*core.Context) core.Action { return core.Action(c) }
+
+func benchSnapshot() *StateSnapshot {
+	return &StateSnapshot{
+		Version: SnapshotVersion,
+		ShardID: "bench",
+		Seq:     1,
+		Clip:    3.0,
+		Floor:   DefaultPropensityFloor,
+		Counters: SnapshotCounters{
+			Lines: 3000, Ingested: 3000, Folded: 3000,
+		},
+		Policies: map[string]Accum{
+			"always-0":    randomAccum(1, 1000),
+			"always-1":    randomAccum(2, 1000),
+			"leastloaded": randomAccum(3, 1000),
+		},
+	}
+}
+
+func BenchmarkSnapshotEncode(b *testing.B) {
+	s := benchSnapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := EncodeSnapshot(io.Discard, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotDecode(b *testing.B) {
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, benchSnapshot()); err != nil {
+		b.Fatal(err)
+	}
+	wire := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeSnapshot(bytes.NewReader(wire)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -54,6 +54,10 @@ type Config struct {
 	// PropensityFloor overrides the registry's diagnostics propensity floor
 	// (0 keeps the registry default; negative disables floor accounting).
 	PropensityFloor float64
+	// ShardID names this daemon in fleet snapshots (GET /snapshot). Empty
+	// falls back to the listen address, so a fleet of flag-identical shards
+	// still reports distinct identities.
+	ShardID string
 	// Clock supplies timestamps for uptime, rates, and trace spans. Default
 	// wall clock; tests inject obs.FixedClock for byte-stable /metrics.
 	Clock obs.Clock
@@ -100,13 +104,14 @@ type counters struct {
 
 // Daemon is one running harvestd instance.
 type Daemon struct {
-	cfg    Config
-	reg    *Registry
-	queue  chan core.Datapoint
-	ctr    counters
-	start  time.Time
-	obsReg *obs.Registry
-	root   *obs.Span // pipeline root span (nil without a tracer)
+	cfg     Config
+	reg     *Registry
+	queue   chan core.Datapoint
+	ctr     counters
+	snapSeq atomic.Int64 // /snapshot sequence, for shard-restart detection
+	start   time.Time
+	obsReg  *obs.Registry
+	root    *obs.Span // pipeline root span (nil without a tracer)
 
 	sources []Source
 

@@ -2,6 +2,7 @@ package harvestd
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -24,6 +25,8 @@ import (
 //	                 estimator-health gauges, Go runtime stats
 //	GET  /diagnostics estimator-health JSON: per-policy ESS, weight tails,
 //	                 clip and propensity-floor fractions
+//	GET  /snapshot   this shard's complete estimator state on the
+//	                 federation wire (see StateSnapshot), for harvestagg
 //	POST /ingest     push raw log lines (?format=nginx|jsonl), for smoke
 //	                 tests and push-based producers
 //	POST /checkpoint force a checkpoint now
@@ -34,9 +37,27 @@ func (d *Daemon) handler() http.Handler {
 	mux.HandleFunc("/estimates", d.handleEstimates)
 	mux.HandleFunc("/metrics", d.handleMetrics)
 	mux.HandleFunc("/diagnostics", d.handleDiagnostics)
+	mux.HandleFunc("/snapshot", d.handleSnapshot)
 	mux.HandleFunc("/ingest", d.handleIngest)
 	mux.HandleFunc("/checkpoint", d.handleCheckpoint)
 	return mux
+}
+
+// handleSnapshot serves the shard's estimator state to the aggregation
+// tier. Encoding failures (non-finite accumulator state) are a 500: better
+// for the aggregator to keep the shard's previous snapshot than to merge a
+// poisoned one.
+func (d *Daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sp := d.cfg.Tracer.Start("snapshot", d.root, nil)
+	defer sp.End()
+	snap := d.StateSnapshot()
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, &snap); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,101 @@
+package harvester
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// EstimatorState is the mergeable wire form of an IncrementalEstimator: the
+// raw sufficient statistics rather than the derived Snapshot view. A
+// Snapshot (mean, stderr) cannot be merged — two means cannot be combined
+// without their underlying sums — so federation ships EstimatorState and
+// derives Snapshots after merging. Field names are short for the same
+// reason as the core JSONL wire: fleets ship these on every pull.
+type EstimatorState struct {
+	N     int     `json:"n"`
+	Sum   float64 `json:"sum"`
+	SumSq float64 `json:"sum_sq"`
+	Match int     `json:"match"`
+}
+
+// State exports the estimator's sufficient statistics.
+func (ie *IncrementalEstimator) State() EstimatorState {
+	return EstimatorState{N: ie.n, Sum: ie.sum, SumSq: ie.sumSq, Match: ie.match}
+}
+
+// AddState folds a wire-decoded shard state into ie — the over-the-wire
+// counterpart of Merge. The caller vouches that the state was accumulated
+// for the same candidate policy; the wire form cannot carry the policy
+// itself, only its statistics.
+func (ie *IncrementalEstimator) AddState(s EstimatorState) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	ie.n += s.N
+	ie.sum += s.Sum
+	ie.sumSq += s.SumSq
+	ie.match += s.Match
+	return nil
+}
+
+// Validate rejects states no estimator could have produced: negative
+// counts, match exceeding n, or non-finite sums.
+func (s EstimatorState) Validate() error {
+	if s.N < 0 || s.Match < 0 || s.Match > s.N {
+		return fmt.Errorf("harvester: estimator state with n=%d match=%d", s.N, s.Match)
+	}
+	if math.IsNaN(s.Sum) || math.IsInf(s.Sum, 0) ||
+		math.IsNaN(s.SumSq) || math.IsInf(s.SumSq, 0) || s.SumSq < 0 {
+		return fmt.Errorf("harvester: estimator state with non-finite or negative sums")
+	}
+	return nil
+}
+
+// Snapshot derives the reporting view from the wire state, identically to
+// IncrementalEstimator.Snapshot over the same statistics.
+func (s EstimatorState) Snapshot() Snapshot {
+	if s.N == 0 {
+		return Snapshot{}
+	}
+	nf := float64(s.N)
+	snap := Snapshot{
+		N:         s.N,
+		Mean:      s.Sum / nf,
+		MatchRate: float64(s.Match) / nf,
+	}
+	if s.N >= 2 {
+		variance := (s.SumSq - nf*snap.Mean*snap.Mean) / (nf - 1)
+		if variance < 0 {
+			variance = 0
+		}
+		snap.StdErr = math.Sqrt(variance / nf)
+	}
+	return snap
+}
+
+// MarshalWire encodes the state as compact JSON. Go formats each float as
+// the shortest decimal that parses back to the identical float64, so
+// MarshalWire→UnmarshalWire is bit-exact (pinned by the round-trip tests).
+func (s EstimatorState) MarshalWire() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("encoding: %w", err)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("harvester: encoding estimator state: %w", err)
+	}
+	return b, nil
+}
+
+// UnmarshalWire decodes and validates one wire state.
+func UnmarshalWire(b []byte) (EstimatorState, error) {
+	var s EstimatorState
+	if err := json.Unmarshal(b, &s); err != nil {
+		return EstimatorState{}, fmt.Errorf("harvester: decoding estimator state: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return EstimatorState{}, fmt.Errorf("decoding: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,156 @@
+package harvester
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lbsim"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// wireDatapoints fabricates n valid exploration datapoints.
+func wireDatapoints(n int, seed int64) []core.Datapoint {
+	r := stats.NewRand(seed)
+	ds := make([]core.Datapoint, n)
+	for i := range ds {
+		conns := []int{r.Intn(8), r.Intn(8)}
+		ds[i] = core.Datapoint{
+			Context:    lbsim.BuildContext(conns, 0, 1),
+			Action:     core.Action(r.Intn(2)),
+			Reward:     0.002 + 0.003*r.Float64(),
+			Propensity: 0.5,
+		}
+	}
+	return ds
+}
+
+// TestEstimatorStateRoundTripExact: State → wire bytes → AddState into a
+// fresh estimator must reproduce the original's statistics bit-for-bit, so
+// Snapshot() over the wire path equals Snapshot() in-process.
+func TestEstimatorStateRoundTripExact(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		ie, err := NewIncrementalEstimator(policy.UniformRandom{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range wireDatapoints(300, seed) {
+			if err := ie.Add(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b, err := ie.State().MarshalWire()
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		dec, err := UnmarshalWire(b)
+		if err != nil {
+			t.Fatalf("seed %d: unmarshal: %v", seed, err)
+		}
+		orig := ie.State()
+		if dec.N != orig.N || dec.Match != orig.Match ||
+			math.Float64bits(dec.Sum) != math.Float64bits(orig.Sum) ||
+			math.Float64bits(dec.SumSq) != math.Float64bits(orig.SumSq) {
+			t.Fatalf("seed %d: state not bit-identical: %+v vs %+v", seed, dec, orig)
+		}
+		fresh, err := NewIncrementalEstimator(policy.UniformRandom{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.AddState(dec); err != nil {
+			t.Fatal(err)
+		}
+		if fresh.Snapshot() != ie.Snapshot() {
+			t.Fatalf("seed %d: snapshot diverged: %+v vs %+v", seed, fresh.Snapshot(), ie.Snapshot())
+		}
+		// The wire view derives the same snapshot without an estimator at all.
+		if dec.Snapshot() != ie.Snapshot() {
+			t.Fatalf("seed %d: EstimatorState.Snapshot diverged: %+v vs %+v",
+				seed, dec.Snapshot(), ie.Snapshot())
+		}
+	}
+}
+
+// TestAddStateMatchesMerge: folding a wire state equals merging the live
+// estimator it came from.
+func TestAddStateMatchesMerge(t *testing.T) {
+	mk := func(seed int64) *IncrementalEstimator {
+		ie, err := NewIncrementalEstimator(policy.UniformRandom{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range wireDatapoints(200, seed) {
+			if err := ie.Add(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ie
+	}
+	a, b := mk(1), mk(2)
+
+	viaMerge := mk(1)
+	if err := viaMerge.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	viaWire := a
+	if err := viaWire.AddState(b.State()); err != nil {
+		t.Fatal(err)
+	}
+	ms, ws := viaMerge.State(), viaWire.State()
+	if ms.N != ws.N || ms.Match != ws.Match ||
+		math.Float64bits(ms.Sum) != math.Float64bits(ws.Sum) ||
+		math.Float64bits(ms.SumSq) != math.Float64bits(ws.SumSq) {
+		t.Fatalf("AddState diverged from Merge: %+v vs %+v", ws, ms)
+	}
+}
+
+// TestEstimatorStateValidate rejects impossible and non-finite states on
+// both wire directions.
+func TestEstimatorStateValidate(t *testing.T) {
+	bad := []EstimatorState{
+		{N: -1},
+		{N: 1, Match: 2},
+		{N: 1, Match: -1},
+		{N: 1, Sum: math.NaN()},
+		{N: 1, Sum: math.Inf(1)},
+		{N: 1, SumSq: math.Inf(-1)},
+		{N: 1, SumSq: -0.5},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v): expected error", s)
+		}
+		if _, err := s.MarshalWire(); err == nil {
+			t.Errorf("MarshalWire(%+v): expected error", s)
+		}
+		ie, err := NewIncrementalEstimator(policy.UniformRandom{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ie.AddState(s); err == nil {
+			t.Errorf("AddState(%+v): expected error", s)
+		}
+		if ie.State() != (EstimatorState{}) {
+			t.Errorf("rejected AddState(%+v) still mutated the estimator", s)
+		}
+	}
+	if _, err := UnmarshalWire([]byte(`{"n":1,"match":2}`)); err == nil {
+		t.Error("UnmarshalWire accepted match > n")
+	}
+	if _, err := UnmarshalWire([]byte(`not json`)); err == nil {
+		t.Error("UnmarshalWire accepted garbage")
+	}
+}
+
+// TestEstimatorStateGoldenBytes pins the wire schema.
+func TestEstimatorStateGoldenBytes(t *testing.T) {
+	b, err := EstimatorState{N: 3, Sum: 1.5, SumSq: 0.75, Match: 2}.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"n":3,"sum":1.5,"sum_sq":0.75,"match":2}`
+	if string(b) != want {
+		t.Fatalf("wire bytes drifted:\n got  %s\n want %s", b, want)
+	}
+}
