@@ -23,12 +23,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Focused federation hot-path benchmarks (per-line fold, accumulator merge,
-# registry fan-out, snapshot encode/decode, router assignment), emitted as
-# BENCH_harvestd.json for CI trend tracking. bench-all is the full sweep.
+# Focused federation + ingest hot-path benchmarks (per-line fold,
+# accumulator merge, registry fan-out, snapshot encode/decode, router
+# assignment, binary codec, end-to-end source→fold ingest per format),
+# emitted as BENCH_harvestd.json for CI trend tracking. IngestBin
+# records/s vs IngestJSONL is the binary format's ≥5x claim; the binrec
+# decode benchmark pins 0 allocs/op. bench-all is the full sweep.
 bench:
-	$(GO) test -run NONE -bench 'AccumFold|AccumMerge|RegistryFold|SnapshotEncode|SnapshotDecode|RouterAssign' \
-		-benchmem ./internal/harvestd ./internal/fleet | $(GO) run ./cmd/benchjson -o BENCH_harvestd.json
+	$(GO) test -run NONE -bench 'AccumFold|AccumMerge|RegistryFold|SnapshotEncode|SnapshotDecode|RouterAssign|BinRecEncode|BinRecDecode|IngestNginx|IngestJSONL|IngestBin' \
+		-benchmem ./internal/harvestd ./internal/fleet ./internal/harvester/binrec | $(GO) run ./cmd/benchjson -o BENCH_harvestd.json
 	@cat BENCH_harvestd.json
 
 bench-all:
@@ -74,6 +77,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadValue -fuzztime=15s ./internal/resp/
 	$(GO) test -fuzz=FuzzParseNginxLine -fuzztime=15s ./internal/harvester/
 	$(GO) test -fuzz=FuzzCacheLogRoundTrip -fuzztime=15s ./internal/harvester/
+	$(GO) test -fuzz=FuzzBinRecDecode -fuzztime=15s ./internal/harvester/binrec/
+	$(GO) test -fuzz=FuzzBinRecRoundTrip -fuzztime=15s ./internal/harvester/binrec/
 
 clean:
 	$(GO) clean ./...

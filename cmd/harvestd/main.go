@@ -7,7 +7,8 @@
 // Usage:
 //
 //	harvestd [-addr HOST:PORT] [-nginx PATH,...] [-jsonl PATH,...]
-//	         [-cachelog PATH,...] [-follow] [-strict] [-types N] [-horizon F]
+//	         [-bin PATH,...] [-cachelog PATH,...] [-follow] [-strict]
+//	         [-types N] [-horizon F]
 //	         [-policies SPEC] [-workers N] [-queue N] [-clip F] [-delta F]
 //	         [-floor F] [-shard-id NAME] [-checkpoint PATH] [-checkpoint-interval D]
 //	         [-debug-addr HOST:PORT] [-trace PATH]
@@ -58,6 +59,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	addr := fs.String("addr", "127.0.0.1:8347", "HTTP API listen address")
 	nginx := fs.String("nginx", "", "comma-separated nginx-style access logs to harvest")
 	jsonl := fs.String("jsonl", "", "comma-separated core JSONL datasets to harvest")
+	bin := fs.String("bin", "", "comma-separated binrec binary record files to harvest (see recconv)")
 	cachelog := fs.String("cachelog", "", "comma-separated cache decision logs to harvest")
 	follow := fs.Bool("follow", false, "keep tailing nginx/jsonl sources as they grow")
 	strict := fs.Bool("strict", false, "abort a nginx source on the first malformed line")
@@ -147,6 +149,9 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	}
 	for _, p := range splitPaths(*jsonl) {
 		d.AddSource(&harvestd.JSONLSource{Path: p, Follow: *follow})
+	}
+	for _, p := range splitPaths(*bin) {
+		d.AddSource(&harvestd.BinSource{Path: p, Follow: *follow})
 	}
 	for _, p := range splitPaths(*cachelog) {
 		d.AddSource(&harvestd.CacheLogSource{Path: p, Horizon: *horizon})

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harvestd"
+	"repro/internal/harvester/binrec"
 	"repro/internal/lbsim"
 	"repro/internal/stats"
 )
@@ -279,5 +280,64 @@ func TestRunMissingSourceStillServes(t *testing.T) {
 	cancel()
 	if err := <-errc; err != nil {
 		t.Fatalf("run exited: %v", err)
+	}
+}
+
+// TestRunBinSource drives the -bin flag end to end: a binrec file written
+// by the codec is ingested through the batched binary path and every
+// candidate reports the full record count.
+func TestRunBinSource(t *testing.T) {
+	dir := t.TempDir()
+	r := stats.NewRand(9)
+	const n = 250
+	ds := make(core.Dataset, n)
+	for i := range ds {
+		conns := []int{r.Intn(8), r.Intn(8)}
+		a := core.Action(r.Intn(2))
+		ds[i] = core.Datapoint{
+			Context:    lbsim.BuildContext(conns, 0, 1),
+			Action:     a,
+			Reward:     0.002 + 0.001*float64(conns[a]) + 0.001*r.Float64(),
+			Propensity: 0.5,
+			Seq:        int64(i),
+		}
+	}
+	binPath := filepath.Join(dir, "records.bin")
+	f, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := binrec.NewEncoder(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.SegmentBytes = 1024
+	for i := range ds {
+		if err := enc.Write(&ds[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, errc := startRun(t, ctx, []string{
+		"-addr", "127.0.0.1:0", "-bin", binPath,
+		"-policies", "uniform,leastloaded,constant:0",
+	})
+	ests := fetchEstimates(t, base, n)
+	for _, pe := range ests {
+		if pe.N != n {
+			t.Errorf("%s folded %d records, want %d", pe.Policy, pe.N, n)
+		}
+	}
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("run: %v", err)
 	}
 }

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harvester/binrec"
+	"repro/internal/lbsim"
+	"repro/internal/stats"
+)
+
+// genNginxLog mirrors the harvestd test fixture: n randomized-routing
+// requests over two upstreams.
+func genNginxLog(n int, seed int64) string {
+	r := stats.NewRand(seed)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		conns := []int{r.Intn(8), r.Intn(8)}
+		up := r.Intn(2)
+		rt := 0.002 + 0.0005*float64(conns[up]) + 0.001*r.Float64()
+		fmt.Fprintf(&b,
+			"127.0.0.1:%d - - [06/Jul/2026:10:30:00 +0000] \"GET /r/%d HTTP/1.1\" 200 42 \"-\" \"t\" rt=%.6f upstream=%d conns=%d|%d prop=0.500000\n",
+			1000+i, i, rt, up, conns[0], conns[1])
+	}
+	return b.String()
+}
+
+func testDataset(n int) core.Dataset {
+	r := stats.NewRand(3)
+	ds := make(core.Dataset, n)
+	for i := range ds {
+		conns := []int{r.Intn(8), r.Intn(8)}
+		ds[i] = core.Datapoint{
+			Context:    lbsim.BuildContext(conns, 0, 1),
+			Action:     core.Action(r.Intn(2)),
+			Reward:     0.002 + 0.003*r.Float64(),
+			Propensity: 0.5,
+			Seq:        int64(i),
+			Tag:        "conv",
+		}
+	}
+	return ds
+}
+
+// TestNginxToBin converts an access log to binary and checks the decoded
+// records against the harvester's own batch conversion.
+func TestNginxToBin(t *testing.T) {
+	logText := genNginxLog(50, 11)
+	var out bytes.Buffer
+	if err := run([]string{"-from", "nginx", "-to", "bin"}, strings.NewReader(logText), &out); err != nil {
+		t.Fatal(err)
+	}
+	dec := binrec.NewDecoder(bytes.NewReader(out.Bytes()))
+	var b binrec.Batch
+	var got core.Dataset
+	for {
+		err := dec.Next(&b)
+		if err != nil {
+			break
+		}
+		got = append(got, b.Points...)
+	}
+	if len(got) != 50 {
+		t.Fatalf("decoded %d records, want 50", len(got))
+	}
+	for i := range got {
+		if got[i].Seq != int64(i) {
+			t.Fatalf("record %d has seq %d", i, got[i].Seq)
+		}
+		if got[i].Propensity != 0.5 {
+			t.Fatalf("record %d propensity %v", i, got[i].Propensity)
+		}
+	}
+}
+
+// TestJSONLBinRoundTrip: jsonl → bin → jsonl must reproduce the dataset
+// exactly (the codec is lossless for every wire field).
+func TestJSONLBinRoundTrip(t *testing.T) {
+	ds := testDataset(64)
+	var jsonl bytes.Buffer
+	w := core.NewJSONLWriter(&jsonl)
+	for i := range ds {
+		if err := w.Write(&ds[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	binPath := filepath.Join(t.TempDir(), "records.bin")
+	if err := run([]string{"-to", "bin", "-segment", "512", "-o", binPath},
+		bytes.NewReader(jsonl.Bytes()), new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	binData, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back bytes.Buffer
+	if err := run([]string{"-from", "bin", "-to", "jsonl"}, bytes.NewReader(binData), &back); err != nil {
+		t.Fatal(err)
+	}
+	var got core.Dataset
+	if err := core.ReadJSONLFunc(&back, func(d core.Datapoint) error {
+		got = append(got, d)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, got) {
+		t.Fatalf("round trip changed the dataset:\n want %+v\n got  %+v", ds[:2], got[:2])
+	}
+}
+
+// TestAppendFlag: header-less output concatenated after a headered file
+// decodes as one stream.
+func TestAppendFlag(t *testing.T) {
+	ds := testDataset(20)
+	var jsonl1, jsonl2 bytes.Buffer
+	w1, w2 := core.NewJSONLWriter(&jsonl1), core.NewJSONLWriter(&jsonl2)
+	for i := range ds[:10] {
+		if err := w1.Write(&ds[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 10; i < 20; i++ {
+		if err := w2.Write(&ds[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var head, tail bytes.Buffer
+	if err := run([]string{"-to", "bin"}, bytes.NewReader(jsonl1.Bytes()), &head); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-to", "bin", "-append"}, bytes.NewReader(jsonl2.Bytes()), &tail); err != nil {
+		t.Fatal(err)
+	}
+	joined := append(head.Bytes(), tail.Bytes()...)
+	dec := binrec.NewDecoder(bytes.NewReader(joined))
+	var b binrec.Batch
+	total := 0
+	for dec.Next(&b) == nil {
+		total += len(b.Points)
+	}
+	if total != 20 {
+		t.Fatalf("joined stream decoded %d records, want 20", total)
+	}
+}
+
+// TestStrictConversion: a malformed line aborts with its line number — no
+// tolerant mode for batch conversions.
+func TestStrictConversion(t *testing.T) {
+	logText := genNginxLog(3, 12) + "garbage\n"
+	err := run([]string{"-from", "nginx"}, strings.NewReader(logText), new(bytes.Buffer))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("err = %v, want line-4 failure", err)
+	}
+}
+
+func TestBadFormats(t *testing.T) {
+	if err := run([]string{"-from", "xml"}, strings.NewReader(""), new(bytes.Buffer)); err == nil {
+		t.Error("unknown input format accepted")
+	}
+	if err := run([]string{"-to", "xml"}, strings.NewReader(""), new(bytes.Buffer)); err == nil {
+		t.Error("unknown output format accepted")
+	}
+}

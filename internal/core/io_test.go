@@ -173,3 +173,43 @@ func TestRoundTripLarge(t *testing.T) {
 		t.Errorf("last datapoint mismatch")
 	}
 }
+
+// TestReadJSONLOverLimitLine: a record longer than MaxRecordBytes is an
+// explicit error, not a silent skip — the shared limit every ingest scanner
+// in the repo uses (see MaxRecordBytes).
+func TestReadJSONLOverLimitLine(t *testing.T) {
+	line := `{"k":2,"a":0,"r":1,"p":0.5,"t":"` + strings.Repeat("x", MaxRecordBytes) + `"}`
+	err := ReadJSONLFunc(strings.NewReader(line), func(Datapoint) error { return nil })
+	if err == nil {
+		t.Fatal("want error for over-limit line, got nil")
+	}
+	if !strings.Contains(err.Error(), "token too long") {
+		t.Errorf("error %q should name the scanner limit", err)
+	}
+}
+
+// TestJSONLWriterStreams: the streaming writer produces byte-identical
+// output to the batch Dataset.WriteJSONL path.
+func TestJSONLWriterStreams(t *testing.T) {
+	ds := Dataset{
+		{Context: Context{Features: Vector{1, 2}, NumActions: 3}, Action: 1, Reward: 0.5, Propensity: 0.25, Seq: 7, Tag: "s"},
+		{Context: Context{ActionFeatures: []Vector{{1}, {2}}, NumActions: 2}, Action: 0, Reward: -1, Propensity: 1},
+	}
+	var batch bytes.Buffer
+	if err := ds.WriteJSONL(&batch); err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	jw := NewJSONLWriter(&stream)
+	for i := range ds {
+		if err := jw.Write(&ds[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if batch.String() != stream.String() {
+		t.Errorf("streaming writer diverged:\n batch  %q\n stream %q", batch.String(), stream.String())
+	}
+}

@@ -37,7 +37,9 @@ type Config struct {
 	// Workers is the number of concurrent ingestion workers (and estimator
 	// shards). Default: GOMAXPROCS capped at 8.
 	Workers int
-	// QueueSize bounds the ingestion queue (backpressure). Default 4096.
+	// QueueSize bounds the ingestion queue, measured in batches (a text
+	// source emits one-datapoint batches; the binary source emits whole
+	// decoded segments). Backpressure, default 4096.
 	QueueSize int
 	// Clip caps importance weights for the clipped-IPS estimator. Default
 	// 10; <= 0 disables clipping.
@@ -97,16 +99,29 @@ type counters struct {
 	lines       atomic.Int64 // raw input lines/records seen
 	parseErrors atomic.Int64 // unparseable lines
 	rejected    atomic.Int64 // parsed but unusable (non-2xx, no propensity, ...)
+	harvested   atomic.Int64 // datapoints reconstructed from derived records (cache-eviction joins)
 	ingested    atomic.Int64 // datapoints enqueued
 	folded      atomic.Int64 // datapoints folded into estimators
 	checkpoints atomic.Int64 // successful checkpoint writes
+}
+
+// ingestBatch is the worker queue's unit: a slice of datapoints plus an
+// optional release hook. Batching is what lets the binary ingest path hand
+// a whole decoded segment to a worker in one channel operation instead of
+// one send per record — at millions of records/sec the per-send
+// synchronization would otherwise dominate. free (when non-nil) runs after
+// the batch is folded, returning pooled decode buffers to the producing
+// source; until then the source must not touch the slice.
+type ingestBatch struct {
+	pts  []core.Datapoint
+	free func()
 }
 
 // Daemon is one running harvestd instance.
 type Daemon struct {
 	cfg     Config
 	reg     *Registry
-	queue   chan core.Datapoint
+	queue   chan ingestBatch
 	ctr     counters
 	snapSeq atomic.Int64 // /snapshot sequence, for shard-restart detection
 	start   time.Time
@@ -153,7 +168,7 @@ func New(cfg Config, reg *Registry) (*Daemon, error) {
 	d := &Daemon{
 		cfg:   cfg,
 		reg:   reg,
-		queue: make(chan core.Datapoint, cfg.QueueSize),
+		queue: make(chan ingestBatch, cfg.QueueSize),
 	}
 	d.initMetrics()
 	return d, nil
@@ -271,14 +286,20 @@ func (d *Daemon) worker(id int) {
 		sp.SetAttr("folded", folded)
 		sp.End()
 	}()
-	for dp := range d.queue {
-		if dp.Validate() != nil {
-			d.ctr.rejected.Add(1)
-			continue
+	for bt := range d.queue {
+		for i := range bt.pts {
+			dp := &bt.pts[i]
+			if dp.Validate() != nil {
+				d.ctr.rejected.Add(1)
+				continue
+			}
+			d.reg.Fold(id, dp)
+			d.ctr.folded.Add(1)
+			folded++
 		}
-		d.reg.Fold(id, &dp)
-		d.ctr.folded.Add(1)
-		folded++
+		if bt.free != nil {
+			bt.free()
+		}
 	}
 }
 
@@ -292,7 +313,7 @@ func (d *Daemon) Ingest(dp core.Datapoint) error {
 		return fmt.Errorf("harvestd: not accepting data")
 	}
 	select {
-	case d.queue <- dp:
+	case d.queue <- ingestBatch{pts: []core.Datapoint{dp}}:
 		d.ctr.ingested.Add(1)
 		return nil
 	case <-d.srcCtx.Done():

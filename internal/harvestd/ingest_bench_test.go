@@ -1,0 +1,123 @@
+package harvestd
+
+// End-to-end ingest benchmarks: one op pushes ingestBenchRecords records
+// from an in-memory source through parse/decode, the worker queue, and the
+// estimator fold, waiting until the last record lands. These are the
+// numbers behind the binary format's reason to exist — `make bench` emits
+// them into BENCH_harvestd.json, where IngestBin's records/s is expected to
+// hold at least 5x IngestJSONL's.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harvester/binrec"
+	"repro/internal/lbsim"
+	"repro/internal/policy"
+)
+
+const ingestBenchRecords = 4096
+
+// benchDaemon builds a running 2-worker daemon with the standard candidate
+// set and no attached sources; the benchmark drives Source.Run directly.
+func benchDaemon(b *testing.B) *Daemon {
+	b.Helper()
+	reg, err := NewRegistry(2, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for a := 0; a < 2; a++ {
+		if err := reg.Register(fmt.Sprintf("always-%d", a), policy.Constant{A: core.Action(a)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := reg.Register("leastloaded", lbsim.LeastLoaded{}); err != nil {
+		b.Fatal(err)
+	}
+	d, err := New(Config{Workers: 2, Clip: 10}, reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = d.Shutdown(context.Background()) })
+	return d
+}
+
+// benchIngest runs the wire bytes through makeSrc once per op and blocks
+// until every record of the op has been folded.
+func benchIngest(b *testing.B, d *Daemon, wire []byte, makeSrc func(io.Reader) Source) {
+	b.Helper()
+	ctx := context.Background()
+	sink := &Sink{d: d}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := makeSrc(bytes.NewReader(wire))
+		if err := src.Run(ctx, sink); err != nil {
+			b.Fatal(err)
+		}
+		target := int64(i+1) * ingestBenchRecords
+		for d.ctr.folded.Load() < target {
+			runtime.Gosched()
+		}
+	}
+	b.StopTimer()
+	if got := d.ctr.folded.Load(); got != int64(b.N)*ingestBenchRecords {
+		b.Fatalf("folded %d records, want %d", got, int64(b.N)*ingestBenchRecords)
+	}
+	b.ReportMetric(float64(ingestBenchRecords)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkIngestNginx(b *testing.B) {
+	wire := []byte(genNginxLog(ingestBenchRecords, 1))
+	benchIngest(b, benchDaemon(b), wire, func(r io.Reader) Source {
+		return &NginxSource{R: r}
+	})
+}
+
+func BenchmarkIngestJSONL(b *testing.B) {
+	ds := benchDatapoints(ingestBenchRecords)
+	var buf bytes.Buffer
+	w := core.NewJSONLWriter(&buf)
+	for i := range ds {
+		if err := w.Write(&ds[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	benchIngest(b, benchDaemon(b), buf.Bytes(), func(r io.Reader) Source {
+		return &JSONLSource{R: r}
+	})
+}
+
+// BenchmarkIngestBin is the tentpole's end-to-end number: binary decode into
+// pooled batches, whole segments per queue send, zero per-record heap
+// allocations on the decode side.
+func BenchmarkIngestBin(b *testing.B) {
+	ds := benchDatapoints(ingestBenchRecords)
+	var buf bytes.Buffer
+	enc, err := binrec.NewEncoder(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range ds {
+		if err := enc.Write(&ds[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	benchIngest(b, benchDaemon(b), buf.Bytes(), func(r io.Reader) Source {
+		return &BinSource{R: r}
+	})
+}

@@ -29,6 +29,7 @@ func (d *Daemon) initMetrics() {
 	r.CounterFunc("harvestd_lines_total", "raw input lines or records seen", d.ctr.lines.Load)
 	r.CounterFunc("harvestd_parse_errors_total", "unparseable input lines", d.ctr.parseErrors.Load)
 	r.CounterFunc("harvestd_rejected_total", "parsed lines carrying no usable datapoint", d.ctr.rejected.Load)
+	r.CounterFunc("harvestd_harvested_total", "datapoints reconstructed from derived records (cache eviction joins)", d.ctr.harvested.Load)
 	r.CounterFunc("harvestd_ingested_total", "datapoints enqueued for folding", d.ctr.ingested.Load)
 	r.CounterFunc("harvestd_folded_total", "datapoints folded into estimators", d.ctr.folded.Load)
 	r.CounterFunc("harvestd_checkpoints_total", "successful checkpoint writes", d.ctr.checkpoints.Load)
@@ -40,10 +41,10 @@ func (d *Daemon) initMetrics() {
 		}
 		return float64(d.ctr.lines.Load()) / uptime
 	})
-	r.GaugeFunc("harvestd_queue_depth", "datapoints waiting in the ingestion queue", func() float64 {
+	r.GaugeFunc("harvestd_queue_depth", "batches waiting in the ingestion queue", func() float64 {
 		return float64(len(d.queue))
 	})
-	r.GaugeFunc("harvestd_queue_capacity", "ingestion queue capacity", func() float64 {
+	r.GaugeFunc("harvestd_queue_capacity", "ingestion queue capacity in batches", func() float64 {
 		return float64(cap(d.queue))
 	})
 	r.GaugeFunc("harvestd_workers", "ingestion worker count", func() float64 {

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harvester"
+	"repro/internal/harvester/binrec"
 )
 
 // handler builds the daemon's stdlib-only HTTP API:
@@ -27,8 +29,9 @@ import (
 //	                 clip and propensity-floor fractions
 //	GET  /snapshot   this shard's complete estimator state on the
 //	                 federation wire (see StateSnapshot), for harvestagg
-//	POST /ingest     push raw log lines (?format=nginx|jsonl), for smoke
-//	                 tests and push-based producers
+//	POST /ingest     push raw log data (?format=nginx|jsonl|bin), for smoke
+//	                 tests and push-based producers; bin takes the binrec
+//	                 binary stream and ingests whole decoded segments
 //	POST /checkpoint force a checkpoint now
 func (d *Daemon) handler() http.Handler {
 	mux := http.NewServeMux()
@@ -118,7 +121,7 @@ func (d *Daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if format == "" {
 		format = "nginx"
 	}
-	if format != "nginx" && format != "jsonl" {
+	if format != "nginx" && format != "jsonl" && format != "bin" {
 		http.Error(w, fmt.Sprintf("unknown format %q", format), http.StatusBadRequest)
 		return
 	}
@@ -129,8 +132,12 @@ func (d *Daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
 		sp.SetAttr("lines", lines)
 		sp.SetAttr("ingested", ingested)
 	}()
+	if format == "bin" {
+		d.handleIngestBin(w, r, &lines, &ingested, &rejected)
+		return
+	}
 	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	sc.Buffer(make([]byte, 0, core.ScanBufferSize), core.MaxRecordBytes)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
@@ -146,7 +153,7 @@ func (d *Daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
 				d.ctr.parseErrors.Add(1)
 				continue
 			}
-			dp, ok, err := entryToDatapoint(e, 1)
+			dp, ok, err := harvester.EntryToTypedDatapoint(e, 1)
 			if err != nil {
 				parseErrors++
 				d.ctr.parseErrors.Add(1)
@@ -178,6 +185,57 @@ func (d *Daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]int64{
 		"lines": lines, "ingested": ingested,
 		"rejected": rejected, "parse_errors": parseErrors,
+	})
+}
+
+// handleIngestBin streams a binrec binary body through the batched ingest
+// path: whole decoded segments go to the worker queue in one channel send,
+// and the two decode arenas ping-pong through a free list so a sustained
+// push allocates nothing per record. Invalid points are tallied for the
+// response here but counted into harvestd_rejected_total by the fold
+// workers, which validate every queued point exactly once.
+func (d *Daemon) handleIngestBin(w http.ResponseWriter, r *http.Request, lines, ingested, rejected *int64) {
+	ctx := r.Context()
+	sink := &Sink{d: d}
+	free := make(chan *binrec.Batch, 2)
+	free <- new(binrec.Batch)
+	free <- new(binrec.Batch)
+	dec := binrec.NewDecoder(r.Body)
+	for {
+		var b *binrec.Batch
+		select {
+		case b = <-free:
+		case <-ctx.Done():
+			http.Error(w, ctx.Err().Error(), http.StatusServiceUnavailable)
+			return
+		}
+		err := dec.Next(b)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			d.ctr.parseErrors.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n := len(b.Points)
+		*lines += int64(n)
+		sink.Lines(n)
+		for i := range b.Points {
+			if b.Points[i].Validate() != nil {
+				*rejected++
+			}
+		}
+		bb := b
+		if err := sink.EmitBatch(ctx, bb.Points, func() { free <- bb }); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		*ingested += int64(n)
+	}
+	writeJSON(w, map[string]int64{
+		"lines": *lines, "ingested": *ingested,
+		"rejected": *rejected, "parse_errors": 0,
 	})
 }
 

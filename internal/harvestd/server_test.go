@@ -292,7 +292,7 @@ func TestServerDiagnostics(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		dp, ok, err := entryToDatapoint(e, 1)
+		dp, ok, err := harvester.EntryToTypedDatapoint(e, 1)
 		if err != nil || !ok {
 			t.Fatalf("line rejected: %v", err)
 		}

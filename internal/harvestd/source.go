@@ -3,6 +3,7 @@ package harvestd
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -11,7 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harvester"
-	"repro/internal/lbsim"
+	"repro/internal/harvester/binrec"
 )
 
 // A Source feeds exploration datapoints into the daemon's ingestion
@@ -35,6 +36,10 @@ type Sink struct {
 // Line records one raw input line (or record) seen.
 func (s *Sink) Line() { s.d.ctr.lines.Add(1) }
 
+// Lines records n raw input lines (or records) seen at once — the batch
+// counterpart of Line for sources that ingest whole segments.
+func (s *Sink) Lines(n int) { s.d.ctr.lines.Add(int64(n)) }
+
 // ParseError records a line that could not be parsed.
 func (s *Sink) ParseError() { s.d.ctr.parseErrors.Add(1) }
 
@@ -42,14 +47,44 @@ func (s *Sink) ParseError() { s.d.ctr.parseErrors.Add(1) }
 // (failed request, missing propensity, out-of-range type, ...).
 func (s *Sink) Rejected() { s.d.ctr.rejected.Add(1) }
 
+// Harvested records n datapoints reconstructed from derived records — the
+// cache source's look-ahead join produces one datapoint per eviction, which
+// is not the same thing as an input line; keeping the counters separate is
+// what keeps harvestd_lines_total meaning "raw input lines seen".
+func (s *Sink) Harvested(n int) { s.d.ctr.harvested.Add(int64(n)) }
+
 // Emit offers one datapoint to the bounded worker queue, blocking for
 // backpressure; it fails only when ctx is cancelled first.
 func (s *Sink) Emit(ctx context.Context, d core.Datapoint) error {
 	select {
-	case s.d.queue <- d:
+	case s.d.queue <- ingestBatch{pts: []core.Datapoint{d}}:
 		s.d.ctr.ingested.Add(1)
 		return nil
 	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// EmitBatch offers a whole slice of datapoints to the worker queue in one
+// channel operation — the binary ingest hot path. Ownership of pts
+// transfers to the daemon until free runs (after the batch is folded);
+// sources recycling decode buffers pass a free that returns the batch to
+// their pool, and must not touch pts before it fires. free may be nil.
+func (s *Sink) EmitBatch(ctx context.Context, pts []core.Datapoint, free func()) error {
+	if len(pts) == 0 {
+		if free != nil {
+			free()
+		}
+		return nil
+	}
+	select {
+	case s.d.queue <- ingestBatch{pts: pts, free: free}:
+		s.d.ctr.ingested.Add(int64(len(pts)))
+		return nil
+	case <-ctx.Done():
+		if free != nil {
+			free()
+		}
 		return ctx.Err()
 	}
 }
@@ -58,9 +93,10 @@ func (s *Sink) Emit(ctx context.Context, d core.Datapoint) error {
 // polls for appended data until ctx is cancelled, then reports io.EOF so
 // downstream scanners terminate cleanly.
 type tailReader struct {
-	ctx  context.Context
-	r    io.Reader
-	poll time.Duration
+	ctx   context.Context
+	r     io.Reader
+	poll  time.Duration
+	timer *time.Timer // reused across polls; a per-poll time.After leaks a timer allocation every interval
 }
 
 func (t *tailReader) Read(p []byte) (int, error) {
@@ -72,10 +108,18 @@ func (t *tailReader) Read(p []byte) (int, error) {
 		if err != nil && err != io.EOF {
 			return 0, err
 		}
+		if t.timer == nil {
+			t.timer = time.NewTimer(t.poll)
+		} else {
+			t.timer.Reset(t.poll)
+		}
 		select {
 		case <-t.ctx.Done():
+			if !t.timer.Stop() {
+				<-t.timer.C
+			}
 			return 0, io.EOF
-		case <-time.After(t.poll):
+		case <-t.timer.C:
 		}
 	}
 }
@@ -137,7 +181,7 @@ func (s *NginxSource) Run(ctx context.Context, sink *Sink) error {
 		r = &tailReader{ctx: ctx, r: r, poll: poll}
 	}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	sc.Buffer(make([]byte, 0, core.ScanBufferSize), core.MaxRecordBytes)
 	lineNo := 0
 	for sc.Scan() {
 		if ctx.Err() != nil {
@@ -152,14 +196,24 @@ func (s *NginxSource) Run(ctx context.Context, sink *Sink) error {
 		e, err := harvester.ParseNginxLine(line)
 		if err != nil {
 			if s.Strict {
+				// A shutdown racing a live append can hand the scanner a torn
+				// final line; that is clean termination, not corrupt input.
+				if ctx.Err() != nil {
+					sink.ParseError()
+					return nil
+				}
 				return fmt.Errorf("harvestd: %s line %d: %w", s.Name(), lineNo, err)
 			}
 			sink.ParseError()
 			continue
 		}
-		d, ok, err := entryToDatapoint(e, s.NumTypes)
+		d, ok, err := harvester.EntryToTypedDatapoint(e, s.NumTypes)
 		if err != nil {
 			if s.Strict {
+				if ctx.Err() != nil {
+					sink.ParseError()
+					return nil
+				}
 				return fmt.Errorf("harvestd: %s line %d: %w", s.Name(), lineNo, err)
 			}
 			sink.ParseError()
@@ -177,34 +231,6 @@ func (s *NginxSource) Run(ctx context.Context, sink *Sink) error {
 		return fmt.Errorf("harvestd: %s: %w", s.Name(), err)
 	}
 	return nil
-}
-
-// entryToDatapoint converts one parsed access entry into exploration data,
-// mirroring harvester.NginxToTypedDataset's per-entry logic: non-2xx,
-// propensity-free, or type-out-of-range entries are skipped (ok=false); an
-// upstream index inconsistent with the logged connection vector is an error.
-func entryToDatapoint(e *harvester.AccessEntry, numTypes int) (core.Datapoint, bool, error) {
-	if e.Status < 200 || e.Status > 299 || e.Upstream < 0 || len(e.Conns) == 0 || e.Propensity <= 0 {
-		return core.Datapoint{}, false, nil
-	}
-	if e.Upstream >= len(e.Conns) {
-		return core.Datapoint{}, false, fmt.Errorf("upstream %d with %d conns", e.Upstream, len(e.Conns))
-	}
-	reqType := 0
-	if numTypes > 1 {
-		if e.Type < 0 || e.Type >= numTypes {
-			return core.Datapoint{}, false, nil
-		}
-		reqType = e.Type
-	} else {
-		numTypes = 1
-	}
-	return core.Datapoint{
-		Context:    lbsim.BuildContext(e.Conns, reqType, numTypes),
-		Action:     core.Action(e.Upstream),
-		Reward:     e.RequestTime,
-		Propensity: e.Propensity,
-	}, true, nil
 }
 
 // JSONLSource streams a core JSONL exploration dataset. Datasets are
@@ -281,6 +307,21 @@ func (s *CacheLogSource) Name() string {
 	return "cachelog:<reader>"
 }
 
+// ctxReader aborts a blocking read pipeline when ctx is cancelled. It checks
+// between Reads rather than interrupting one — fine for file and in-memory
+// inputs, where individual Reads return promptly.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
+}
+
 // Run implements Source.
 func (s *CacheLogSource) Run(ctx context.Context, sink *Sink) error {
 	r, closer, err := openSource(s.Path, s.R)
@@ -288,12 +329,19 @@ func (s *CacheLogSource) Run(ctx context.Context, sink *Sink) error {
 		return fmt.Errorf("harvestd: %s: %w", s.Name(), err)
 	}
 	defer func() { _ = closer() }() // read-only source; close error unactionable
-	accesses, evictions, err := harvester.ScavengeCacheLogs(r)
+	accesses, evictions, err := harvester.ScavengeCacheLogs(&ctxReader{ctx: ctx, r: r})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil // shutdown mid-scan, not a source failure
+		}
 		return fmt.Errorf("harvestd: %s: %w", s.Name(), err)
 	}
-	for range accesses {
-		sink.Line()
+	// Every scavenged line — accesses and eviction decisions alike — is one
+	// raw input line. Harvested datapoints are counted separately below;
+	// counting them under lines too would double-book each eviction.
+	sink.Lines(len(accesses) + len(evictions))
+	if ctx.Err() != nil {
+		return nil
 	}
 	horizon := s.Horizon
 	if horizon <= 0 {
@@ -306,8 +354,11 @@ func (s *CacheLogSource) Run(ctx context.Context, sink *Sink) error {
 		}
 		return fmt.Errorf("harvestd: %s: %w", s.Name(), err)
 	}
+	sink.Harvested(len(ds))
 	for i := range ds {
-		sink.Line()
+		if ctx.Err() != nil {
+			return nil
+		}
 		if ds[i].Validate() != nil {
 			sink.Rejected()
 			continue
@@ -317,4 +368,81 @@ func (s *CacheLogSource) Run(ctx context.Context, sink *Sink) error {
 		}
 	}
 	return nil
+}
+
+// BinSource streams a binrec binary harvest-record file — the bulk-transport
+// ingest path. Decoded segments are handed to the daemon whole via
+// Sink.EmitBatch, and decode buffers cycle through a small free list so the
+// steady state allocates nothing per record: the decoder arena that a batch
+// was decoded into is returned by the worker's free callback once folded.
+//
+// Binary files are machine-written, so corruption aborts the source — except
+// a torn trailing segment racing shutdown in follow mode, which is counted
+// as a parse error, mirroring JSONLSource's truncated-tail handling.
+type BinSource struct {
+	Path string
+	R    io.Reader
+	// Follow keeps reading as the file grows (tail -f) until shutdown.
+	Follow bool
+	// Poll is the follow-mode poll interval (default 50ms).
+	Poll time.Duration
+}
+
+// Name implements Source.
+func (s *BinSource) Name() string {
+	if s.Path != "" {
+		return "bin:" + s.Path
+	}
+	return "bin:<reader>"
+}
+
+// binFreeListDepth bounds in-flight decode batches per binary source: deep
+// enough to keep decode ahead of fold, small enough that a stalled worker
+// pins only a few arenas.
+const binFreeListDepth = 4
+
+// Run implements Source.
+func (s *BinSource) Run(ctx context.Context, sink *Sink) error {
+	r, closer, err := openSource(s.Path, s.R)
+	if err != nil {
+		return fmt.Errorf("harvestd: %s: %w", s.Name(), err)
+	}
+	defer func() { _ = closer() }() // read-only source; close error unactionable
+	if s.Follow {
+		poll := s.Poll
+		if poll <= 0 {
+			poll = 50 * time.Millisecond
+		}
+		r = &tailReader{ctx: ctx, r: r, poll: poll}
+	}
+	free := make(chan *binrec.Batch, binFreeListDepth)
+	for i := 0; i < binFreeListDepth; i++ {
+		free <- new(binrec.Batch)
+	}
+	dec := binrec.NewDecoder(r)
+	for {
+		var b *binrec.Batch
+		select {
+		case b = <-free:
+		case <-ctx.Done():
+			return nil
+		}
+		err := dec.Next(b)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if ctx.Err() != nil && errors.Is(err, io.ErrUnexpectedEOF) {
+				// Shutdown mid-segment: a torn tail is expected, not corruption.
+				sink.ParseError()
+				return nil
+			}
+			return fmt.Errorf("harvestd: %s: %w", s.Name(), err)
+		}
+		sink.Lines(len(b.Points))
+		bb := b
+		if err := sink.EmitBatch(ctx, bb.Points, func() { free <- bb }); err != nil {
+			return nil // shutdown, not a source failure
+		}
+	}
 }

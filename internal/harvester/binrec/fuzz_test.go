@@ -1,0 +1,115 @@
+package binrec
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzBinRecDecode feeds arbitrary bytes to the decoder: it must terminate
+// with io.EOF or a descriptive error — never panic, never allocate a buffer
+// sized by an unvalidated length prefix. Valid streams are seeded so the
+// fuzzer mutates real framing, not just garbage.
+func FuzzBinRecDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	for _, seed := range []int64{1, 2} {
+		ds := randomDataset(seed, 8)
+		var buf bytes.Buffer
+		enc, err := NewEncoder(&buf)
+		if err != nil {
+			f.Fatal(err)
+		}
+		enc.SegmentBytes = 128
+		for i := range ds {
+			if err := enc.Write(&ds[i]); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		var b Batch
+		records := 0
+		for {
+			err := dec.Next(&b)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // rejected with context — the acceptable outcome
+			}
+			records += len(b.Points)
+			if records > len(data) {
+				t.Fatalf("%d records decoded from %d input bytes", records, len(data))
+			}
+			for i := range b.Points {
+				_ = b.Points[i].Validate() // must not panic on any decoded point
+			}
+		}
+	})
+}
+
+// FuzzBinRecRoundTrip mutates a scalar record through encode → decode →
+// re-encode, checking byte-exactness of the second encoding.
+func FuzzBinRecRoundTrip(f *testing.F) {
+	f.Add(int64(2), uint8(0), 0.5, 0.25, int64(7), "t")
+	f.Add(int64(5), uint8(4), -1.5, 1.0, int64(-9), "")
+	f.Fuzz(func(t *testing.T, k int64, a uint8, reward, prop float64, seq int64, tag string) {
+		if k < 1 || k > 64 {
+			return
+		}
+		d := core.Datapoint{
+			Context: core.Context{
+				Features:   core.Vector{reward, prop, float64(seq)},
+				NumActions: int(k),
+			},
+			Action:     core.Action(a),
+			Reward:     reward,
+			Propensity: prop,
+			Seq:        seq,
+			Tag:        tag,
+		}
+		var buf bytes.Buffer
+		enc, err := NewEncoder(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Write(&d); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		wire := buf.Bytes()
+
+		dec := NewDecoder(bytes.NewReader(wire))
+		var b Batch
+		if err := dec.Next(&b); err != nil {
+			t.Fatalf("decoding own encoding: %v", err)
+		}
+		if len(b.Points) != 1 {
+			t.Fatalf("got %d points, want 1", len(b.Points))
+		}
+		var buf2 bytes.Buffer
+		enc2, err := NewEncoder(&buf2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc2.Write(&b.Points[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc2.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wire, buf2.Bytes()) {
+			t.Fatalf("round trip not byte-exact:\n %x\n %x", wire, buf2.Bytes())
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/cachesim"
+	"repro/internal/core"
 )
 
 // The cache substrate's on-disk log format, in the spirit of the paper's
@@ -61,7 +62,7 @@ func WriteCacheLogs(w io.Writer, accesses []cachesim.AccessRecord, evictions []c
 // equivalent live system) back into typed records.
 func ScavengeCacheLogs(r io.Reader) ([]cachesim.AccessRecord, []cachesim.EvictionRecord, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	sc.Buffer(make([]byte, 0, core.ScanBufferSize), core.MaxRecordBytes)
 	var (
 		accesses  []cachesim.AccessRecord
 		evictions []cachesim.EvictionRecord

@@ -3,11 +3,13 @@ package harvester
 import (
 	"bytes"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/cachesim"
+	"repro/internal/core"
 	"repro/internal/stats"
 )
 
@@ -168,5 +170,17 @@ func TestCacheLogKeyRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestScavengeCacheLogsOverLimitLine: the cache-log scanner shares the
+// repo-wide core.MaxRecordBytes bound and reports an over-limit line as an
+// error instead of silently dropping it.
+func TestScavengeCacheLogsOverLimitLine(t *testing.T) {
+	line := "A 1 " + strconv.Quote(strings.Repeat("k", core.MaxRecordBytes)) + " 10 0\n"
+	if _, _, err := ScavengeCacheLogs(strings.NewReader(line)); err == nil {
+		t.Fatal("want error for over-limit cache-log line, got nil")
+	} else if !strings.Contains(err.Error(), "token too long") {
+		t.Errorf("error %q should name the scanner limit", err)
 	}
 }

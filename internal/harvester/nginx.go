@@ -127,7 +127,7 @@ func ParseNginxLine(line string) (*AccessEntry, error) {
 // bias every downstream estimate.
 func ScavengeNginx(r io.Reader) ([]AccessEntry, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	sc.Buffer(make([]byte, 0, core.ScanBufferSize), core.MaxRecordBytes)
 	var out []AccessEntry
 	lineNo := 0
 	for sc.Scan() {
@@ -166,31 +166,48 @@ func NginxToTypedDataset(entries []AccessEntry, numTypes int) (core.Dataset, int
 	ds := make(core.Dataset, 0, len(entries))
 	skipped := 0
 	for i := range entries {
-		e := &entries[i]
-		if e.Status < 200 || e.Status > 299 || e.Upstream < 0 || len(e.Conns) == 0 || e.Propensity <= 0 {
+		d, ok, err := EntryToTypedDatapoint(&entries[i], numTypes)
+		if err != nil {
+			return nil, 0, fmt.Errorf("harvester: entry %d %w", i, err)
+		}
+		if !ok {
 			skipped++
 			continue
 		}
-		if e.Upstream >= len(e.Conns) {
-			return nil, 0, fmt.Errorf("harvester: entry %d upstream %d with %d conns", i, e.Upstream, len(e.Conns))
-		}
-		reqType := 0
-		if numTypes > 1 {
-			if e.Type < 0 || e.Type >= numTypes {
-				skipped++
-				continue
-			}
-			reqType = e.Type
-		}
-		ds = append(ds, core.Datapoint{
-			Context:    lbsim.BuildContext(e.Conns, reqType, numTypes),
-			Action:     core.Action(e.Upstream),
-			Reward:     e.RequestTime,
-			Propensity: e.Propensity,
-			Seq:        int64(i),
-		})
+		d.Seq = int64(i)
+		ds = append(ds, d)
 	}
 	return ds, skipped, nil
+}
+
+// EntryToTypedDatapoint converts one parsed access entry into an
+// exploration datapoint — the per-entry unit both the batch converters above
+// and harvestd's streaming NginxSource share, so the two paths cannot drift.
+// Failed requests (non-2xx), propensity-free, or type-out-of-range entries
+// are skipped (ok=false); an upstream index inconsistent with the logged
+// connection vector is an error. The caller assigns Seq.
+func EntryToTypedDatapoint(e *AccessEntry, numTypes int) (core.Datapoint, bool, error) {
+	if e.Status < 200 || e.Status > 299 || e.Upstream < 0 || len(e.Conns) == 0 || e.Propensity <= 0 {
+		return core.Datapoint{}, false, nil
+	}
+	if e.Upstream >= len(e.Conns) {
+		return core.Datapoint{}, false, fmt.Errorf("upstream %d with %d conns", e.Upstream, len(e.Conns))
+	}
+	reqType := 0
+	if numTypes > 1 {
+		if e.Type < 0 || e.Type >= numTypes {
+			return core.Datapoint{}, false, nil
+		}
+		reqType = e.Type
+	} else {
+		numTypes = 1
+	}
+	return core.Datapoint{
+		Context:    lbsim.BuildContext(e.Conns, reqType, numTypes),
+		Action:     core.Action(e.Upstream),
+		Reward:     e.RequestTime,
+		Propensity: e.Propensity,
+	}, true, nil
 }
 
 func truncate(s string, n int) string {

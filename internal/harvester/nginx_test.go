@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/netlb"
 	"repro/internal/policy"
 	"repro/internal/stats"
@@ -191,5 +192,17 @@ func TestEndToEndHarvestFromLiveProxy(t *testing.T) {
 	if slow/float64(nSlow) <= fast/float64(nFast) {
 		t.Errorf("harvested mean latencies: upstream1 %v should exceed upstream0 %v",
 			slow/float64(nSlow), fast/float64(nFast))
+	}
+}
+
+// TestScavengeNginxOverLimitLine: a line longer than the repo-wide
+// core.MaxRecordBytes record bound is an explicit error (bufio.ErrTooLong
+// surfaced), never a silent skip.
+func TestScavengeNginxOverLimitLine(t *testing.T) {
+	line := strings.Repeat("a", core.MaxRecordBytes+1) + "\n"
+	if _, err := ScavengeNginx(strings.NewReader(line)); err == nil {
+		t.Fatal("want error for over-limit access-log line, got nil")
+	} else if !strings.Contains(err.Error(), "token too long") {
+		t.Errorf("error %q should name the scanner limit", err)
 	}
 }
