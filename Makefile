@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-all bench-parallel experiments fuzz harvestd-demo trace-demo fleet-demo clean
+.PHONY: all build vet lint lint-json wirelock test race bench bench-all bench-parallel experiments fuzz harvestd-demo trace-demo fleet-demo clean
 
 all: build vet lint test
 
@@ -13,9 +13,22 @@ vet:
 
 # Repo-specific invariants the compiler cannot check: seeded RNG plumbing,
 # guarded propensity divisions, virtual clocks in simulations, locks passed
-# by pointer, no dropped errors. See internal/lint and DESIGN.md §6.
+# by pointer, no dropped errors, plus the dataflow analyses (propensity
+# taint, map-order determinism, wire-struct locking, ctx-deaf loops). The
+# committed baseline is empty and must stay empty. See internal/lint,
+# DESIGN.md §6 and §11.
 lint:
-	$(GO) run ./cmd/harvestlint ./...
+	$(GO) run ./cmd/harvestlint -baseline internal/lint/baseline.txt ./...
+
+# Machine-readable diagnostics for CI artifact upload (same gate as lint).
+lint-json:
+	$(GO) run ./cmd/harvestlint -baseline internal/lint/baseline.txt -json ./... > LINT_harvestlint.json
+
+# Regenerate internal/lint/wire.lock from the watched wire structs. Refuses
+# a struct whose field set changed without its version constant moving; CI
+# regenerates and fails on diff, so schema bumps are always deliberate.
+wirelock:
+	$(GO) run ./cmd/harvestlint -wirelock
 
 test:
 	$(GO) test ./...

@@ -9,6 +9,21 @@
 // current directory: "./..." (the default) lints the whole module,
 // "./internal/..." a subtree, and "./internal/ope" a single package.
 //
+// Analyzer selection: -enable=a,b runs only the named analyzers,
+// -disable=a,b runs everything but them (-only is a legacy alias of
+// -enable). -list enumerates the registry.
+//
+// Output and gating: -json emits machine-readable diagnostics for CI;
+// -baseline FILE absorbs known findings (burn the file down to empty,
+// never grow it); -write-baseline regenerates that file from the current
+// findings; -fix applies the suggested edits carried by fixable findings
+// and gofmts the touched files.
+//
+// Wire-format locking: -wirelock regenerates internal/lint/wire.lock
+// from the watched wire structs, refusing any struct whose field set
+// changed while its guarding version constant did not (see the
+// wirecompat analyzer).
+//
 // Findings are suppressed by an annotated comment on the same line or the
 // line above:
 //
@@ -16,10 +31,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/lint"
@@ -32,10 +49,17 @@ func main() {
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("harvestlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	only := fs.String("only", "", "legacy alias of -enable")
+	enable := fs.String("enable", "", "comma-separated analyzer names to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	fixMode := fs.Bool("fix", false, "apply suggested fixes for fixable findings")
+	baselinePath := fs.String("baseline", "", "baseline file of known findings that do not fail the build")
+	writeBaseline := fs.Bool("write-baseline", false, "write current findings to the -baseline file and exit")
+	wirelock := fs.Bool("wirelock", false, "regenerate "+lint.WireLockPath+" from the watched wire structs and exit")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: harvestlint [-only a,b] [-list] [packages]")
+		fmt.Fprintln(stderr, "usage: harvestlint [-enable a,b | -disable a,b] [-json] [-fix] [-baseline FILE [-write-baseline]] [-wirelock] [-list] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -45,26 +69,27 @@ func run(args []string, stdout, stderr *os.File) int {
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-9s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
+	if *only != "" && *enable != "" {
+		fmt.Fprintln(stderr, "harvestlint: -only is an alias of -enable; give only one")
+		return 2
+	}
 	if *only != "" {
-		keep := map[string]bool{}
-		for _, name := range strings.Split(*only, ",") {
-			keep[strings.TrimSpace(name)] = true
-		}
-		var sel []*lint.Analyzer
-		for _, a := range analyzers {
-			if keep[a.Name] {
-				sel = append(sel, a)
-				delete(keep, a.Name)
-			}
-		}
-		for name := range keep {
+		*enable = *only
+	}
+	if *enable != "" && *disable != "" {
+		fmt.Fprintln(stderr, "harvestlint: -enable and -disable are mutually exclusive")
+		return 2
+	}
+	if sel, unknown := selectAnalyzers(analyzers, *enable, *disable); len(unknown) > 0 {
+		for _, name := range unknown {
 			fmt.Fprintf(stderr, "harvestlint: unknown analyzer %q\n", name)
-			return 2
 		}
+		return 2
+	} else {
 		analyzers = sel
 	}
 
@@ -78,10 +103,22 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "harvestlint: %v\n", err)
 		return 2
 	}
+	lockPath := filepath.Join(root, filepath.FromSlash(lint.WireLockPath))
+	if data, err := os.ReadFile(lockPath); err == nil {
+		lock, perr := lint.ParseWireLock(data)
+		if perr != nil {
+			fmt.Fprintf(stderr, "harvestlint: %v\n", perr)
+			return 2
+		}
+		lint.SetWireLock(lock)
+	}
 	pkgs, err := lint.LoadModule(root)
 	if err != nil {
 		fmt.Fprintf(stderr, "harvestlint: %v\n", err)
 		return 2
+	}
+	if *wirelock {
+		return regenWireLock(pkgs, lockPath, stdout, stderr)
 	}
 
 	patterns := fs.Args()
@@ -102,15 +139,175 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "harvestlint: no packages match %v\n", patterns)
 		return 2
 	}
-
 	lint.Sort(findings)
-	for _, f := range findings {
-		f.Pos.Filename = relTo(cwd, f.Pos.Filename)
-		fmt.Fprintln(stdout, f)
+
+	rel := func(path string) string { return relTo(root, path) }
+	if *writeBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(stderr, "harvestlint: -write-baseline requires -baseline FILE")
+			return 2
+		}
+		if err := os.WriteFile(*baselinePath, lint.FormatBaseline(findings, rel), 0o644); err != nil {
+			fmt.Fprintf(stderr, "harvestlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "harvestlint: wrote %d baseline entries to %s\n", len(findings), *baselinePath)
+		return 0
+	}
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "harvestlint: %v\n", err)
+			return 2
+		}
+		var stale []string
+		findings, _, stale = lint.FilterBaseline(findings, lint.ParseBaseline(data), rel)
+		for _, k := range stale {
+			fmt.Fprintf(stderr, "harvestlint: stale baseline entry (finding fixed — delete the line): %s\n", k)
+		}
+	}
+
+	if *fixMode {
+		applied, err := lint.ApplyFixes(findings)
+		if err != nil {
+			fmt.Fprintf(stderr, "harvestlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "harvestlint: applied %d fixes\n", applied)
+		// Keep only findings the fix pass could not resolve; the caller
+		// re-runs to verify the rewritten tree.
+		var unfixed []lint.Finding
+		for _, f := range findings {
+			if len(f.Fixes) == 0 {
+				unfixed = append(unfixed, f)
+			}
+		}
+		findings = unfixed
+	}
+
+	for i := range findings {
+		findings[i].Pos.Filename = relTo(cwd, findings[i].Pos.Filename)
+	}
+	if *jsonOut {
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "harvestlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// selectAnalyzers applies -enable/-disable to the registry, returning the
+// selection and any unknown names (sorted) for error reporting.
+func selectAnalyzers(all []*lint.Analyzer, enable, disable string) (sel []*lint.Analyzer, unknown []string) {
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	splitNames := func(s string) []string {
+		var names []string
+		for _, n := range strings.Split(s, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		return names
+	}
+	switch {
+	case enable != "":
+		want := map[string]bool{}
+		for _, n := range splitNames(enable) {
+			if byName[n] == nil {
+				unknown = append(unknown, n)
+			} else {
+				want[n] = true
+			}
+		}
+		for _, a := range all {
+			if want[a.Name] {
+				sel = append(sel, a)
+			}
+		}
+	case disable != "":
+		drop := map[string]bool{}
+		for _, n := range splitNames(disable) {
+			if byName[n] == nil {
+				unknown = append(unknown, n)
+			} else {
+				drop[n] = true
+			}
+		}
+		for _, a := range all {
+			if !drop[a.Name] {
+				sel = append(sel, a)
+			}
+		}
+	default:
+		sel = all
+	}
+	sort.Strings(unknown)
+	return sel, unknown
+}
+
+// jsonFinding is the -json wire shape of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Fixable  bool   `json:"fixable"`
+}
+
+func writeJSON(out *os.File, findings []lint.Finding) error {
+	js := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		js = append(js, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+			Fixable:  len(f.Fixes) > 0,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(js)
+}
+
+// regenWireLock rebuilds the lockfile from the loaded packages. When an
+// existing lock is loaded, any watched struct whose field set changed
+// without its guarding version constant moving aborts the regeneration:
+// schema changes must ride with a deliberate bump.
+func regenWireLock(pkgs []*lint.Package, lockPath string, stdout, stderr *os.File) int {
+	next := lint.NewWireLock()
+	for _, pkg := range pkgs {
+		lint.MergeWireLock(next, lint.WireEntries(pkg))
+	}
+	if bad := lint.CheckWireBump(lint.CurrentWireLock(), next); len(bad) > 0 {
+		for _, key := range bad {
+			fmt.Fprintf(stderr, "harvestlint: wire struct %s changed but its version constant did not; bump it before regenerating\n", key)
+		}
+		return 1
+	}
+	if err := os.MkdirAll(filepath.Dir(lockPath), 0o755); err != nil {
+		fmt.Fprintf(stderr, "harvestlint: %v\n", err)
+		return 2
+	}
+	if err := os.WriteFile(lockPath, lint.FormatWireLock(next), 0o644); err != nil {
+		fmt.Fprintf(stderr, "harvestlint: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "harvestlint: wrote %s (%d consts, %d structs)\n",
+		lockPath, len(next.Consts), len(next.Structs))
 	return 0
 }
 

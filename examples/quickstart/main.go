@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/ope"
@@ -55,8 +56,14 @@ func main() {
 		"threshold": policy.Stump{Idx: 0, Cut: 0.5, Below: 0, Above: 2},
 	}
 	fmt.Println("off-policy estimates (never deployed!):")
+	names := make([]string, 0, len(candidates))
+	for name := range candidates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	best, bestVal := "", -1.0
-	for name, pol := range candidates {
+	for _, name := range names {
+		pol := candidates[name]
 		est, err := (ope.IPS{}).Estimate(pol, logged)
 		if err != nil {
 			log.Fatal(err)

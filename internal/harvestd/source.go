@@ -417,6 +417,7 @@ func (s *BinSource) Run(ctx context.Context, sink *Sink) error {
 	}
 	free := make(chan *binrec.Batch, binFreeListDepth)
 	for i := 0; i < binFreeListDepth; i++ {
+		//lint:ignore ctxloop priming a buffered free list; capacity equals the trip count, sends never block
 		free <- new(binrec.Batch)
 	}
 	dec := binrec.NewDecoder(r)

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Baseline support: a committed file of known findings that are reported
+// but do not fail the build, so a new analyzer can land strict while its
+// legacy findings are burned down. Keys deliberately omit line numbers —
+// unrelated edits must not invalidate the baseline — and are counted as
+// a multiset: a baseline entry appearing twice absorbs two findings with
+// that key, no more.
+
+// BaselineKey is the stable identity of a finding: relative file path,
+// analyzer, and message (no line/column).
+func BaselineKey(f Finding, rel func(string) string) string {
+	return fmt.Sprintf("%s: [%s] %s", rel(f.Pos.Filename), f.Analyzer, f.Message)
+}
+
+// ParseBaseline reads a baseline file: one key per line, blank lines and
+// #-comments ignored. Returns the key multiset.
+func ParseBaseline(data []byte) map[string]int {
+	base := make(map[string]int)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		base[line]++
+	}
+	return base
+}
+
+// FormatBaseline renders the findings as a baseline file, sorted.
+func FormatBaseline(findings []Finding, rel func(string) string) []byte {
+	keys := make([]string, 0, len(findings))
+	for _, f := range findings {
+		keys = append(keys, BaselineKey(f, rel))
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	b.WriteString("# harvestlint baseline — known findings that do not fail the build.\n")
+	b.WriteString("# Burn this file down to empty; never add to it to dodge a real bug.\n")
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// FilterBaseline splits findings into new (not absorbed by the baseline)
+// and baselined, and reports stale baseline keys that matched nothing —
+// entries to delete now that their finding is fixed.
+func FilterBaseline(findings []Finding, base map[string]int, rel func(string) string) (fresh, baselined []Finding, stale []string) {
+	remaining := make(map[string]int, len(base))
+	for k, n := range base {
+		remaining[k] = n
+	}
+	for _, f := range findings {
+		k := BaselineKey(f, rel)
+		if remaining[k] > 0 {
+			remaining[k]--
+			baselined = append(baselined, f)
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for k, n := range remaining {
+		for ; n > 0; n-- {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, baselined, stale
+}

@@ -59,6 +59,9 @@ func checkDroppedCall(pass *Pass, call *ast.CallExpr, deferred bool) {
 	if isFmtPrint(pass.Info, call) {
 		return
 	}
+	if isInfallibleWriter(pass.Info, call) {
+		return
+	}
 	if deferred {
 		if errDropDeferAllowed[lastSelector(name)] {
 			return
@@ -105,6 +108,33 @@ func isFmtPrint(info *types.Info, call *ast.CallExpr) bool {
 	}
 	switch name {
 	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+// isInfallibleWriter reports whether the call is a method on
+// bytes.Buffer or strings.Builder, whose Write* methods are documented to
+// always return a nil error (they grow the buffer or panic on overflow).
+func isInfallibleWriter(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
 		return true
 	}
 	return false

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies the suggested edits carried by the findings to the
+// files on disk and returns the number of findings fixed. A finding's
+// edits are applied all-or-nothing; a finding whose edits would overlap
+// an already-accepted edit is skipped (re-running the linter after the
+// first -fix pass surfaces it again, now against the rewritten source).
+// Identical edits from different findings (two loops in one file both
+// inserting the same import) are deduplicated. Every touched file is run
+// through gofmt, so edit text does not need exact indentation.
+func ApplyFixes(findings []Finding) (int, error) {
+	type span struct{ start, end int }
+	accepted := make(map[string][]TextEdit)
+	taken := make(map[string][]span)
+
+	overlaps := func(file string, s, e int) bool {
+		for _, sp := range taken[file] {
+			if s < sp.end && sp.start < e {
+				return true
+			}
+			// Two zero-width inserts at the same offset collide unless
+			// identical (the identical case is deduplicated before this).
+			if s == e && sp.start == sp.end && s == sp.start {
+				return true
+			}
+		}
+		return false
+	}
+	sameEdit := func(e TextEdit) bool {
+		for _, a := range accepted[e.Filename] {
+			if a == e {
+				return true
+			}
+		}
+		return false
+	}
+
+	applied := 0
+	for _, f := range findings {
+		if len(f.Fixes) == 0 {
+			continue
+		}
+		fresh := make([]TextEdit, 0, len(f.Fixes))
+		ok := true
+		for _, e := range f.Fixes {
+			if e.Start < 0 || e.End < e.Start {
+				ok = false
+				break
+			}
+			if sameEdit(e) {
+				continue
+			}
+			if overlaps(e.Filename, e.Start, e.End) {
+				ok = false
+				break
+			}
+			fresh = append(fresh, e)
+		}
+		if !ok {
+			continue
+		}
+		for _, e := range fresh {
+			accepted[e.Filename] = append(accepted[e.Filename], e)
+			taken[e.Filename] = append(taken[e.Filename], span{e.Start, e.End})
+		}
+		applied++
+	}
+	if applied == 0 {
+		return 0, nil
+	}
+
+	files := make([]string, 0, len(accepted))
+	for f := range accepted {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		edits := accepted[file]
+		// Apply back-to-front so earlier offsets stay valid.
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return applied, fmt.Errorf("applying fixes: %w", err)
+		}
+		for _, e := range edits {
+			if e.End > len(src) {
+				return applied, fmt.Errorf("applying fixes: edit range [%d,%d) outside %s (len %d)", e.Start, e.End, file, len(src))
+			}
+			var out []byte
+			out = append(out, src[:e.Start]...)
+			out = append(out, e.New...)
+			out = append(out, src[e.End:]...)
+			src = out
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			return applied, fmt.Errorf("applying fixes: %s does not gofmt after edits: %w", file, err)
+		}
+		info, err := os.Stat(file)
+		mode := os.FileMode(0o644)
+		if err == nil {
+			mode = info.Mode().Perm()
+		}
+		if err := os.WriteFile(file, formatted, mode); err != nil {
+			return applied, fmt.Errorf("applying fixes: %w", err)
+		}
+	}
+	return applied, nil
+}

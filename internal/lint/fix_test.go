@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runFixPass loads the package at dir, runs the fixable analyzers, and
+// applies suggested fixes, returning how many were applied.
+func runFixPass(t *testing.T, dir string) int {
+	t.Helper()
+	pkg, err := LoadDir(dir, "repro/internal/fixture")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	findings := RunPackage(pkg, []*Analyzer{DetOrder, CtxLoop})
+	applied, err := ApplyFixes(findings)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	return applied
+}
+
+// TestApplyFixesIdempotent applies -fix twice to the fixdemo fixture: the
+// first pass must rewrite both loops (sort-keys-before-range with the
+// "sort" import inserted, and the ctx select wrap), the second must be a
+// byte-for-byte no-op, and the result must match fixdemo.go.golden.
+func TestApplyFixesIdempotent(t *testing.T) {
+	src := filepath.Join("testdata", "src", "fixdemo", "fixdemo.go")
+	orig, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	work := filepath.Join(dir, "fixdemo.go")
+	if err := os.WriteFile(work, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if applied := runFixPass(t, dir); applied != 2 {
+		t.Errorf("first pass applied %d fixes, want 2", applied)
+	}
+	once, err := os.ReadFile(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if applied := runFixPass(t, dir); applied != 0 {
+		t.Errorf("second pass applied fixes; -fix is not idempotent")
+	}
+	twice, err := os.ReadFile(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(once) != string(twice) {
+		t.Errorf("-fix twice != once:\nfirst:\n%s\nsecond:\n%s", once, twice)
+	}
+
+	golden := filepath.Join("testdata", "src", "fixdemo", "fixdemo.go.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(once) != string(want) {
+		t.Errorf("fixed output differs from %s:\ngot:\n%s\nwant:\n%s", golden, once, want)
+	}
+
+	// The fixed tree must be clean: the analyzers stop firing after their
+	// own fixes.
+	pkg, err := LoadDir(dir, "repro/internal/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings := RunPackage(pkg, []*Analyzer{DetOrder, CtxLoop}); len(findings) != 0 {
+		t.Errorf("findings survive their own fixes: %v", findings)
+	}
+}

@@ -21,6 +21,22 @@
 //     contains a sync.Mutex, sync.RWMutex or sync.WaitGroup
 //   - errdrop:  discarded error returns in internal/... packages
 //
+// and four dataflow-aware invariant analyses (DESIGN.md §11):
+//
+//   - proptaint:  arithmetic, clamping, or branch rewrites applied to a
+//     sampled propensity between the sampler draw and the logged
+//     Datapoint.Propensity field — the bug class that silently biases IPS
+//   - detorder:   `for range` over a map whose body writes serialized
+//     output or folds into an order-sensitive accumulator without sorted
+//     keys (the nondeterministic /metrics bug class)
+//   - wirecompat: versioned wire-struct field sets diffed against
+//     lint/wire.lock, so schema drift always rides with a version bump
+//   - ctxloop:    blocking channel operations or sleeps inside loops that
+//     never consult an in-scope context (the CacheLogSource bug class)
+//
+// Findings of detorder and ctxloop carry mechanical suggested fixes
+// (sort-keys-before-range, ctx select wrap) applied by harvestlint -fix.
+//
 // Any finding can be suppressed with a directive comment on the same line
 // or the line above:
 //
@@ -44,6 +60,21 @@ type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Fixes holds the suggested mechanical edit for this finding, if the
+	// analyzer could construct one. All edits of one finding are applied
+	// together (harvestlint -fix) or not at all.
+	Fixes []TextEdit
+}
+
+// TextEdit is one byte-range replacement of a suggested fix, resolved to
+// file offsets so it can be applied without re-parsing.
+type TextEdit struct {
+	// Filename, Start and End delimit the half-open byte range to replace.
+	Filename   string
+	Start, End int
+	// New is the replacement text. The result is gofmt'ed after applying,
+	// so edits need not reproduce surrounding indentation exactly.
+	New string
 }
 
 // String renders the finding in the canonical output format.
@@ -63,7 +94,8 @@ type Analyzer struct {
 
 // All returns the full analyzer registry in output order.
 func All() []*Analyzer {
-	return []*Analyzer{RawRand, PropDiv, WallTime, LockCopy, ErrDrop}
+	return []*Analyzer{RawRand, PropDiv, WallTime, LockCopy, ErrDrop,
+		PropTaint, DetOrder, WireCompat, CtxLoop}
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -79,11 +111,25 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportFix(pos, nil, format, args...)
+}
+
+// ReportFix records a finding at pos carrying a suggested fix. A nil or
+// empty edit list degrades to a plain finding.
+func (p *Pass) ReportFix(pos token.Pos, fixes []TextEdit, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		Fixes:    fixes,
 	})
+}
+
+// edit builds a TextEdit replacing the source range [start, end) with new
+// text, resolving token positions through the pass's file set.
+func (p *Pass) edit(start, end token.Pos, newText string) TextEdit {
+	s, e := p.Fset.Position(start), p.Fset.Position(end)
+	return TextEdit{Filename: s.Filename, Start: s.Offset, End: e.Offset, New: newText}
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.

@@ -1,0 +1,118 @@
+// Package fixture exercises the ctxloop analyzer: a loop that can block
+// (channel send/receive, sleep) while a cancellable context sits in scope
+// unconsulted outlives its cancellation forever.
+//
+// Regression notes: deafSend is the CacheLogSource bug (PR 6) — a source
+// goroutine parked on `out <- dp` after its consumer left; the buffered
+// free-list priming loop in the binary source keeps a reasoned
+// //lint:ignore instead (capacity equals trip count, sends never block).
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func deafSend(ctx context.Context, out chan int) {
+	for i := 0; i < 10; i++ {
+		out <- i // want "blocking send"
+	}
+}
+
+func deafRecv(ctx context.Context, in chan int) {
+	for {
+		<-in // want "blocking receive"
+	}
+}
+
+func deafRecvAssign(ctx context.Context, in chan int) int {
+	total := 0
+	for {
+		v := <-in // want "blocking receive"
+		if v < 0 {
+			return total
+		}
+		total += v
+	}
+}
+
+func deafSleep(ctx context.Context, poll func() bool) {
+	for poll() {
+		time.Sleep(time.Second) // want "time.Sleep"
+	}
+}
+
+// selectConsulted is the sanctioned shape: every blocking point races
+// ctx.Done().
+func selectConsulted(ctx context.Context, out chan int) error {
+	for i := 0; ; i++ {
+		select {
+		case out <- i:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// condConsulted consults in the loop condition — also accepted.
+func condConsulted(ctx context.Context, out chan int) {
+	for ctx.Err() == nil {
+		out <- 1
+	}
+}
+
+// passedConsulted hands ctx to the body; cancellation was considered.
+func passedConsulted(ctx context.Context, work func(context.Context) bool, out chan int) {
+	for work(ctx) {
+		out <- 1
+	}
+}
+
+// rangeChannel is the close-based shutdown idiom: the sender terminates
+// the loop by closing the channel, no context needed.
+func rangeChannel(ctx context.Context, in chan int) int {
+	s := 0
+	for v := range in {
+		s += v
+	}
+	_ = ctx.Err()
+	return s
+}
+
+// backgroundOnly has no cancellable context in scope: Background cannot
+// be cancelled, so there is nothing to consult (the examples' poll loops).
+func backgroundOnly(out chan int) {
+	ctx := context.Background()
+	_ = ctx
+	for i := 0; i < 3; i++ {
+		out <- i
+	}
+}
+
+// derived pins WithTimeout locals joining the in-scope set.
+func derived(parent context.Context, out chan int) {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	for {
+		out <- 1 // want "blocking send"
+	}
+	_ = ctx
+}
+
+// captured pins closure capture: the goroutine inherits ctx from the
+// enclosing function.
+func captured(ctx context.Context, out chan int) {
+	go func() {
+		for {
+			out <- 1 // want "blocking send"
+		}
+	}()
+}
+
+// suppressed shows the escape hatch with a mandatory reason.
+func suppressed(ctx context.Context, out chan int) {
+	for i := 0; i < 4; i++ {
+		//lint:ignore ctxloop priming a buffered channel; capacity equals trip count
+		out <- i
+	}
+}

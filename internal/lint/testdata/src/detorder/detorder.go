@@ -1,0 +1,163 @@
+// Package fixture exercises the detorder analyzer: ranging over a map is
+// fine until the body does something the iteration order can leak into.
+//
+// Regression notes — each flagged shape below was found (and fixed) in
+// tree when the analyzer first ran:
+//   - printUnsorted is the quickstart example's candidate-scoring loop,
+//     which printed estimates in random order (and the PR 4 /metrics bug
+//     before it);
+//   - sharedMerge is the fleet-aggregator shape the keyed-merge exemption
+//     (keyedMerge below) exists to distinguish;
+//   - the unknown-analyzer error loop in cmd/harvestlint reported a
+//     nondeterministic name when several were unknown.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Acc mirrors an order-sensitive float accumulator.
+type Acc struct{ Sum float64 }
+
+// Merge folds floats — order-sensitive across keys.
+func (a *Acc) Merge(b *Acc) { a.Sum += b.Sum }
+
+// Counter mirrors an integer metric counter.
+type Counter struct{ n int64 }
+
+// Add bumps the counter — exact and commutative.
+func (c *Counter) Add(d int64) { c.n += d }
+
+// Header mirrors http.Header's key-routed Add.
+type Header map[string][]string
+
+// Add appends v under key k.
+func (h Header) Add(k, v string) { h[k] = append(h[k], v) }
+
+func printUnsorted(m map[string]int) {
+	for k, v := range m { // want "fmt.Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func floatFold(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want "float accumulation"
+		sum += v
+	}
+	return sum
+}
+
+// intCount is clean: integer addition is exact and commutative.
+func intCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// keyedWrite is clean: per-key writes are independent of visit order.
+func keyedWrite(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// keyedMerge is the fleet-aggregator idiom: the merge target is indexed
+// by the range key, so each key's fold is self-contained.
+func keyedMerge(snap map[string]Acc, dst map[string]Acc) {
+	for name, acc := range snap {
+		merged := dst[name]
+		merged.Merge(&acc)
+		dst[name] = merged
+	}
+}
+
+func sharedMerge(snap map[string]Acc) Acc {
+	var grand Acc
+	for _, acc := range snap { // want "order-sensitive merge"
+		grand.Merge(&acc)
+	}
+	return grand
+}
+
+// counterBump is clean: Add with integer arguments is a counter, not a
+// float fold.
+func counterBump(m map[string]int, c *Counter) {
+	for _, v := range m {
+		c.Add(int64(v))
+	}
+}
+
+// headerCopy is clean: Add routed by the range key writes per-key state
+// (the reverse-proxy response-header copy).
+func headerCopy(src, dst Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// collectThenSort is the sanctioned pattern the suggested fix produces.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendValues(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { // want "append to vals"
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// appendThenSort is clean: the destination is sorted after the loop.
+func appendThenSort(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+// keyedAppend is clean: the append result lands in per-key state.
+func keyedAppend(src map[string][]string, dst map[string][]string) {
+	for k, vs := range src {
+		dst[k] = append(dst[k], vs...)
+	}
+}
+
+// loopLocalWriter is clean: the builder lives one iteration.
+func loopLocalWriter(m map[string]int) int {
+	total := 0
+	for k := range m {
+		var b strings.Builder
+		b.WriteString(k)
+		total += b.Len()
+	}
+	return total
+}
+
+func sharedWriter(m map[string]int, b *strings.Builder) {
+	for k := range m { // want "serialized write"
+		b.WriteString(k)
+	}
+}
+
+// suppressed shows the escape hatch with a mandatory reason.
+func suppressed(m map[string]int) {
+	//lint:ignore detorder debug dump, order irrelevant to the reader
+	for k := range m {
+		fmt.Println(k)
+	}
+}

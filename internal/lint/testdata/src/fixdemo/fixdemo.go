@@ -1,0 +1,22 @@
+// Package fixture drives the autofix machinery end to end: the first
+// loop takes the detorder sort-keys-before-range rewrite (including the
+// "sort" import insertion), the second takes the ctxloop select wrap
+// returning ctx.Err(). The test applies fixes twice and asserts the
+// second pass is a no-op (idempotence), comparing against
+// fixdemo.go.golden.
+package fixture
+
+import (
+	"context"
+	"fmt"
+)
+
+func emit(ctx context.Context, out chan int, m map[string]int) error {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+	for i := 0; i < 8; i++ {
+		out <- i
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package fixture exercises the proptaint analyzer: a sampled propensity
+// must reach the log verbatim — no arithmetic, clamping, or conditional
+// overwrite between the draw and the Datapoint.Propensity field.
+package fixture
+
+// Action mirrors core.Action.
+type Action int
+
+// Datapoint mirrors the logged record: the Propensity field is the sink.
+type Datapoint struct {
+	Action     Action
+	Propensity float64
+}
+
+// Sample mirrors a policy sampler returning an action-propensity pair.
+func Sample(dist []float64) (Action, float64) { return 0, dist[0] }
+
+// SampleProb mirrors a sampler returning only the drawn probability.
+func SampleProb(dist []float64) float64 { return dist[0] }
+
+// Categorical mirrors stats.Categorical: draws an index into dist.
+func Categorical(dist []float64) int { return 0 }
+
+// Distribution mirrors a policy's Distribution method result.
+func Distribution(n int) []float64 { return make([]float64, n) }
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// cleanFlow is the sanctioned pattern: draw, read the distribution entry,
+// log it untouched.
+func cleanFlow(log func(Datapoint)) {
+	dist := Distribution(3)
+	i := Categorical(dist)
+	p := dist[i]
+	log(Datapoint{Action: Action(i), Propensity: p})
+}
+
+func compoundRewrite() float64 {
+	_, p := Sample([]float64{0.5, 0.5})
+	p *= 0.5 // want "rewritten"
+	return p
+}
+
+func incRewrite() float64 {
+	p := SampleProb([]float64{1})
+	p++ // want "rewritten"
+	return p
+}
+
+func recompute() float64 {
+	_, p := Sample([]float64{0.5, 0.5})
+	p = p / 2 // want "recomputed from arithmetic"
+	return p
+}
+
+func clampCall() float64 {
+	_, p := Sample([]float64{0.5, 0.5})
+	p = clamp(p, 0.01, 1) // want "clamped through"
+	return p
+}
+
+// branchClamp is the clamp spelled as control flow — the shape that
+// motivated tracking the enclosing condition, not just call names.
+func branchClamp() float64 {
+	p := SampleProb([]float64{1})
+	if p < 0.01 {
+		p = 0.01 // want "branch conditioned on itself"
+	}
+	return p
+}
+
+// drawnIndexTaint pins the Categorical/Distribution pair: dist[i] is a
+// sampled propensity even though no call named Sample appears.
+func drawnIndexTaint() float64 {
+	dist := Distribution(3)
+	i := Categorical(dist)
+	p := dist[i]
+	p = p * 0.9 // want "recomputed from arithmetic"
+	return p
+}
+
+func sinkArithmetic(d *Datapoint, p float64) {
+	d.Propensity = p / 2 // want "arithmetic"
+}
+
+func sinkClamp(d *Datapoint, prob float64) {
+	d.Propensity = clamp(prob, 0.01, 1) // want "clamped value"
+}
+
+// sinkConstant is exempt: a compile-time constant propensity is the
+// known-uniform-logger idiom (quickstart's 1.0/3), exact by construction.
+func sinkConstant(d *Datapoint) {
+	d.Propensity = 1.0 / 3
+}
+
+func compositeSink(p float64) Datapoint {
+	return Datapoint{Propensity: p * 0.9} // want "arithmetic"
+}
+
+// suppressed shows the escape hatch: the directive must carry a reason.
+func suppressed() float64 {
+	_, p := Sample([]float64{0.5, 0.5})
+	//lint:ignore proptaint paired-seed replay divides out the same factor on both sides
+	p = p / 2
+	return p
+}

@@ -1,0 +1,26 @@
+// Package harvestd is a miniature of the real snapshot wire surface,
+// loaded under the watched import path repro/internal/harvestd. The clean
+// test locks exactly these shapes; the drift test (wirecompat_drift)
+// perturbs the lock and asserts the analyzer fires.
+package harvestd
+
+// SnapshotVersion guards the snapshot schema.
+const SnapshotVersion = 1
+
+// SnapshotCounters mirrors the ingest counter block.
+type SnapshotCounters struct {
+	Lines int64 `json:"lines"`
+}
+
+// Accum mirrors the estimator accumulator.
+type Accum struct {
+	N    int64   `json:"n"`
+	SumW float64 `json:"sum_w"`
+}
+
+// StateSnapshot mirrors the versioned shard snapshot.
+type StateSnapshot struct {
+	Version  int              `json:"version"`
+	Counters SnapshotCounters `json:"counters"`
+	Policies map[string]Accum `json:"policies"`
+}

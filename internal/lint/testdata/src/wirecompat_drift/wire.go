@@ -1,0 +1,27 @@
+// Package harvestd is the drift variant of the wirecompat fixture: the
+// test builds the lock from these definitions, then perturbs the locked
+// StateSnapshot field set and the locked SnapshotVersion value, modelling
+// a snapshot struct edit that never bumped the version. Both watched
+// symbols must then fail against the lock.
+package harvestd
+
+// SnapshotVersion guards the snapshot schema.
+const SnapshotVersion = 1 // want "records 2"
+
+// SnapshotCounters mirrors the ingest counter block.
+type SnapshotCounters struct {
+	Lines int64 `json:"lines"`
+}
+
+// Accum mirrors the estimator accumulator.
+type Accum struct {
+	N    int64   `json:"n"`
+	SumW float64 `json:"sum_w"`
+}
+
+// StateSnapshot mirrors the versioned shard snapshot.
+type StateSnapshot struct { // want "field set differs"
+	Version  int              `json:"version"`
+	Counters SnapshotCounters `json:"counters"`
+	Policies map[string]Accum `json:"policies"`
+}
