@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-json wirelock test race bench bench-all bench-parallel experiments fuzz harvestd-demo trace-demo fleet-demo clean
+.PHONY: all build vet lint lint-json wirelock test race bench bench-all bench-parallel experiments fuzz harvestd-demo trace-demo fleet-demo rollout-demo clean
 
 all: build vet lint test
 
@@ -36,15 +36,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Focused federation + ingest hot-path benchmarks (per-line fold,
+# Focused federation + ingest + rollout hot-path benchmarks (per-line fold,
 # accumulator merge, registry fan-out, snapshot encode/decode, router
-# assignment, binary codec, end-to-end source→fold ingest per format),
-# emitted as BENCH_harvestd.json for CI trend tracking. IngestBin
-# records/s vs IngestJSONL is the binary format's ≥5x claim; the binrec
-# decode benchmark pins 0 allocs/op. bench-all is the full sweep.
+# assignment, binary codec, end-to-end source→fold ingest per format, gate
+# evaluation and state transition), emitted as BENCH_harvestd.json for CI
+# trend tracking. IngestBin records/s vs IngestJSONL is the binary format's
+# ≥5x claim; the binrec decode benchmark pins 0 allocs/op. bench-all is the
+# full sweep.
 bench:
-	$(GO) test -run NONE -bench 'AccumFold|AccumMerge|RegistryFold|SnapshotEncode|SnapshotDecode|RouterAssign|BinRecEncode|BinRecDecode|IngestNginx|IngestJSONL|IngestBin' \
-		-benchmem ./internal/harvestd ./internal/fleet ./internal/harvester/binrec | $(GO) run ./cmd/benchjson -o BENCH_harvestd.json
+	$(GO) test -run NONE -bench 'AccumFold|AccumMerge|RegistryFold|SnapshotEncode|SnapshotDecode|RouterAssign|BinRecEncode|BinRecDecode|IngestNginx|IngestJSONL|IngestBin|GateEval|StateTransition' \
+		-benchmem ./internal/harvestd ./internal/fleet ./internal/harvester/binrec ./internal/rollout | $(GO) run ./cmd/benchjson -o BENCH_harvestd.json
 	@cat BENCH_harvestd.json
 
 bench-all:
@@ -77,6 +78,15 @@ harvestd-demo:
 # and checkpoint-revives a shard along the way. Ctrl-C stops the fleet.
 fleet-demo:
 	sh scripts/fleet_demo.sh
+
+# Launch the guarded-rollout demo topology: lbd serves live traffic through
+# a retunable canary blend, harvestd tails a synthetic exploration log, and
+# rolloutd walks leastloaded through shadow → canary → full, actuating
+# lbd's /share admin endpoint at each gate. Headless; writes the gate audit
+# trail to GATES_rolloutd.json and exits 0 — CI runs it as the rollout
+# smoke test. See DESIGN.md §12.
+rollout-demo:
+	sh scripts/rollout_demo.sh
 
 # Trace a quick fig3 run and validate/summarize the JSONL span trace:
 # tracecat exits non-zero unless every line parses, IDs are unique, and

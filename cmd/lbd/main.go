@@ -7,18 +7,29 @@
 //
 //	lbd [-backends N] [-policy random|leastloaded|sendto0] [-log PATH]
 //	    [-requests N] [-rate R] [-metrics-addr HOST:PORT]
-//	    [-debug-addr HOST:PORT]
+//	    [-canary random|leastloaded|sendto0] [-canary-share F]
+//	    [-admin-addr HOST:PORT] [-debug-addr HOST:PORT]
 //
 // With -requests > 0 the command generates that much load itself, prints
 // the measured latency, and exits; with -requests 0 it serves until
 // interrupted, printing the proxy address for external clients.
+//
+// With -canary set, routing goes through a policy.DynamicBlend: the canary
+// policy receives -canary-share of decisions (default 0 = shadow) and the
+// -policy incumbent the rest, with the exact mixture distribution logged so
+// the canary stays fully harvestable at any share. -admin-addr exposes the
+// share for a rollout controller: GET /share reports it, POST /share with
+// {"share": x} retunes it live.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,6 +67,9 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	slope := fs.Duration("slope", 500*time.Microsecond, "added service time per in-flight request")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	metricsAddr := fs.String("metrics-addr", "", "Prometheus /metrics listen address (empty disables)")
+	canaryName := fs.String("canary", "", "canary policy blended over -policy (empty disables)")
+	canaryShare := fs.Float64("canary-share", 0, "initial canary traffic share in [0,1]")
+	adminAddr := fs.String("admin-addr", "", "share admin API listen address (empty disables)")
 	debugAddr := fs.String("debug-addr", "", "pprof/expvar listen address (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +80,11 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 
 	if *numBackends < 2 {
 		return fmt.Errorf("need at least 2 backends")
+	}
+	// Validated here, before any backend or log file is created, so a bad
+	// invocation leaves nothing behind.
+	if *adminAddr != "" && *canaryName == "" {
+		return fmt.Errorf("-admin-addr needs -canary (there is no share to administer)")
 	}
 	backends := make([]*netlb.Backend, *numBackends)
 	addrs := make([]string, *numBackends)
@@ -81,17 +100,22 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		fmt.Fprintf(stdout, "backend %d at %s (base %v)\n", i, be.Addr(), b)
 	}
 
-	var pol core.Policy
 	r := stats.NewRand(*seed)
-	switch *polName {
-	case "random":
-		pol = policy.UniformRandom{R: stats.Split(r)}
-	case "leastloaded":
-		pol = lbsim.LeastLoaded{}
-	case "sendto0":
-		pol = policy.Constant{A: 0}
-	default:
-		return fmt.Errorf("unknown policy %q", *polName)
+	pol, err := policyByName(*polName, r)
+	if err != nil {
+		return err
+	}
+	var blend *policy.DynamicBlend
+	if *canaryName != "" {
+		canary, err := policyByName(*canaryName, r)
+		if err != nil {
+			return fmt.Errorf("canary: %w", err)
+		}
+		blend, err = policy.NewDynamicBlend(canary, pol, *canaryShare, stats.Split(r))
+		if err != nil {
+			return err
+		}
+		pol = blend
 	}
 
 	var logW *os.File
@@ -119,6 +143,14 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		defer func() { _ = ms.Close() }()
 		fmt.Fprintf(stdout, "metrics on http://%s/metrics\n", ms.Addr())
 	}
+	if *adminAddr != "" {
+		as, err := obs.ServeMux(*adminAddr, adminMux(blend))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = as.Close() }()
+		fmt.Fprintf(stdout, "share admin on http://%s/share\n", as.Addr())
+	}
 	debug, err := obs.StartDebug(*debugAddr)
 	if err != nil {
 		return err
@@ -133,7 +165,12 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		return err
 	}
 	defer proxy.Close()
-	fmt.Fprintf(stdout, "proxy (%s policy) at http://%s\n", *polName, addr)
+	if blend != nil {
+		fmt.Fprintf(stdout, "proxy (%s + %s canary at share %g) at http://%s\n",
+			*polName, *canaryName, blend.Share(), addr)
+	} else {
+		fmt.Fprintf(stdout, "proxy (%s policy) at http://%s\n", *polName, addr)
+	}
 	if ready != nil {
 		ready <- proxy.URL()
 	}
@@ -156,4 +193,48 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		fmt.Fprintf(stdout, "access log written to %s — harvest it with the harvester package\n", *logPath)
 	}
 	return nil
+}
+
+// policyByName resolves a routing policy flag value.
+func policyByName(name string, r *rand.Rand) (core.Policy, error) {
+	switch name {
+	case "random":
+		return policy.UniformRandom{R: stats.Split(r)}, nil
+	case "leastloaded":
+		return lbsim.LeastLoaded{}, nil
+	case "sendto0":
+		return policy.Constant{A: 0}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+// adminMux serves the canary share: GET /share reports it, POST /share
+// with {"share": x} retunes the live blend — the one-field contract
+// rollout.HTTPActuator speaks.
+func adminMux(blend *policy.DynamicBlend) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/share", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+		case http.MethodPost:
+			var body struct {
+				Share float64 `json:"share"`
+			}
+			if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&body); err != nil {
+				http.Error(w, "bad share body: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := blend.SetShare(body.Share); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		default:
+			http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"share\":%g}\n", blend.Share())
+	})
+	return mux
 }

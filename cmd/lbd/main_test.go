@@ -190,9 +190,95 @@ func TestRunBadFlags(t *testing.T) {
 		{"-backends", "1"},
 		{"-policy", "martian"},
 		{"positional"},
+		{"-canary", "martian"},
+		{"-canary", "leastloaded", "-canary-share", "1.5"},
+		{"-admin-addr", "127.0.0.1:0"}, // admin without a canary blend
 	} {
 		if err := run(ctx, args, io.Discard, nil); err == nil {
 			t.Errorf("run(%v) should fail", args)
 		}
+	}
+}
+
+// TestRunCanaryAdmin serves with a canary blend in shadow and retunes the
+// share through the admin endpoint — the remote-actuation contract
+// rolloutd's HTTPActuator drives.
+func TestRunCanaryAdmin(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	url, out, errc := startRun(t, ctx, []string{
+		"-backends", "2", "-requests", "0", "-log", "",
+		"-canary", "leastloaded", "-canary-share", "0",
+		"-admin-addr", "127.0.0.1:0",
+	})
+
+	aURL := serveURL(t, out, "share admin on")
+	resp, err := http.Get(aURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(body)); got != `{"share":0}` {
+		t.Errorf("GET /share = %q, want zero share", got)
+	}
+
+	resp, err = http.Post(aURL, "application/json", strings.NewReader(`{"share":0.25}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(body)); got != `{"share":0.25}` {
+		t.Errorf("POST /share = %q, want 0.25", got)
+	}
+
+	// Out-of-range and malformed updates are rejected and do not change
+	// the live share.
+	for _, bad := range []string{`{"share":1.5}`, `not json`} {
+		resp, err := http.Post(aURL, "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	resp, err = http.Get(aURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(body)); got != `{"share":0.25}` {
+		t.Errorf("share after bad posts = %q, want 0.25 unchanged", got)
+	}
+
+	// The proxy keeps serving while the share moves.
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(url + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("proxy GET = %d, want 200", resp.StatusCode)
+		}
+	}
+
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("run exited: %v", err)
 	}
 }

@@ -1,0 +1,255 @@
+package repro
+
+// End-to-end rollout test: a live netlb topology routes through a
+// policy.DynamicBlend whose share a rollout.Controller retunes in-process,
+// while harvestd tails the proxy's access log and serves the counterfactual
+// estimates the controller gates on. A genuinely better candidate must walk
+// shadow → canary → full on its own; a genuinely worse one must be caught
+// and rolled back automatically — the full harvest → estimate → guarded
+// deploy loop across real files, sockets, and HTTP.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harvestd"
+	"repro/internal/lbsim"
+	"repro/internal/netlb"
+	"repro/internal/policy"
+	"repro/internal/rollout"
+	"repro/internal/stats"
+)
+
+// rolloutWorld is one live topology: two strongly separated backends, a
+// proxy logging randomized decisions, a harvestd tailing that log, and a
+// controller gating the candidate's traffic share.
+type rolloutWorld struct {
+	blend *policy.DynamicBlend
+	proxy *netlb.Proxy
+	d     *harvestd.Daemon
+	c     *rollout.Controller
+	load  func(t *testing.T, n int)
+}
+
+// startRolloutWorld wires the loop for one candidate policy. The incumbent
+// is uniform random (the exploration policy whose randomness harvestd
+// harvests); backend 0 is ~25× faster than backend 1, so routing quality
+// shows up immediately in the request-time reward.
+func startRolloutWorld(t *testing.T, candName string, cand core.Policy, seed int64) *rolloutWorld {
+	t.Helper()
+	r := stats.NewRand(seed)
+	addrs := make([]string, 2)
+	for i := range addrs {
+		base := time.Millisecond
+		if i == 1 {
+			base = 25 * time.Millisecond
+		}
+		be, err := netlb.StartBackend(i, base, 500*time.Microsecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { be.Close() })
+		addrs[i] = be.Addr()
+	}
+
+	logPath := filepath.Join(t.TempDir(), "access.log")
+	logF, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { logF.Close() })
+
+	// The serving policy: candidate at a retunable share over the uniform
+	// incumbent. The controller starts it at share 0 (shadow).
+	blend, err := policy.NewDynamicBlend(cand, policy.UniformRandom{R: stats.Split(r)}, 0, stats.Split(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := netlb.NewProxy(addrs, blend, stats.Split(r), logF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proxy.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+
+	reg, err := harvestd.NewRegistry(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(candName, cand); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("uniform", policy.UniformRandom{}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := harvestd.New(harvestd.Config{Workers: 2, Clip: 10, Addr: "127.0.0.1:0"}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AddSource(&harvestd.NginxSource{Path: logPath, Follow: true, Poll: 5 * time.Millisecond})
+	ctx := t.Context()
+	if err := d.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Shutdown(context.Background()) })
+
+	c, err := rollout.New(rollout.Config{
+		Candidate: candName,
+		Baseline:  "uniform",
+		// Rewards are proxy-measured request times: lower is better.
+		Objective: rollout.Minimize,
+		Delta:     0.1,
+		// One canary stage keeps the e2e wall time honest; the full ramp is
+		// exercised by the deterministic simulation suite.
+		CanaryShares:    []float64{0.25},
+		MinStageSamples: 300,
+		// Terms are weight × request-time; weights stay ≤ 2 against the
+		// uniform logger and request times well under 60ms, so 0.12 bounds
+		// them while keeping the EB range penalty small enough to decide.
+		TermHi:       0.12,
+		StaleAfter:   2 * time.Minute,
+		PollInterval: 50 * time.Millisecond,
+		Addr:         "127.0.0.1:0",
+		Harvest:      &rollout.HTTPHarvest{BaseURL: d.URL()},
+		Actuator: rollout.FuncActuator(func(_ context.Context, share float64) error {
+			return blend.SetShare(share)
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := c.Shutdown(sctx); err != nil {
+			t.Errorf("controller shutdown: %v", err)
+		}
+	})
+
+	loadRand := stats.Split(r)
+	w := &rolloutWorld{blend: blend, proxy: proxy, d: d, c: c}
+	w.load = func(t *testing.T, n int) {
+		t.Helper()
+		res, err := netlb.GenerateLoad(proxy.URL(), n, 500, stats.Split(loadRand))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors > 0 {
+			t.Fatalf("%d load errors", res.Errors)
+		}
+	}
+	return w
+}
+
+// driveUntil pushes load in chunks until the controller reaches target (or
+// any terminal stage), returning the stage it landed in.
+func (w *rolloutWorld) driveUntil(t *testing.T, target rollout.Stage, deadline time.Duration) rollout.Stage {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for {
+		if st := w.c.Stage(); st == target || st == rollout.StageRolledBack {
+			return st
+		}
+		if time.Now().After(end) {
+			t.Fatalf("stage %s after %s, want %s", w.c.Stage(), deadline, target)
+		}
+		w.load(t, 250)
+		// Let the tail and the control loop catch up with the burst.
+		time.Sleep(150 * time.Millisecond)
+	}
+}
+
+func (w *rolloutWorld) gateHistory(t *testing.T) []rollout.GateDecision {
+	t.Helper()
+	resp, err := http.Get(w.c.URL() + "/gates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var gates []rollout.GateDecision
+	if err := json.NewDecoder(resp.Body).Decode(&gates); err != nil {
+		t.Fatal(err)
+	}
+	return gates
+}
+
+// TestE2ERolloutPromotesLiveCandidate deploys least-loaded — genuinely
+// better than uniform on this topology — and requires the controller to
+// walk it to full exposure with both statistical gates agreeing at every
+// step, actuating the live blend as it goes.
+func TestE2ERolloutPromotesLiveCandidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live netlb topology in -short mode")
+	}
+	w := startRolloutWorld(t, "leastloaded", lbsim.LeastLoaded{}, 41)
+
+	if got := w.driveUntil(t, rollout.StageFull, 120*time.Second); got != rollout.StageFull {
+		t.Fatalf("ended at %s, want %s", got, rollout.StageFull)
+	}
+	if share := w.blend.Share(); share != 1 {
+		t.Errorf("blend share %g after full promotion, want 1", share)
+	}
+	trs := w.c.Transitions()
+	if len(trs) != 2 {
+		t.Fatalf("transitions %+v, want shadow->canary->full", trs)
+	}
+	if trs[0].To != rollout.StageCanary || trs[0].Share != 0.25 {
+		t.Errorf("first transition %+v, want canary at 0.25", trs[0])
+	}
+	if trs[1].To != rollout.StageFull || trs[1].Share != 1 {
+		t.Errorf("second transition %+v, want full at 1", trs[1])
+	}
+	var promotes int
+	for _, g := range w.gateHistory(t) {
+		if g.Outcome == rollout.OutcomePromote {
+			promotes++
+		}
+	}
+	if promotes != 2 {
+		t.Errorf("%d promote decisions in gate history, want 2", promotes)
+	}
+}
+
+// TestE2ERolloutRollsBackBadCandidate injects a policy that always routes
+// to the slow backend. The controller must catch the regression from the
+// harvested randomness alone — the candidate never gets traffic — and land
+// in the terminal rolled-back stage with the blend still at share 0.
+func TestE2ERolloutRollsBackBadCandidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live netlb topology in -short mode")
+	}
+	w := startRolloutWorld(t, "slowest", policy.Constant{A: 1}, 43)
+
+	if got := w.driveUntil(t, rollout.StageRolledBack, 120*time.Second); got != rollout.StageRolledBack {
+		t.Fatalf("ended at %s, want %s", got, rollout.StageRolledBack)
+	}
+	if share := w.blend.Share(); share != 0 {
+		t.Errorf("blend share %g after rollback, want 0", share)
+	}
+	trs := w.c.Transitions()
+	if len(trs) != 1 || trs[0].To != rollout.StageRolledBack {
+		t.Fatalf("transitions %+v, want a single rollback", trs)
+	}
+	if !strings.Contains(trs[0].Reason, "regression") {
+		t.Errorf("rollback reason %q does not cite a regression", trs[0].Reason)
+	}
+	gates := w.gateHistory(t)
+	if len(gates) == 0 {
+		t.Fatal("empty gate history")
+	}
+	if last := gates[len(gates)-1]; last.Outcome != rollout.OutcomeRollback {
+		t.Errorf("last gate outcome %s, want rollback", last.Outcome)
+	}
+}

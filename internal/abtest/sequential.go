@@ -18,15 +18,23 @@ import (
 // (n ∈ [2^k, 2^{k+1})), each arm's mean is covered by a Hoeffding interval
 // at level δ_k = δ / (2·(k+1)·(k+2)); Σ_k δ_k ≤ δ/2 per arm. Radii are
 // computed at the epoch floor (conservative for every n in the epoch).
+//
+// Because the monitor's state is nothing but per-arm sums, sums of squares,
+// and counts, a batch of n observations folds in exactly as n individual
+// Add calls would (AddBatch) — which is what lets a rollout controller that
+// only sees aggregate estimator increments drive the monitor as if it had
+// seen every underlying datapoint.
 type Sequential struct {
 	lo, hi float64
 	delta  float64
+	eb     bool
 	sums   [2]float64
+	sumSqs [2]float64
 	counts [2]int
 }
 
 // NewSequential builds a monitor for rewards bounded in [lo, hi] with
-// overall error probability delta.
+// overall error probability delta, using range-based Hoeffding radii.
 func NewSequential(lo, hi, delta float64) (*Sequential, error) {
 	if hi <= lo {
 		return nil, fmt.Errorf("abtest: reward range [%v, %v]", lo, hi)
@@ -35,6 +43,23 @@ func NewSequential(lo, hi, delta float64) (*Sequential, error) {
 		return nil, fmt.Errorf("abtest: delta %v out of (0,1)", delta)
 	}
 	return &Sequential{lo: lo, hi: hi, delta: delta}, nil
+}
+
+// NewSequentialEB builds a monitor whose per-epoch radii use the
+// empirical-Bernstein bound (Mnih et al.'s EBStop construction on the same
+// doubling-epoch grid) instead of Hoeffding: the radius scales with the
+// arms' observed variance rather than the full reward range, so streams
+// whose rewards occupy a narrow slice of a wide worst-case range — IPS
+// terms bounded by clip·r_max but concentrated near the mean — separate
+// orders of magnitude sooner. The [lo, hi] range still bounds individual
+// rewards (it feeds the Bernstein range term and input validation).
+func NewSequentialEB(lo, hi, delta float64) (*Sequential, error) {
+	s, err := NewSequential(lo, hi, delta)
+	if err != nil {
+		return nil, err
+	}
+	s.eb = true
+	return s, nil
 }
 
 // Add records a reward for arm 0 or 1.
@@ -46,7 +71,38 @@ func (s *Sequential) Add(arm int, reward float64) error {
 		return fmt.Errorf("abtest: reward %v outside [%v, %v]", reward, s.lo, s.hi)
 	}
 	s.sums[arm] += reward
+	s.sumSqs[arm] += reward * reward
 	s.counts[arm]++
+	return nil
+}
+
+// AddBatch folds n observations whose sum and sum of squares are given,
+// without seeing them individually. The caller asserts that each underlying
+// observation lies in [lo, hi]; the monitor can only verify the batch mean.
+// Because the monitor's state is exactly (sum, sum of squares, count), the
+// resulting decisions are identical to n individual Add calls — peeking
+// only at batch boundaries, a subset of peeking at every observation, so
+// the anytime guarantee is preserved.
+func (s *Sequential) AddBatch(arm, n int, sum, sumSq float64) error {
+	if arm < 0 || arm > 1 {
+		return fmt.Errorf("abtest: arm %d", arm)
+	}
+	if n < 0 {
+		return fmt.Errorf("abtest: batch size %d", n)
+	}
+	if n == 0 {
+		return nil
+	}
+	mean := sum / float64(n)
+	if mean < s.lo || mean > s.hi || math.IsNaN(mean) {
+		return fmt.Errorf("abtest: batch mean %v outside [%v, %v]", mean, s.lo, s.hi)
+	}
+	if math.IsNaN(sumSq) || math.IsInf(sumSq, 0) || sumSq < 0 {
+		return fmt.Errorf("abtest: batch sum of squares %v", sumSq)
+	}
+	s.sums[arm] += sum
+	s.sumSqs[arm] += sumSq
+	s.counts[arm] += n
 	return nil
 }
 
@@ -54,15 +110,29 @@ func (s *Sequential) Add(arm int, reward float64) error {
 func (s *Sequential) N() (n0, n1 int) { return s.counts[0], s.counts[1] }
 
 // radius returns the anytime-valid confidence radius for an arm with n
-// observations.
-func (s *Sequential) radius(n int) float64 {
+// observations. In EB mode the Hoeffding radius still caps the result: with
+// few samples the variance estimate is untrustworthy and the Bernstein
+// range term can exceed the plain range bound.
+func (s *Sequential) radius(arm, n int) float64 {
 	if n < 1 {
 		return math.Inf(1)
 	}
 	epoch := int(math.Floor(math.Log2(float64(n))))
 	floor := math.Pow(2, float64(epoch))
 	deltaK := s.delta / (2 * float64(epoch+1) * float64(epoch+2))
-	return stats.HoeffdingRadius(int(floor), s.lo, s.hi, deltaK)
+	r := stats.HoeffdingRadius(int(floor), s.lo, s.hi, deltaK)
+	if s.eb && n >= 2 {
+		nf := float64(n)
+		mean := s.sums[arm] / nf
+		v := (s.sumSqs[arm] - nf*mean*mean) / (nf - 1)
+		if v < 0 {
+			v = 0
+		}
+		if rb := stats.EmpiricalBernsteinRadius(int(floor), v, s.hi-s.lo, deltaK); rb < r {
+			r = rb
+		}
+	}
+	return r
 }
 
 // Intervals returns the current anytime-valid interval per arm.
@@ -73,10 +143,54 @@ func (s *Sequential) Intervals() [2]stats.Interval {
 		if s.counts[arm] > 0 {
 			mean = s.sums[arm] / float64(s.counts[arm])
 		}
-		r := s.radius(s.counts[arm])
+		r := s.radius(arm, s.counts[arm])
 		out[arm] = stats.Interval{Point: mean, Lo: mean - r, Hi: mean + r}
 	}
 	return out
+}
+
+// SequentialState is the monitor's complete serializable state, for
+// checkpointing a rollout controller mid-flight. Restoring it reproduces
+// the monitor exactly: decisions after a restore are byte-identical to an
+// uninterrupted run.
+type SequentialState struct {
+	Lo     float64    `json:"lo"`
+	Hi     float64    `json:"hi"`
+	Delta  float64    `json:"delta"`
+	EB     bool       `json:"eb"`
+	Sums   [2]float64 `json:"sums"`
+	SumSqs [2]float64 `json:"sum_sqs"`
+	Counts [2]int64   `json:"counts"`
+}
+
+// State exports the monitor for checkpointing.
+func (s *Sequential) State() SequentialState {
+	return SequentialState{
+		Lo: s.lo, Hi: s.hi, Delta: s.delta, EB: s.eb,
+		Sums:   s.sums,
+		SumSqs: s.sumSqs,
+		Counts: [2]int64{int64(s.counts[0]), int64(s.counts[1])},
+	}
+}
+
+// RestoreSequential rebuilds a monitor from exported state, validating the
+// parameters and the accumulated sums (a corrupt checkpoint must not
+// resurrect an invalid monitor).
+func RestoreSequential(st SequentialState) (*Sequential, error) {
+	s, err := NewSequential(st.Lo, st.Hi, st.Delta)
+	if err != nil {
+		return nil, err
+	}
+	s.eb = st.EB
+	for arm := 0; arm < 2; arm++ {
+		if st.Counts[arm] < 0 {
+			return nil, fmt.Errorf("abtest: restored count %d for arm %d", st.Counts[arm], arm)
+		}
+		if err := s.AddBatch(arm, int(st.Counts[arm]), st.Sums[arm], st.SumSqs[arm]); err != nil {
+			return nil, fmt.Errorf("abtest: restoring arm %d: %w", arm, err)
+		}
+	}
+	return s, nil
 }
 
 // Decided reports whether the arms have separated, and if so which arm is

@@ -1,0 +1,332 @@
+package abtest
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// dyadicRewards draws rewards from the grid {0, 1/64, ..., 1}: every value
+// and every partial sum is exactly representable in binary floating point,
+// so reordering or rebatching the stream must leave the monitor's state
+// bit-identical — no "close enough" tolerance hiding a real order
+// dependence.
+func dyadicRewards(seed int64, n int) []float64 {
+	r := stats.NewRand(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(r.Intn(65)) / 64
+	}
+	return out
+}
+
+// TestSequentialPermutationInvariance is the property the rollout
+// controller leans on: the monitor's decisions are a function of
+// (sum, sum of squares, count) only, so any seeded shuffle of the same
+// observation multiset must land in the identical state with the identical
+// verdict.
+func TestSequentialPermutationInvariance(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		mk   func() (*Sequential, error)
+	}{
+		{"hoeffding", func() (*Sequential, error) { return NewSequential(0, 1, 0.05) }},
+		{"eb", func() (*Sequential, error) { return NewSequentialEB(0, 1, 0.05) }},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			rewards0 := dyadicRewards(11, 500)
+			rewards1 := dyadicRewards(12, 500)
+
+			ref, err := mode.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range rewards0 {
+				_ = ref.Add(0, v)
+			}
+			for _, v := range rewards1 {
+				_ = ref.Add(1, v)
+			}
+			refState := ref.State()
+			refWinner, refDone := ref.Decided()
+
+			for seed := int64(0); seed < 8; seed++ {
+				s, err := mode.mk()
+				if err != nil {
+					t.Fatal(err)
+				}
+				p0 := append([]float64(nil), rewards0...)
+				p1 := append([]float64(nil), rewards1...)
+				r := stats.NewRand(seed + 40)
+				r.Shuffle(len(p0), func(i, j int) { p0[i], p0[j] = p0[j], p0[i] })
+				r.Shuffle(len(p1), func(i, j int) { p1[i], p1[j] = p1[j], p1[i] })
+				// Interleave the arms differently per seed, too.
+				for i := 0; i < len(p0); i++ {
+					if seed%2 == 0 {
+						_ = s.Add(0, p0[i])
+						_ = s.Add(1, p1[i])
+					} else {
+						_ = s.Add(1, p1[i])
+						_ = s.Add(0, p0[i])
+					}
+				}
+				if got := s.State(); !reflect.DeepEqual(got, refState) {
+					t.Fatalf("seed %d: shuffled state %+v != reference %+v", seed, got, refState)
+				}
+				if w, d := s.Decided(); w != refWinner || d != refDone {
+					t.Fatalf("seed %d: shuffled verdict (%d,%t) != reference (%d,%t)", seed, w, d, refWinner, refDone)
+				}
+			}
+		})
+	}
+}
+
+// TestSequentialAddBatchEquivalence feeds the same stream once as
+// individual Adds and once as arbitrary seeded batch splits: states,
+// intervals, and verdicts must match exactly. This is the contract that
+// lets rolloutd drive the monitor from aggregate estimator increments.
+func TestSequentialAddBatchEquivalence(t *testing.T) {
+	rewards := dyadicRewards(21, 600)
+
+	single, err := NewSequentialEB(0, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range rewards {
+		_ = single.Add(i%2, v)
+	}
+
+	for seed := int64(0); seed < 4; seed++ {
+		batched, err := NewSequentialEB(0, 1, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := stats.NewRand(seed + 70)
+		// Walk each arm's subsequence in order, cutting it into random-size
+		// batches and folding each with AddBatch.
+		for arm := 0; arm < 2; arm++ {
+			var armRewards []float64
+			for i, v := range rewards {
+				if i%2 == arm {
+					armRewards = append(armRewards, v)
+				}
+			}
+			for len(armRewards) > 0 {
+				k := 1 + r.Intn(len(armRewards))
+				var sum, sumSq float64
+				for _, v := range armRewards[:k] {
+					sum += v
+					sumSq += v * v
+				}
+				if err := batched.AddBatch(arm, k, sum, sumSq); err != nil {
+					t.Fatal(err)
+				}
+				armRewards = armRewards[k:]
+			}
+		}
+		if got, want := batched.State(), single.State(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: batched state %+v != single-Add state %+v", seed, got, want)
+		}
+		if got, want := batched.Intervals(), single.Intervals(); got != want {
+			t.Fatalf("seed %d: batched intervals %v != %v", seed, got, want)
+		}
+		bw, bd := batched.Decided()
+		sw, sd := single.Decided()
+		if bw != sw || bd != sd {
+			t.Fatalf("seed %d: batched verdict (%d,%t) != (%d,%t)", seed, bw, bd, sw, sd)
+		}
+	}
+}
+
+// TestSequentialDecidedBoundary pins Decided's strict-separation semantics
+// with zero-variance arms: both arms get n=4096 constant-valued samples, so
+// the EB radius is a pure function of n and the verdict flips exactly when
+// the mean gap crosses the combined radius.
+func TestSequentialDecidedBoundary(t *testing.T) {
+	// Probe the radius at the exact configuration the table uses.
+	probe, err := NewSequentialEB(0, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4096
+	const m0 = 0.25
+	if err := probe.AddBatch(0, n, m0*n, m0*m0*n); err != nil {
+		t.Fatal(err)
+	}
+	r := probe.radius(0, n)
+	if r <= 0 || r > 0.1 {
+		t.Fatalf("zero-variance radius at n=%d is %v, expected small positive", n, r)
+	}
+
+	cases := []struct {
+		name       string
+		m1         float64
+		wantDone   bool
+		wantWinner int
+	}{
+		{"equal means", m0, false, 0},
+		{"gap just under 2r", m0 + 2*r - 1e-9, false, 0},
+		{"gap just over 2r", m0 + 2*r + 1e-9, true, 1},
+		{"wide gap, arm 1 wins", m0 + 0.5, true, 1},
+		{"wide gap, arm 0 wins", m0 - 0.2, true, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSequentialEB(0, 1, 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AddBatch(0, n, m0*n, m0*m0*n); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AddBatch(1, n, tc.m1*n, tc.m1*tc.m1*n); err != nil {
+				t.Fatal(err)
+			}
+			winner, done := s.Decided()
+			if done != tc.wantDone {
+				t.Fatalf("Decided done=%t, want %t (gap %v, radius %v)", done, tc.wantDone, tc.m1-m0, r)
+			}
+			if done && winner != tc.wantWinner {
+				t.Fatalf("winner %d, want %d", winner, tc.wantWinner)
+			}
+		})
+	}
+
+	// One empty arm keeps the monitor undecided no matter how lopsided the
+	// other arm looks: an unobserved arm has an infinite interval.
+	s, err := NewSequentialEB(0, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBatch(0, n, 0.9*n, 0.81*n); err != nil {
+		t.Fatal(err)
+	}
+	if _, done := s.Decided(); done {
+		t.Fatal("decided with an empty arm")
+	}
+}
+
+// TestSequentialRadiusMonotone checks the anytime-valid radius never widens
+// as evidence accumulates, in both modes: across each doubling-epoch
+// boundary the shrinking 1/√n term must beat the shrinking per-epoch δ_k,
+// and within an epoch the radius is constant by construction.
+func TestSequentialRadiusMonotone(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		mk   func() (*Sequential, error)
+	}{
+		{"hoeffding", func() (*Sequential, error) { return NewSequential(0, 1, 0.05) }},
+		{"eb", func() (*Sequential, error) { return NewSequentialEB(0, 1, 0.05) }},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			s, err := mode.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Give the EB branch a fixed, moderate variance to work with.
+			if err := s.AddBatch(0, 64, 0.5*64, (0.01+0.25)*64); err != nil {
+				t.Fatal(err)
+			}
+			if !math.IsInf(s.radius(0, 0), 1) {
+				t.Error("radius with no observations should be infinite")
+			}
+			prev := s.radius(0, 1)
+			for n := 2; n <= 1<<20; n *= 2 {
+				cur := s.radius(0, n)
+				if !(cur < prev) {
+					t.Fatalf("radius at epoch floor n=%d is %v, not below previous %v", n, cur, prev)
+				}
+				// Hoeffding radii are constant within an epoch (floor and
+				// δ_k fix them); EB radii also fold in the variance estimate
+				// at the probed n, so only check constancy in Hoeffding mode.
+				if mode.name == "hoeffding" {
+					if mid := s.radius(0, n+n/2); mid != cur {
+						t.Fatalf("radius varies within epoch: n=%d gives %v, n=%d gives %v", n, cur, n+n/2, mid)
+					}
+				}
+				prev = cur
+			}
+		})
+	}
+
+	// EB never exceeds Hoeffding at the same n: it is defined as the min.
+	h, err := NewSequential(0, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewSequentialEB(0, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddBatch(0, 1024, 0.5*1024, (0.001+0.25)*1024); err != nil {
+		t.Fatal(err)
+	}
+	if eb, ho := e.radius(0, 1024), h.radius(0, 1024); eb > ho {
+		t.Errorf("EB radius %v exceeds Hoeffding %v", eb, ho)
+	}
+}
+
+// TestSequentialStateRoundTrip restores a mid-flight monitor and checks the
+// rebuilt one is indistinguishable; then feeds both the same continuation
+// and requires identical verdicts — the property the rollout checkpoint
+// relies on.
+func TestSequentialStateRoundTrip(t *testing.T) {
+	s, err := NewSequentialEB(0, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dyadicRewards(31, 400) {
+		_ = s.Add(i%2, v)
+	}
+	st := s.State()
+	restored, err := RestoreSequential(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.State(); !reflect.DeepEqual(got, st) {
+		t.Fatalf("round-trip state %+v != %+v", got, st)
+	}
+	if got, want := restored.Intervals(), s.Intervals(); got != want {
+		t.Fatalf("round-trip intervals %v != %v", got, want)
+	}
+	for i, v := range dyadicRewards(32, 200) {
+		_ = s.Add(i%2, v)
+		_ = restored.Add(i%2, v)
+	}
+	sw, sd := s.Decided()
+	rw, rd := restored.Decided()
+	if sw != rw || sd != rd {
+		t.Fatalf("continuation verdicts diverge: (%d,%t) vs (%d,%t)", sw, sd, rw, rd)
+	}
+}
+
+// TestRestoreSequentialRejectsCorruptState: a checkpoint that decodes but
+// encodes an impossible monitor must not come back to life.
+func TestRestoreSequentialRejectsCorruptState(t *testing.T) {
+	valid := SequentialState{Lo: 0, Hi: 1, Delta: 0.05, Sums: [2]float64{50, 60}, SumSqs: [2]float64{30, 40}, Counts: [2]int64{100, 100}}
+	if _, err := RestoreSequential(valid); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+	corrupt := []struct {
+		name   string
+		mutate func(*SequentialState)
+	}{
+		{"inverted range", func(st *SequentialState) { st.Lo, st.Hi = st.Hi, st.Lo }},
+		{"delta zero", func(st *SequentialState) { st.Delta = 0 }},
+		{"negative count", func(st *SequentialState) { st.Counts[1] = -5 }},
+		{"mean out of range", func(st *SequentialState) { st.Sums[0] = 500 }},
+		{"NaN sum of squares", func(st *SequentialState) { st.SumSqs[0] = math.NaN() }},
+		{"negative sum of squares", func(st *SequentialState) { st.SumSqs[1] = -1 }},
+	}
+	for _, tc := range corrupt {
+		t.Run(tc.name, func(t *testing.T) {
+			st := valid
+			tc.mutate(&st)
+			if _, err := RestoreSequential(st); err == nil {
+				t.Fatal("corrupt state restored without error")
+			}
+		})
+	}
+}

@@ -284,9 +284,9 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	d.obsReg.Handler().ServeHTTP(w, r)
 }
 
-// diagnosticsReport is the /diagnostics payload: the estimator-health view
+// DiagnosticsReport is the /diagnostics payload: the estimator-health view
 // of every policy plus the pipeline settings that shape it.
-type diagnosticsReport struct {
+type DiagnosticsReport struct {
 	UptimeSeconds   float64             `json:"uptime_seconds"`
 	Clip            float64             `json:"clip"`
 	PropensityFloor float64             `json:"propensity_floor"`
@@ -305,7 +305,7 @@ type diagnosticsReport struct {
 func (d *Daemon) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
 	sp := d.cfg.Tracer.Start("diagnostics", d.root, nil)
 	defer sp.End()
-	writeJSON(w, diagnosticsReport{
+	writeJSON(w, DiagnosticsReport{
 		UptimeSeconds:   d.cfg.Clock.Now().Sub(d.start).Seconds(),
 		Clip:            d.reg.Clip(),
 		PropensityFloor: d.reg.PropensityFloor(),

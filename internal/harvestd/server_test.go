@@ -266,7 +266,7 @@ func TestServerDiagnostics(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("diagnostics = %d", code)
 	}
-	var rep diagnosticsReport
+	var rep DiagnosticsReport
 	if err := json.Unmarshal([]byte(body), &rep); err != nil {
 		t.Fatalf("bad diagnostics JSON: %v\n%s", err, body)
 	}

@@ -46,8 +46,15 @@ var wireWatch = []wireWatchItem{
 	{"repro/internal/harvestd", "SnapshotCounters", "struct"},
 	{"repro/internal/harvestd", "StateSnapshot", "struct"},
 	{"repro/internal/harvester", "EstimatorState", "struct"},
+	{"repro/internal/abtest", "SequentialState", "struct"},
+	{"repro/internal/rollout", "Checkpoint", "struct"},
+	{"repro/internal/rollout", "GateDecision", "struct"},
+	{"repro/internal/rollout", "GateArm", "struct"},
+	{"repro/internal/rollout", "GateCheck", "struct"},
+	{"repro/internal/rollout", "StageTransition", "struct"},
 	{"repro/internal/harvestd", "SnapshotVersion", "const"},
 	{"repro/internal/harvester/binrec", "Version", "const"},
+	{"repro/internal/rollout", "CheckpointVersion", "const"},
 }
 
 // wireVersionOf names the version constant that must move when a struct's
@@ -59,6 +66,12 @@ var wireVersionOf = map[string]string{
 	"repro/internal/harvestd.Accum":            "repro/internal/harvestd.SnapshotVersion",
 	"repro/internal/harvestd.SnapshotCounters": "repro/internal/harvestd.SnapshotVersion",
 	"repro/internal/harvestd.StateSnapshot":    "repro/internal/harvestd.SnapshotVersion",
+	"repro/internal/abtest.SequentialState":    "repro/internal/rollout.CheckpointVersion",
+	"repro/internal/rollout.Checkpoint":        "repro/internal/rollout.CheckpointVersion",
+	"repro/internal/rollout.GateDecision":      "repro/internal/rollout.CheckpointVersion",
+	"repro/internal/rollout.GateArm":           "repro/internal/rollout.CheckpointVersion",
+	"repro/internal/rollout.GateCheck":         "repro/internal/rollout.CheckpointVersion",
+	"repro/internal/rollout.StageTransition":   "repro/internal/rollout.CheckpointVersion",
 }
 
 // WireLock is the parsed lockfile: fully-qualified symbol → recorded

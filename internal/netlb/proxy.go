@@ -92,6 +92,21 @@ func (p *Proxy) observe(a core.Action, status int, rt time.Duration) {
 	m.latency[a].Observe(rt.Seconds())
 }
 
+// SetPolicy swaps the routing policy. Safe while serving: decisions read
+// the policy under the same lock, so every request is routed and logged
+// entirely by one policy or the other, never a mix. A rollout controller
+// uses this to lock in a fully promoted candidate (the epsilon ramp itself
+// goes through a policy.DynamicBlend share, not a policy swap).
+func (p *Proxy) SetPolicy(pol core.Policy) error {
+	if pol == nil {
+		return fmt.Errorf("netlb: nil policy")
+	}
+	p.mu.Lock()
+	p.policy = pol
+	p.mu.Unlock()
+	return nil
+}
+
 // SetNumTypes enables typed routing contexts: requests with paths of the
 // form /type/<t>/... are routed with the type one-hot in the context (and
 // logged), so contextual policies can specialize per request class. Call

@@ -1,0 +1,117 @@
+package rollout
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harvestd"
+)
+
+// HarvestClient supplies the controller's two inputs. Both harvestd and
+// harvestagg serve these shapes, so a controller can watch a single shard
+// or a whole fleet; tests supply scripted implementations.
+type HarvestClient interface {
+	// Estimates returns the current per-policy estimates.
+	Estimates(ctx context.Context) ([]harvestd.PolicyEstimate, error)
+	// Diagnostics returns the current estimator-health report.
+	Diagnostics(ctx context.Context) (harvestd.DiagnosticsReport, error)
+}
+
+// HTTPHarvest reads /estimates and /diagnostics from a harvestd or
+// harvestagg base URL.
+type HTTPHarvest struct {
+	// BaseURL is e.g. "http://127.0.0.1:9001" (no trailing slash needed).
+	BaseURL string
+	// Client defaults to a client with a 10s timeout.
+	Client *http.Client
+}
+
+func (h *HTTPHarvest) get(ctx context.Context, path string, v any) error {
+	client := h.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.BaseURL+path, nil)
+	if err != nil {
+		return fmt.Errorf("rollout: building %s request: %w", path, err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("rollout: fetching %s: %w", path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("rollout: %s: status %d: %s", path, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, core.MaxRecordBytes)).Decode(v); err != nil {
+		return fmt.Errorf("rollout: decoding %s: %w", path, err)
+	}
+	return nil
+}
+
+// Estimates implements HarvestClient.
+func (h *HTTPHarvest) Estimates(ctx context.Context) ([]harvestd.PolicyEstimate, error) {
+	var out []harvestd.PolicyEstimate
+	if err := h.get(ctx, "/estimates", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Diagnostics implements HarvestClient.
+func (h *HTTPHarvest) Diagnostics(ctx context.Context) (harvestd.DiagnosticsReport, error) {
+	var out harvestd.DiagnosticsReport
+	if err := h.get(ctx, "/diagnostics", &out); err != nil {
+		return harvestd.DiagnosticsReport{}, err
+	}
+	return out, nil
+}
+
+// fetchArms pulls one coherent estimate+diagnostics pair and extracts the
+// two policies the controller watches. A missing candidate or baseline is
+// an error: gating on a policy the daemon is not tracking would silently
+// hold forever.
+func fetchArms(ctx context.Context, h HarvestClient, candidate, baseline string) (
+	cand, base harvestd.PolicyEstimate, diag harvestd.DiagnosticsReport, err error) {
+	ests, err := h.Estimates(ctx)
+	if err != nil {
+		return cand, base, diag, err
+	}
+	diag, err = h.Diagnostics(ctx)
+	if err != nil {
+		return cand, base, diag, err
+	}
+	candOK, baseOK := false, false
+	for _, pe := range ests {
+		switch pe.Policy {
+		case candidate:
+			cand, candOK = pe, true
+		case baseline:
+			base, baseOK = pe, true
+		}
+	}
+	if !candOK {
+		return cand, base, diag, fmt.Errorf("rollout: candidate %q not in served estimates", candidate)
+	}
+	if !baseOK {
+		return cand, base, diag, fmt.Errorf("rollout: baseline %q not in served estimates", baseline)
+	}
+	return cand, base, diag, nil
+}
+
+// diagOf finds one policy's diagnostics row (zero value if absent —
+// health checks then see 0 fractions, and the ESS guard skips N==0 arms).
+func diagOf(rep harvestd.DiagnosticsReport, policy string) harvestd.PolicyDiagnostics {
+	for _, dg := range rep.Policies {
+		if dg.Policy == policy {
+			return dg
+		}
+	}
+	return harvestd.PolicyDiagnostics{}
+}

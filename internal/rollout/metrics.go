@@ -1,0 +1,60 @@
+package rollout
+
+import "repro/internal/obs"
+
+// metrics is the controller's obs instrumentation: counters the loops bump
+// and gauges the /metrics scrape reads. Stage is exported one-hot (a gauge
+// per stage name) so dashboards can plot transitions without string labels.
+type metrics struct {
+	polls         *obs.Counter
+	pollErrors    *obs.Counter
+	promotions    *obs.Counter
+	rollbacks     *obs.Counter
+	holds         *obs.Counter
+	actuateErrors *obs.Counter
+	seqRejects    *obs.Counter
+	share         *obs.Gauge
+	stageGauges   map[Stage]*obs.Gauge
+}
+
+func (c *Controller) initMetrics() {
+	r := obs.NewRegistry()
+	m := &metrics{
+		polls:         r.Counter("rolloutd_polls_total", "control cycles executed"),
+		pollErrors:    r.Counter("rolloutd_poll_errors_total", "control cycles aborted by fetch errors"),
+		promotions:    r.Counter("rolloutd_promotions_total", "stage promotions applied"),
+		rollbacks:     r.Counter("rolloutd_rollbacks_total", "automatic rollbacks applied"),
+		holds:         r.Counter("rolloutd_holds_total", "gate evaluations that held the current stage"),
+		actuateErrors: r.Counter("rolloutd_actuate_errors_total", "failed share pushes to the actuation target"),
+		seqRejects:    r.Counter("rolloutd_seq_rejects_total", "estimator increments the sequential monitor rejected"),
+		share:         r.Gauge("rolloutd_share", "candidate traffic share currently actuated"),
+		stageGauges:   make(map[Stage]*obs.Gauge),
+	}
+	for _, st := range []Stage{StageShadow, StageCanary, StageFull, StageRolledBack} {
+		m.stageGauges[st] = r.Gauge("rolloutd_stage", "1 for the current stage, 0 otherwise", "stage", string(st))
+	}
+	r.GaugeFunc("rolloutd_uptime_seconds", "seconds since the controller started", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.start.IsZero() {
+			return 0
+		}
+		return c.cfg.Clock.Now().Sub(c.start).Seconds()
+	})
+	obs.RegisterGoRuntime(r)
+	c.obsReg = r
+	c.met = m
+	m.setStage(StageShadow, 0)
+}
+
+// setStage updates the one-hot stage gauges and the share gauge.
+func (m *metrics) setStage(cur Stage, share float64) {
+	for st, g := range m.stageGauges {
+		v := 0.0
+		if st == cur {
+			v = 1
+		}
+		g.Set(v)
+	}
+	m.share.Set(share)
+}

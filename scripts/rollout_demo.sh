@@ -1,0 +1,122 @@
+#!/bin/sh
+# Demo of the guarded rollout controller (DESIGN.md §12): lbd serves live
+# traffic through a retunable leastloaded canary blend, harvestd tails a
+# growing exploration log of uniformly randomized routing decisions, and
+# rolloutd gates the candidate through shadow → canary → full from the
+# counterfactual estimates alone — actuating lbd's real /share admin
+# endpoint at every promotion. The machine-readable audit trail lands in
+# GATES_rolloutd.json. Headless (no interaction, exits 0 on success), so CI
+# runs it as the rollout smoke test.
+set -eu
+
+TMP="${TMPDIR:-/tmp}/rollout-demo.$$"
+mkdir -p "$TMP"
+# Track daemon PIDs explicitly: `kill $(jobs -p)` is unreliable in a trap
+# under dash (the substitution runs in a subshell with an empty job table),
+# which leaks the daemons and leaves `wait` hanging forever.
+PIDS=""
+cleanup() {
+	[ -n "$PIDS" ] && kill $PIDS 2>/dev/null || true
+	wait 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building lbd + harvestd + rolloutd"
+go build -o "$TMP/lbd" ./cmd/lbd
+go build -o "$TMP/harvestd" ./cmd/harvestd
+go build -o "$TMP/rolloutd" ./cmd/rolloutd
+
+: >"$TMP/access.log"
+
+echo "== starting lbd with a retunable leastloaded canary (share admin :8456)"
+"$TMP/lbd" -backends 2 -requests 0 -log "" \
+	-canary leastloaded -canary-share 0 -admin-addr 127.0.0.1:8456 &
+PIDS="$PIDS $!"
+
+echo "== starting harvestd tailing the exploration log (:8455)"
+"$TMP/harvestd" -addr 127.0.0.1:8455 -policies uniform,leastloaded \
+	-workers 1 -nginx "$TMP/access.log" -follow &
+PIDS="$PIDS $!"
+
+wait_http() { # URL
+	for _ in $(seq 1 100); do
+		curl -sf "$1" >/dev/null 2>&1 && return 0
+		sleep 0.2
+	done
+	echo "rollout demo: timed out waiting for $1" >&2
+	return 1
+}
+wait_http http://127.0.0.1:8455/healthz
+wait_http http://127.0.0.1:8456/share
+
+echo "== starting rolloutd gating leastloaded vs uniform (:8457)"
+"$TMP/rolloutd" -addr 127.0.0.1:8457 \
+	-harvest http://127.0.0.1:8455 \
+	-candidate leastloaded -baseline uniform -objective min \
+	-delta 0.1 -shares 0.05,0.25 -min-samples 400 -term-hi 0.03 \
+	-poll-interval 200ms -actuate http://127.0.0.1:8456/share \
+	-checkpoint "$TMP/rollout.ckpt" &
+PIDS="$PIDS $!"
+wait_http http://127.0.0.1:8457/healthz
+
+# Append harvested exploration data in bursts: uniformly randomized routing
+# (prop=0.5) whose request time is fast exactly when the chosen backend was
+# the less loaded one — so leastloaded is counterfactually, measurably
+# better than the uniform incumbent, and each stage gets fresh evidence.
+append_chunk() { # SEED N
+	awk -v seed="$1" -v n="$2" 'BEGIN {
+		s = seed
+		for (i = 0; i < n; i++) {
+			s = (s * 48271) % 2147483647; a = s % 2
+			s = (s * 48271) % 2147483647; c0 = s % 8
+			s = (s * 48271) % 2147483647; c1 = s % 8
+			min = c0 < c1 ? c0 : c1
+			ca = a == 0 ? c0 : c1
+			rt = ca == min ? 0.002 : 0.010
+			printf "127.0.0.1:1 - - [06/Jul/2026:10:30:00 +0000] \"GET /r/%d HTTP/1.1\" 200 42 \"-\" \"t\" rt=%.6f upstream=%d conns=%d|%d prop=0.500000\n", i, rt, a, c0, c1
+		}
+	}' >>"$TMP/access.log"
+}
+
+stage_of() {
+	curl -sf http://127.0.0.1:8457/healthz | sed -n 's/^ok stage=\([a-z]*\).*/\1/p'
+}
+
+echo "== feeding exploration bursts until the controller walks the ramp to full"
+round=0
+while [ "$(stage_of)" != "full" ]; do
+	round=$((round + 1))
+	if [ "$round" -gt 40 ]; then
+		echo "rollout demo: controller never reached full" >&2
+		curl -sf http://127.0.0.1:8457/status >&2 || true
+		exit 1
+	fi
+	append_chunk "$((round * 7 + 3))" 1500
+	sleep 1
+	echo "  round $round: stage=$(stage_of) lbd share=$(curl -sf http://127.0.0.1:8456/share)"
+done
+
+echo
+echo "== candidate at full exposure; lbd's live share followed the whole ramp"
+share="$(curl -sf http://127.0.0.1:8456/share)"
+echo "lbd /share: $share"
+case "$share" in
+*'"share":1'*) ;;
+*)
+	echo "rollout demo: lbd share did not reach 1" >&2
+	exit 1
+	;;
+esac
+
+echo
+echo "== stage history"
+curl -sf http://127.0.0.1:8457/history
+
+echo "== writing machine-readable gate audit trail -> GATES_rolloutd.json"
+curl -sf http://127.0.0.1:8457/gates >GATES_rolloutd.json
+grep -q '"outcome": "promote"' GATES_rolloutd.json || {
+	echo "rollout demo: no promote decision in gate history" >&2
+	exit 1
+}
+echo "rollout demo: reached full in $round rounds with $(grep -c '"outcome": "promote"' GATES_rolloutd.json) promotions ($(grep -c '"seq"' GATES_rolloutd.json) gate decisions)"
