@@ -88,6 +88,14 @@ fleet-demo:
 rollout-demo:
 	sh scripts/rollout_demo.sh
 
+# Launch the rollout-demo topology with fleetwatch scraping every daemon:
+# asserts all targets stay up, series flow, and zero alerts open on a
+# healthy fleet, then validates the incident log with tracecat -incidents.
+# Headless; writes the watcher state to ALERTS_fleetwatch.json and exits 0
+# — CI runs it as the fleetwatch smoke test. See DESIGN.md §13.
+fleetwatch-smoke:
+	sh scripts/fleetwatch_smoke.sh
+
 # Trace a quick fig3 run and validate/summarize the JSONL span trace:
 # tracecat exits non-zero unless every line parses, IDs are unique, and
 # every parent reference resolves.

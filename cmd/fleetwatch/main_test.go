@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obswatch"
+)
+
+func TestParseTargets(t *testing.T) {
+	got, err := parseTargets("harvestd:shard-a=http://127.0.0.1:8455, rolloutd:ctl=http://127.0.0.1:8457")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []obswatch.Target{
+		{Kind: "harvestd", Name: "shard-a", URL: "http://127.0.0.1:8455"},
+		{Kind: "rolloutd", Name: "ctl", URL: "http://127.0.0.1:8457"},
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("parsed %+v, want %+v", got, want)
+	}
+	for _, bad := range []string{"", "noseparator", "kind-only:x", "badkind:n=http://x"} {
+		if _, err := parseTargets(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestRunLifecycle boots fleetwatch against one fake daemon, waits for a
+// scrape round, checks the API and the incident file plumbing, and shuts
+// down on context cancel.
+func TestRunLifecycle(t *testing.T) {
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		_, _ = io.WriteString(w, "lbd_uptime_seconds 1\n")
+	}))
+	t.Cleanup(fake.Close)
+
+	incidents := filepath.Join(t.TempDir(), "incidents.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-targets", "lbd:lb=" + fake.URL,
+			"-interval", "20ms",
+			"-incidents", incidents,
+		}, &out, ready)
+	}()
+	var base string
+	select {
+	case base = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var status obswatch.Status
+	for {
+		resp, err := http.Get(base + "/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&status)
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status.Ticks >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no scrape rounds after 5s: %+v", status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(status.Targets) != 1 || !status.Targets[0].Up || status.AlertsFiring != 0 {
+		t.Fatalf("status = %+v, want one healthy target and no alerts", status)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "fleetwatch: final ticks=") {
+		t.Fatalf("missing final summary in output:\n%s", out.String())
+	}
+	if _, err := os.Stat(incidents); err != nil {
+		t.Fatalf("incident file not created: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-targets", ""}, io.Discard, nil); err == nil {
+		t.Fatal("missing targets accepted")
+	}
+	if err := run(context.Background(), []string{"-targets", "lbd:a=http://x", "extra"}, io.Discard, nil); err == nil {
+		t.Fatal("positional arguments accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package main
+
+// Incident-log mode (-incidents): validate and summarize fleetwatch's
+// incident JSONL. Validation mirrors the trace mode's spirit — every line
+// must parse into the locked record shape, sequence numbers must climb,
+// and every resolve must pair with an earlier open — then the summary
+// answers the pager questions: which rules burned, what is still open,
+// and what burned longest.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/obswatch"
+)
+
+// catIncidents validates and summarizes each incident log, then a combined
+// fleet summary when more than one file validated. Returns the exit code.
+func catIncidents(stdout, stderr io.Writer, paths []string) int {
+	code := 0
+	var fleet []obswatch.Incident
+	valid := 0
+	for _, path := range paths {
+		recs, err := readIncidents(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "tracecat: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		summarizeIncidents(stdout, path, recs)
+		fleet = append(fleet, recs...)
+		valid++
+	}
+	if valid > 1 {
+		summarizeIncidents(stdout, fmt.Sprintf("fleet (%d logs)", valid), fleet)
+	}
+	return code
+}
+
+// readIncidents parses one incident JSONL file and checks its invariants:
+// known version, strictly increasing Seq, valid states, and resolves that
+// pair with a currently-open incident of the same identity.
+func readIncidents(path string) ([]obswatch.Incident, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+
+	var recs []obswatch.Incident
+	open := map[string]bool{}
+	lastSeq := int64(0)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var inc obswatch.Incident
+		if err := json.Unmarshal(sc.Bytes(), &inc); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if inc.Version != obswatch.IncidentVersion {
+			return nil, fmt.Errorf("line %d: version %d, want %d", line, inc.Version, obswatch.IncidentVersion)
+		}
+		if inc.Seq <= lastSeq {
+			return nil, fmt.Errorf("line %d: seq %d after %d (must increase)", line, inc.Seq, lastSeq)
+		}
+		lastSeq = inc.Seq
+		key := inc.Rule + "|" + inc.Target + "|" + inc.Series
+		switch inc.State {
+		case "open":
+			if open[key] {
+				return nil, fmt.Errorf("line %d: %s opened while already open", line, key)
+			}
+			open[key] = true
+		case "resolved":
+			if !open[key] {
+				return nil, fmt.Errorf("line %d: %s resolved without an open", line, key)
+			}
+			delete(open, key)
+		default:
+			return nil, fmt.Errorf("line %d: unknown state %q", line, inc.State)
+		}
+		recs = append(recs, inc)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// summarizeIncidents prints the counts by rule, the open-vs-resolved
+// split, what is still burning, and the longest resolved burn. Output is
+// deterministic for a given log (sorted rules, raw unix-milli stamps).
+func summarizeIncidents(w io.Writer, label string, recs []obswatch.Incident) {
+	type ruleAgg struct {
+		opens, resolves int
+	}
+	byRule := map[string]*ruleAgg{}
+	stillOpen := map[string]obswatch.Incident{}
+	var longest *obswatch.Incident
+	for i, inc := range recs {
+		a := byRule[inc.Rule]
+		if a == nil {
+			a = &ruleAgg{}
+			byRule[inc.Rule] = a
+		}
+		key := inc.Rule + "|" + inc.Target + "|" + inc.Series
+		switch inc.State {
+		case "open":
+			a.opens++
+			stillOpen[key] = inc
+		case "resolved":
+			a.resolves++
+			delete(stillOpen, key)
+			if longest == nil || inc.DurationSeconds > longest.DurationSeconds {
+				longest = &recs[i]
+			}
+		}
+	}
+	opens, resolves := 0, 0
+	for _, a := range byRule {
+		opens += a.opens
+		resolves += a.resolves
+	}
+	fmt.Fprintf(w, "%s: %d incident records (%d opened, %d resolved, %d still burning)\n",
+		label, len(recs), opens, resolves, len(stillOpen))
+	rules := make([]string, 0, len(byRule))
+	for r := range byRule {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	for _, r := range rules {
+		a := byRule[r]
+		fmt.Fprintf(w, "  %-28s opened ×%-4d resolved ×%-4d\n", r, a.opens, a.resolves)
+	}
+	if longest != nil {
+		fmt.Fprintf(w, "  longest burn: %s on %s (%s) %.3fs\n",
+			longest.Rule, longest.Target, longest.Series, longest.DurationSeconds)
+	}
+	keys := make([]string, 0, len(stillOpen))
+	for k := range stillOpen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		inc := stillOpen[k]
+		fmt.Fprintf(w, "  still burning: %s on %s (%s) since t=%d: %s\n",
+			inc.Rule, inc.Target, inc.Series, inc.OpenedUnixMilli, inc.Detail)
+	}
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obswatch"
+)
+
+// writeIncidents materializes an incident JSONL file from records,
+// stamping Version and Seq in write order like the watcher does.
+func writeIncidents(t *testing.T, path string, recs []obswatch.Incident) {
+	t.Helper()
+	var buf bytes.Buffer
+	for i := range recs {
+		recs[i].Version = obswatch.IncidentVersion
+		recs[i].Seq = int64(i + 1)
+		b, err := json.Marshal(recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncidentsSummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "incidents.jsonl")
+	writeIncidents(t, path, []obswatch.Incident{
+		{State: "open", Rule: "shard_stale", Target: "agg", Series: "s{shard=\"a\"}",
+			TimeUnixMilli: 1000, OpenedUnixMilli: 1000, Detail: "stale"},
+		{State: "open", Rule: "target_down", Target: "ro", Series: "watch_up",
+			TimeUnixMilli: 2000, OpenedUnixMilli: 2000, Detail: "down"},
+		{State: "resolved", Rule: "shard_stale", Target: "agg", Series: "s{shard=\"a\"}",
+			TimeUnixMilli: 9000, OpenedUnixMilli: 1000, DurationSeconds: 8, Detail: "fresh"},
+		{State: "open", Rule: "shard_stale", Target: "agg", Series: "s{shard=\"b\"}",
+			TimeUnixMilli: 9500, OpenedUnixMilli: 9500, Detail: "stale again"},
+		{State: "resolved", Rule: "shard_stale", Target: "agg", Series: "s{shard=\"b\"}",
+			TimeUnixMilli: 9750, OpenedUnixMilli: 9500, DurationSeconds: 0.25, Detail: "fresh"},
+	})
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-incidents", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"5 incident records (3 opened, 2 resolved, 1 still burning)",
+		"shard_stale                  opened ×2    resolved ×2",
+		"target_down                  opened ×1    resolved ×0",
+		"longest burn: shard_stale on agg (s{shard=\"a\"}) 8.000s",
+		"still burning: target_down on ro (watch_up) since t=2000: down",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestIncidentsValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name    string
+		recs    []obswatch.Incident
+		munge   func(string) string
+		wantErr string
+	}{
+		{
+			name: "resolve without open",
+			recs: []obswatch.Incident{
+				{State: "resolved", Rule: "r", Target: "t", Series: "s",
+					TimeUnixMilli: 1, OpenedUnixMilli: 1},
+			},
+			wantErr: "resolved without an open",
+		},
+		{
+			name: "double open",
+			recs: []obswatch.Incident{
+				{State: "open", Rule: "r", Target: "t", Series: "s", TimeUnixMilli: 1, OpenedUnixMilli: 1},
+				{State: "open", Rule: "r", Target: "t", Series: "s", TimeUnixMilli: 2, OpenedUnixMilli: 2},
+			},
+			wantErr: "opened while already open",
+		},
+		{
+			name: "bad state",
+			recs: []obswatch.Incident{
+				{State: "flapping", Rule: "r", Target: "t", Series: "s", TimeUnixMilli: 1},
+			},
+			wantErr: "unknown state",
+		},
+		{
+			name: "bad version",
+			recs: []obswatch.Incident{
+				{State: "open", Rule: "r", Target: "t", Series: "s", TimeUnixMilli: 1},
+			},
+			munge: func(s string) string {
+				return strings.Replace(s, `"version":1`, `"version":99`, 1)
+			},
+			wantErr: "version 99",
+		},
+		{
+			name: "seq regression",
+			recs: []obswatch.Incident{
+				{State: "open", Rule: "r", Target: "t", Series: "s", TimeUnixMilli: 1},
+				{State: "open", Rule: "r2", Target: "t", Series: "s", TimeUnixMilli: 2},
+			},
+			munge: func(s string) string {
+				return strings.Replace(s, `"seq":2`, `"seq":1`, 1)
+			},
+			wantErr: "seq 1 after 1",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, strings.ReplaceAll(tc.name, " ", "_")+".jsonl")
+			writeIncidents(t, path, tc.recs)
+			if tc.munge != nil {
+				b, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(tc.munge(string(b))), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var out, errOut bytes.Buffer
+			if code := run([]string{"-incidents", path}, &out, &errOut); code == 0 {
+				t.Fatalf("invalid log accepted:\n%s", out.String())
+			}
+			if !strings.Contains(errOut.String(), tc.wantErr) {
+				t.Fatalf("stderr %q missing %q", errOut.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestIncidentsFleetSummary checks the combined summary across two logs.
+func TestIncidentsFleetSummary(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	writeIncidents(t, a, []obswatch.Incident{
+		{State: "open", Rule: "r", Target: "t1", Series: "s", TimeUnixMilli: 1, OpenedUnixMilli: 1},
+		{State: "resolved", Rule: "r", Target: "t1", Series: "s",
+			TimeUnixMilli: 2, OpenedUnixMilli: 1, DurationSeconds: 0.001},
+	})
+	writeIncidents(t, b, []obswatch.Incident{
+		{State: "open", Rule: "r", Target: "t2", Series: "s", TimeUnixMilli: 3, OpenedUnixMilli: 3},
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-incidents", a, b}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "fleet (2 logs): 3 incident records (2 opened, 1 resolved, 1 still burning)") {
+		t.Fatalf("missing fleet summary:\n%s", out.String())
+	}
+}

@@ -4,9 +4,15 @@
 // resolves — and prints per-name span counts and durations, so CI can
 // assert a trace is well-formed and a human can see where time went.
 //
+// With -incidents the inputs are instead fleetwatch incident logs
+// (versioned JSONL, one alert open/resolve per line): tracecat validates
+// the record invariants — version, monotone sequence numbers, resolves
+// pairing with opens — and summarizes counts by rule, open vs resolved,
+// and the longest-burning incidents.
+//
 // Usage:
 //
-//	tracecat FILE|GLOB...
+//	tracecat [-incidents] FILE|GLOB...
 //
 // Each argument may be a literal path or a glob pattern (quoted so the
 // shell does not expand it), so a sharded fleet's traces validate in one
@@ -17,6 +23,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -27,19 +34,35 @@ import (
 )
 
 func main() {
-	paths, err := expandArgs(os.Args[1:])
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable main: parses flags, dispatches to the trace or
+// incident summarizer, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracecat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	incidents := fs.Bool("incidents", false,
+		"inputs are fleetwatch incident JSONL logs, not traces")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	paths, err := expandArgs(fs.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "usage: tracecat FILE|GLOB...")
-		fmt.Fprintln(os.Stderr, "tracecat:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: tracecat [-incidents] FILE|GLOB...")
+		fmt.Fprintln(stderr, "tracecat:", err)
+		return 2
+	}
+	if *incidents {
+		return catIncidents(stdout, stderr, paths)
 	}
 	code := 0
 	var fleet []obs.Record
 	valid := 0
 	for _, path := range paths {
-		recs, err := catFile(os.Stdout, path)
+		recs, err := catFile(stdout, path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracecat: %s: %v\n", path, err)
+			fmt.Fprintf(stderr, "tracecat: %s: %v\n", path, err)
 			code = 1
 			continue
 		}
@@ -47,9 +70,9 @@ func main() {
 		valid++
 	}
 	if valid > 1 {
-		summarize(os.Stdout, fmt.Sprintf("fleet (%d traces)", valid), fleet)
+		summarize(stdout, fmt.Sprintf("fleet (%d traces)", valid), fleet)
 	}
-	os.Exit(code)
+	return code
 }
 
 // expandArgs resolves each argument: glob patterns expand to their matches

@@ -95,6 +95,8 @@ type shardState struct {
 	lastSuccess time.Time // zero: never pulled successfully
 	lastErr     string
 	failures    int // consecutive pull failures
+	fresh       *harvestd.FreshnessReport
+	freshAt     time.Time // when fresh was pulled; zero: never
 
 	pulls      atomic.Int64
 	pullErrors atomic.Int64
@@ -271,6 +273,13 @@ func (a *Aggregator) pullShard(ctx context.Context, st *shardState) error {
 		st.mu.Unlock()
 		return err
 	}
+	// Best-effort freshness ride-along: watermark merging is additive over
+	// the snapshot pull, so a failed (or absent) /freshness never fails the
+	// pull — the shard just keeps its previous report.
+	fresh, freshErr := fetchFreshness(pctx, a.cfg.Client, st.shard.URL)
+	if freshErr != nil {
+		a.cfg.Logf("harvestagg: freshness %s: %v", st.shard.Name, freshErr)
+	}
 	st.mu.Lock()
 	if st.snap != nil && snap.Seq < st.snap.Seq {
 		st.restarts.Add(1)
@@ -279,6 +288,10 @@ func (a *Aggregator) pullShard(ctx context.Context, st *shardState) error {
 	st.lastSuccess = a.cfg.Clock.Now()
 	st.failures = 0
 	st.lastErr = ""
+	if fresh != nil {
+		st.fresh = fresh
+		st.freshAt = st.lastSuccess
+	}
 	st.mu.Unlock()
 	return nil
 }

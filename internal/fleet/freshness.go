@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/harvestd"
+)
+
+// ShardFreshness is one shard's row in the fleet freshness view: the
+// shard's own watermark report aged by how long ago the aggregator pulled
+// it. Sequence watermarks are -1 when unknown.
+type ShardFreshness struct {
+	Name string `json:"name"`
+	// Live mirrors the merged-estimates membership: the shard's snapshot is
+	// inside the staleness window.
+	Live         bool  `json:"live"`
+	WatermarkSeq int64 `json:"watermark_seq"`
+	// WatermarkAgeSeconds is the shard-reported estimator age plus the age
+	// of the report itself — the aggregator's honest view of how old the
+	// shard's last fold is right now (-1 unknown).
+	WatermarkAgeSeconds float64 `json:"watermark_age_seconds"`
+	Behind              int64   `json:"behind"`
+	QueueDepth          int     `json:"queue_depth"`
+	// ReportAgeSeconds is the time since the freshness report was pulled
+	// (-1: the shard never delivered one).
+	ReportAgeSeconds float64 `json:"report_age_seconds"`
+}
+
+// FleetFreshness is the aggregator's /freshness payload: the per-shard
+// watermark rows merged into the fleet's pipeline freshness. WatermarkSeq
+// is the min across live shards (the fleet-wide estimate provably reflects
+// every shard's records up to it), WatermarkAgeSeconds the max (the
+// worst-case estimator age rolloutd gates on), Behind the total backlog.
+// The version tracks harvestd.FreshnessVersion: the fleet view is a merge
+// of shard reports, so its schema moves with theirs. The top-level
+// watermark_age_seconds/behind pair deliberately matches harvestd's
+// FreshnessReport, so a consumer can gate on either tier's payload.
+type FleetFreshness struct {
+	Version             int              `json:"version"`
+	TimeUnixMilli       int64            `json:"time_unix_milli"`
+	WatermarkSeq        int64            `json:"watermark_seq"`
+	WatermarkAgeSeconds float64          `json:"watermark_age_seconds"`
+	Behind              int64            `json:"behind"`
+	LiveShards          int              `json:"live_shards"`
+	TotalShards         int              `json:"total_shards"`
+	Shards              []ShardFreshness `json:"shards"`
+}
+
+// fetchFreshness performs one GET {base}/freshness. A 404 reports (nil,
+// nil): the shard predates the endpoint, and freshness merging is strictly
+// additive over the snapshot pull.
+func fetchFreshness(ctx context.Context, client *http.Client, base string) (*harvestd.FreshnessReport, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/freshness", nil)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: building freshness request: %w", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }() // read-only response body
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: %s/freshness: HTTP %d", base, resp.StatusCode)
+	}
+	var rep harvestd.FreshnessReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("fleet: decoding freshness: %w", err)
+	}
+	if rep.Version != harvestd.FreshnessVersion {
+		return nil, fmt.Errorf("fleet: freshness version %d, want %d", rep.Version, harvestd.FreshnessVersion)
+	}
+	return &rep, nil
+}
+
+// Freshness merges the current per-shard watermark reports into the fleet
+// view. Shards render in the canonical sorted-name order, so the payload
+// is a pure function of the report set.
+func (a *Aggregator) Freshness() FleetFreshness {
+	now := a.cfg.Clock.Now()
+	out := FleetFreshness{
+		Version:             harvestd.FreshnessVersion,
+		TimeUnixMilli:       now.UnixMilli(),
+		WatermarkSeq:        -1,
+		WatermarkAgeSeconds: -1,
+		TotalShards:         len(a.shards),
+		Shards:              make([]ShardFreshness, 0, len(a.shards)),
+	}
+	for _, st := range a.shards {
+		st.mu.Lock()
+		rep := st.fresh
+		freshAt := st.freshAt
+		lastSuccess := st.lastSuccess
+		snap := st.snap
+		st.mu.Unlock()
+		row := ShardFreshness{
+			Name:                st.shard.Name,
+			WatermarkSeq:        -1,
+			WatermarkAgeSeconds: -1,
+			ReportAgeSeconds:    -1,
+		}
+		row.Live = snap != nil &&
+			(a.cfg.StaleAfter <= 0 || now.Sub(lastSuccess) <= a.cfg.StaleAfter)
+		if rep != nil {
+			row.WatermarkSeq = rep.WatermarkSeq
+			row.Behind = rep.Behind
+			row.QueueDepth = rep.QueueDepth
+			row.ReportAgeSeconds = now.Sub(freshAt).Seconds()
+			if rep.WatermarkAgeSeconds >= 0 {
+				row.WatermarkAgeSeconds = rep.WatermarkAgeSeconds + row.ReportAgeSeconds
+			}
+		}
+		if row.Live {
+			out.LiveShards++
+			if rep != nil {
+				if row.WatermarkSeq >= 0 &&
+					(out.WatermarkSeq < 0 || row.WatermarkSeq < out.WatermarkSeq) {
+					out.WatermarkSeq = row.WatermarkSeq
+				}
+				if row.WatermarkAgeSeconds > out.WatermarkAgeSeconds {
+					out.WatermarkAgeSeconds = row.WatermarkAgeSeconds
+				}
+				out.Behind += row.Behind
+			}
+		}
+		out.Shards = append(out.Shards, row)
+	}
+	return out
+}

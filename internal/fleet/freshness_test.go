@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/harvestd"
+	"repro/internal/obs"
+)
+
+// freshSnapServer serves /snapshot plus a scripted /freshness report
+// (nil: 404, simulating a shard predating the endpoint).
+func freshSnapServer(t *testing.T, snap *harvestd.StateSnapshot, rep *harvestd.FreshnessReport) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/snapshot":
+			if err := harvestd.EncodeSnapshot(w, snap); err != nil {
+				t.Errorf("encode snapshot: %v", err)
+			}
+		case "/freshness":
+			if rep == nil {
+				http.NotFound(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(rep)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestFleetFreshnessMerge(t *testing.T) {
+	mkRep := func(id string, wm int64, age float64, behind int64) *harvestd.FreshnessReport {
+		return &harvestd.FreshnessReport{
+			Version:             harvestd.FreshnessVersion,
+			ShardID:             id,
+			WatermarkSeq:        wm,
+			WatermarkAgeSeconds: age,
+			Behind:              behind,
+			QueueDepth:          int(behind),
+		}
+	}
+	sa := freshSnapServer(t, testSnap("shard-a", 1, 10, 200), mkRep("shard-a", 100, 1.5, 2))
+	sb := freshSnapServer(t, testSnap("shard-b", 1, 20, 300), mkRep("shard-b", 40, 0.5, 3))
+	sc := freshSnapServer(t, testSnap("shard-c", 1, 30, 100), nil) // no /freshness
+	clk := &obs.FixedClock{T: time.Unix(1700000000, 0)}
+	a, err := New(Config{
+		Shards: []Shard{
+			{Name: "shard-a", URL: sa.URL},
+			{Name: "shard-b", URL: sb.URL},
+			{Name: "shard-c", URL: sc.URL},
+		},
+		Clock: clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PullAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ff := a.Freshness()
+	if ff.Version != harvestd.FreshnessVersion || ff.LiveShards != 3 || ff.TotalShards != 3 {
+		t.Fatalf("version/live/total = %d/%d/%d", ff.Version, ff.LiveShards, ff.TotalShards)
+	}
+	// Min watermark across shards that reported one; max effective age;
+	// total backlog. shard-c contributes nothing (it has no report).
+	if ff.WatermarkSeq != 40 {
+		t.Errorf("fleet watermark = %d, want 40", ff.WatermarkSeq)
+	}
+	if ff.WatermarkAgeSeconds != 1.5 {
+		t.Errorf("fleet age = %v, want 1.5", ff.WatermarkAgeSeconds)
+	}
+	if ff.Behind != 5 {
+		t.Errorf("fleet behind = %d, want 5", ff.Behind)
+	}
+	if len(ff.Shards) != 3 ||
+		ff.Shards[0].Name != "shard-a" || ff.Shards[1].Name != "shard-b" || ff.Shards[2].Name != "shard-c" {
+		t.Fatalf("shard rows out of order: %+v", ff.Shards)
+	}
+	if row := ff.Shards[2]; row.WatermarkSeq != -1 || row.WatermarkAgeSeconds != -1 || row.ReportAgeSeconds != -1 || !row.Live {
+		t.Errorf("reportless shard row = %+v, want unknown watermarks but live", row)
+	}
+
+	// The report ages as the clock moves: effective shard age = shard-
+	// reported age + time since the aggregator pulled the report.
+	clk.Advance(2 * time.Second)
+	ff = a.Freshness()
+	if got := ff.Shards[0].WatermarkAgeSeconds; got != 3.5 {
+		t.Errorf("aged shard-a watermark age = %v, want 3.5", got)
+	}
+	if got := ff.Shards[0].ReportAgeSeconds; got != 2 {
+		t.Errorf("report age = %v, want 2", got)
+	}
+	if ff.WatermarkAgeSeconds != 3.5 {
+		t.Errorf("aged fleet age = %v, want 3.5", ff.WatermarkAgeSeconds)
+	}
+
+	// HTTP surface: /freshness round-trips and is byte-stable under a
+	// fixed clock.
+	srv := httptest.NewServer(a.handler())
+	t.Cleanup(srv.Close)
+	resp, err := http.Get(srv.URL + "/freshness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got FleetFreshness
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if got.WatermarkSeq != 40 || got.LiveShards != 3 {
+		t.Errorf("HTTP freshness = %+v", got)
+	}
+}

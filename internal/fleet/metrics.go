@@ -16,6 +16,7 @@ const (
 	helpPolicyMean     = "fleet-wide off-policy point estimate"
 	helpPolicyStderr   = "standard error of the fleet-wide estimate"
 	helpPolicyESS      = "fleet-wide Kish effective sample size (sum w)^2 / sum w^2"
+	helpPolicyESSFrac  = "fleet-wide effective sample size as a fraction of n"
 	helpPolicyClipFrac = "fleet-wide fraction of datapoints whose weight hit the clip cap"
 )
 
@@ -40,6 +41,15 @@ func (a *Aggregator) initMetrics() {
 		return float64(v.Counters.Folded)
 	})
 	r.CounterFunc("harvestagg_checkpoints_total", "successful checkpoint writes", a.checkpoints.Load)
+	r.GaugeFunc("harvestagg_watermark_seq", "min across live shards of the folded-record sequence watermark (-1 unknown)", func() float64 {
+		return float64(a.Freshness().WatermarkSeq)
+	})
+	r.GaugeFunc("harvestagg_watermark_age_seconds", "max across live shards of the effective estimator age (-1 unknown)", func() float64 {
+		return a.Freshness().WatermarkAgeSeconds
+	})
+	r.GaugeFunc("harvestagg_freshness_behind", "records enqueued but not yet folded, across live shards", func() float64 {
+		return float64(a.Freshness().Behind)
+	})
 	for _, st := range a.shards {
 		st := st
 		labels := []string{"shard", st.shard.Name}
@@ -110,6 +120,7 @@ func (a *Aggregator) updatePolicyMetrics() {
 	}
 	for _, dg := range v.Diagnostics() {
 		r.Gauge("harvestagg_policy_ess", helpPolicyESS, "policy", dg.Policy).Set(dg.ESS)
+		r.Gauge("harvestagg_policy_ess_fraction", helpPolicyESSFrac, "policy", dg.Policy).Set(dg.ESSFraction)
 		r.Gauge("harvestagg_policy_clip_fraction", helpPolicyClipFrac, "policy", dg.Policy).Set(dg.ClipFraction)
 	}
 }

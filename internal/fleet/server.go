@@ -21,6 +21,9 @@ import (
 //	GET  /diagnostics fleet estimator health: per-shard liveness/staleness
 //	                  plus merged per-policy ESS, weight tails, clip and
 //	                  floor fractions
+//	GET  /freshness   fleet pipeline watermarks: per-shard watermark rows
+//	                  merged into min-watermark / max-age / total-backlog
+//	                  (see FleetFreshness), for rolloutd and fleetwatch
 //	GET  /shards      per-shard pull status rows
 //	GET  /route?key=K the shard owning an ingest-source key (consistent-
 //	                  hash routing as a service: producers ask the
@@ -34,6 +37,7 @@ func (a *Aggregator) handler() http.Handler {
 	mux.HandleFunc("/healthz", a.handleHealthz)
 	mux.HandleFunc("/estimates", a.handleEstimates)
 	mux.HandleFunc("/diagnostics", a.handleDiagnostics)
+	mux.HandleFunc("/freshness", a.handleFreshness)
 	mux.HandleFunc("/shards", a.handleShards)
 	mux.HandleFunc("/route", a.handleRoute)
 	mux.HandleFunc("/metrics", a.handleMetrics)
@@ -108,6 +112,10 @@ func (a *Aggregator) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
 		Shards:           v.Shards,
 		Policies:         v.Diagnostics(),
 	})
+}
+
+func (a *Aggregator) handleFreshness(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, a.Freshness())
 }
 
 func (a *Aggregator) handleShards(w http.ResponseWriter, r *http.Request) {

@@ -111,10 +111,13 @@ type counters struct {
 // one send per record — at millions of records/sec the per-send
 // synchronization would otherwise dominate. free (when non-nil) runs after
 // the batch is folded, returning pooled decode buffers to the producing
-// source; until then the source must not touch the slice.
+// source; until then the source must not touch the slice. src and at feed
+// the /freshness watermarks: which source enqueued the batch, and when.
 type ingestBatch struct {
 	pts  []core.Datapoint
 	free func()
+	src  *sourceStats
+	at   time.Time
 }
 
 // Daemon is one running harvestd instance.
@@ -129,6 +132,9 @@ type Daemon struct {
 	root    *obs.Span // pipeline root span (nil without a tracer)
 
 	sources []Source
+
+	srcStatsMu sync.Mutex // guards the srcStats map (not the stats themselves)
+	srcStats   map[string]*sourceStats
 
 	stateMu  sync.RWMutex // guards running/draining transitions vs. Ingest
 	running  bool
@@ -166,9 +172,10 @@ func New(cfg Config, reg *Registry) (*Daemon, error) {
 		reg.SetPropensityFloor(floor)
 	}
 	d := &Daemon{
-		cfg:   cfg,
-		reg:   reg,
-		queue: make(chan ingestBatch, cfg.QueueSize),
+		cfg:      cfg,
+		reg:      reg,
+		queue:    make(chan ingestBatch, cfg.QueueSize),
+		srcStats: make(map[string]*sourceStats),
 	}
 	d.initMetrics()
 	return d, nil
@@ -227,10 +234,10 @@ func (d *Daemon) Start(ctx context.Context) error {
 		go d.worker(i)
 	}
 
-	sink := &Sink{d: d}
 	for _, s := range d.sources {
 		d.srcWG.Add(1)
-		go func(s Source) {
+		sink := d.sinkFor(s.Name())
+		go func(s Source, sink *Sink) {
 			defer d.srcWG.Done()
 			sp := d.cfg.Tracer.Start("source/"+s.Name(), d.root, nil)
 			defer sp.End()
@@ -241,7 +248,7 @@ func (d *Daemon) Start(ctx context.Context) error {
 				d.srcErrs = append(d.srcErrs, err)
 				d.errMu.Unlock()
 			}
-		}(s)
+		}(s, sink)
 	}
 
 	d.ckptDone = make(chan struct{})
@@ -287,6 +294,7 @@ func (d *Daemon) worker(id int) {
 		sp.End()
 	}()
 	for bt := range d.queue {
+		nFolded, maxSeq := 0, int64(-1)
 		for i := range bt.pts {
 			dp := &bt.pts[i]
 			if dp.Validate() != nil {
@@ -296,12 +304,47 @@ func (d *Daemon) worker(id int) {
 			d.reg.Fold(id, dp)
 			d.ctr.folded.Add(1)
 			folded++
+			nFolded++
+			if dp.Seq > maxSeq {
+				maxSeq = dp.Seq
+			}
 		}
 		if bt.free != nil {
 			bt.free()
 		}
+		if bt.src != nil {
+			now := d.cfg.Clock.Now()
+			bt.src.noteFolded(nFolded, maxSeq, now, now.Sub(bt.at).Seconds())
+		}
 	}
 }
+
+// enqueue is the single entry to the worker queue: it stamps the batch
+// with the source's stats and the injected clock, scans the high-water Seq
+// while the producer still owns the points, and blocks for backpressure.
+// On ctx cancellation the batch is released unsent.
+func (d *Daemon) enqueue(ctx context.Context, pts []core.Datapoint, free func(), src *sourceStats) error {
+	at := d.cfg.Clock.Now()
+	maxSeq := maxBatchSeq(pts)
+	select {
+	case d.queue <- ingestBatch{pts: pts, free: free, src: src, at: at}:
+		d.ctr.ingested.Add(int64(len(pts)))
+		if src != nil {
+			src.noteIngested(len(pts), maxSeq, at)
+		}
+		return nil
+	case <-ctx.Done():
+		if free != nil {
+			free()
+		}
+		return ctx.Err()
+	}
+}
+
+// pushSourceName labels datapoints arriving outside a configured Source —
+// the /ingest endpoint and in-process Ingest calls — in /freshness and the
+// lag histogram.
+const pushSourceName = "push"
 
 // Ingest offers one datapoint directly to the pipeline (the /ingest
 // endpoint and in-process wiring use this). It blocks for backpressure and
@@ -312,13 +355,11 @@ func (d *Daemon) Ingest(dp core.Datapoint) error {
 	if !d.running || d.draining {
 		return fmt.Errorf("harvestd: not accepting data")
 	}
-	select {
-	case d.queue <- ingestBatch{pts: []core.Datapoint{dp}}:
-		d.ctr.ingested.Add(1)
-		return nil
-	case <-d.srcCtx.Done():
+	sink := d.sinkFor(pushSourceName)
+	if err := d.enqueue(d.srcCtx, []core.Datapoint{dp}, nil, sink.src); err != nil {
 		return fmt.Errorf("harvestd: shutting down")
 	}
+	return nil
 }
 
 // checkpointLoop writes checkpoints on a timer until shutdown.

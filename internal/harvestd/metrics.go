@@ -53,6 +53,15 @@ func (d *Daemon) initMetrics() {
 	r.GaugeFunc("harvestd_sources", "configured log sources", func() float64 {
 		return float64(len(d.sources))
 	})
+	r.GaugeFunc("harvestd_watermark_seq", "min across sources of the max folded record sequence (-1 before any sequenced fold)", func() float64 {
+		return float64(d.FreshnessNow().WatermarkSeq)
+	})
+	r.GaugeFunc("harvestd_watermark_age_seconds", "seconds since the estimators last absorbed a batch (-1 never)", func() float64 {
+		return d.FreshnessNow().WatermarkAgeSeconds
+	})
+	r.GaugeFunc("harvestd_freshness_behind", "records enqueued but not yet folded, across sources", func() float64 {
+		return float64(d.FreshnessNow().Behind)
+	})
 	obs.RegisterGoRuntime(r)
 	d.obsReg = r
 }

@@ -29,6 +29,10 @@ import (
 //	                 clip and propensity-floor fractions
 //	GET  /snapshot   this shard's complete estimator state on the
 //	                 federation wire (see StateSnapshot), for harvestagg
+//	GET  /freshness  pipeline watermarks: per-source ingest/fold sequence
+//	                 high-water marks, queue backlog, ingest→fold lag
+//	                 quantiles (see FreshnessReport), for harvestagg and
+//	                 fleetwatch
 //	POST /ingest     push raw log data (?format=nginx|jsonl|bin), for smoke
 //	                 tests and push-based producers; bin takes the binrec
 //	                 binary stream and ingests whole decoded segments
@@ -41,6 +45,7 @@ func (d *Daemon) handler() http.Handler {
 	mux.HandleFunc("/metrics", d.handleMetrics)
 	mux.HandleFunc("/diagnostics", d.handleDiagnostics)
 	mux.HandleFunc("/snapshot", d.handleSnapshot)
+	mux.HandleFunc("/freshness", d.handleFreshness)
 	mux.HandleFunc("/ingest", d.handleIngest)
 	mux.HandleFunc("/checkpoint", d.handleCheckpoint)
 	return mux
@@ -61,6 +66,14 @@ func (d *Daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(buf.Bytes())
+}
+
+// handleFreshness serves the shard's pipeline watermarks (FreshnessReport)
+// to the aggregation tier and the fleet watcher.
+func (d *Daemon) handleFreshness(w http.ResponseWriter, r *http.Request) {
+	sp := d.cfg.Tracer.Start("freshness", d.root, nil)
+	defer sp.End()
+	writeJSON(w, d.FreshnessNow())
 }
 
 func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -164,6 +177,9 @@ func (d *Daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
 				d.ctr.rejected.Add(1)
 				continue
 			}
+			// Per-request line number; the freshness watermark is a max, so
+			// interleaved pushes stay monotone.
+			dp.Seq = lines
 			if err := d.Ingest(dp); err != nil {
 				http.Error(w, err.Error(), http.StatusServiceUnavailable)
 				return
@@ -196,7 +212,7 @@ func (d *Daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
 // workers, which validate every queued point exactly once.
 func (d *Daemon) handleIngestBin(w http.ResponseWriter, r *http.Request, lines, ingested, rejected *int64) {
 	ctx := r.Context()
-	sink := &Sink{d: d}
+	sink := d.sinkFor(pushSourceName)
 	free := make(chan *binrec.Batch, 2)
 	free <- new(binrec.Batch)
 	free <- new(binrec.Batch)

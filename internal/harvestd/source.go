@@ -29,8 +29,11 @@ type Source interface {
 
 // Sink is the ingestion funnel handed to sources: it counts the stream's
 // vital signs and offers datapoints to the worker queue with backpressure.
+// Each sink is bound to one source's freshness stats (see sinkFor), so the
+// /freshness watermarks attribute every batch to the source that fed it.
 type Sink struct {
-	d *Daemon
+	d   *Daemon
+	src *sourceStats
 }
 
 // Line records one raw input line (or record) seen.
@@ -56,13 +59,7 @@ func (s *Sink) Harvested(n int) { s.d.ctr.harvested.Add(int64(n)) }
 // Emit offers one datapoint to the bounded worker queue, blocking for
 // backpressure; it fails only when ctx is cancelled first.
 func (s *Sink) Emit(ctx context.Context, d core.Datapoint) error {
-	select {
-	case s.d.queue <- ingestBatch{pts: []core.Datapoint{d}}:
-		s.d.ctr.ingested.Add(1)
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return s.d.enqueue(ctx, []core.Datapoint{d}, nil, s.src)
 }
 
 // EmitBatch offers a whole slice of datapoints to the worker queue in one
@@ -77,16 +74,7 @@ func (s *Sink) EmitBatch(ctx context.Context, pts []core.Datapoint, free func())
 		}
 		return nil
 	}
-	select {
-	case s.d.queue <- ingestBatch{pts: pts, free: free}:
-		s.d.ctr.ingested.Add(int64(len(pts)))
-		return nil
-	case <-ctx.Done():
-		if free != nil {
-			free()
-		}
-		return ctx.Err()
-	}
+	return s.d.enqueue(ctx, pts, free, s.src)
 }
 
 // tailReader turns a file into a follow-forever reader (tail -f): on EOF it
@@ -223,6 +211,10 @@ func (s *NginxSource) Run(ctx context.Context, sink *Sink) error {
 			sink.Rejected()
 			continue
 		}
+		// Access-log lines carry no explicit sequence number; the line
+		// number is the natural per-file one, and it feeds the /freshness
+		// ingest/fold watermarks.
+		d.Seq = int64(lineNo)
 		if err := sink.Emit(ctx, d); err != nil {
 			return nil // shutdown, not a source failure
 		}

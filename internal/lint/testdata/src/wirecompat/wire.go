@@ -24,3 +24,18 @@ type StateSnapshot struct {
 	Counters SnapshotCounters `json:"counters"`
 	Policies map[string]Accum `json:"policies"`
 }
+
+// FreshnessVersion guards the freshness-report schema.
+const FreshnessVersion = 1
+
+// SourceFreshness mirrors one source's watermark row.
+type SourceFreshness struct {
+	Source       string `json:"source"`
+	WatermarkSeq int64  `json:"watermark_seq"`
+}
+
+// FreshnessReport mirrors the versioned /freshness payload.
+type FreshnessReport struct {
+	Version int               `json:"version"`
+	Sources []SourceFreshness `json:"sources"`
+}

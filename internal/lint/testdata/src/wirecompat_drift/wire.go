@@ -25,3 +25,19 @@ type StateSnapshot struct { // want "field set differs"
 	Counters SnapshotCounters `json:"counters"`
 	Policies map[string]Accum `json:"policies"`
 }
+
+// FreshnessVersion guards the freshness-report schema (not perturbed by
+// the drift test; it must stay clean while the snapshot symbols fail).
+const FreshnessVersion = 1
+
+// SourceFreshness mirrors one source's watermark row.
+type SourceFreshness struct {
+	Source       string `json:"source"`
+	WatermarkSeq int64  `json:"watermark_seq"`
+}
+
+// FreshnessReport mirrors the versioned /freshness payload.
+type FreshnessReport struct {
+	Version int               `json:"version"`
+	Sources []SourceFreshness `json:"sources"`
+}

@@ -52,9 +52,16 @@ var wireWatch = []wireWatchItem{
 	{"repro/internal/rollout", "GateArm", "struct"},
 	{"repro/internal/rollout", "GateCheck", "struct"},
 	{"repro/internal/rollout", "StageTransition", "struct"},
+	{"repro/internal/harvestd", "FreshnessReport", "struct"},
+	{"repro/internal/harvestd", "SourceFreshness", "struct"},
+	{"repro/internal/fleet", "FleetFreshness", "struct"},
+	{"repro/internal/fleet", "ShardFreshness", "struct"},
+	{"repro/internal/obswatch", "Incident", "struct"},
 	{"repro/internal/harvestd", "SnapshotVersion", "const"},
+	{"repro/internal/harvestd", "FreshnessVersion", "const"},
 	{"repro/internal/harvester/binrec", "Version", "const"},
 	{"repro/internal/rollout", "CheckpointVersion", "const"},
+	{"repro/internal/obswatch", "IncidentVersion", "const"},
 }
 
 // wireVersionOf names the version constant that must move when a struct's
@@ -72,6 +79,11 @@ var wireVersionOf = map[string]string{
 	"repro/internal/rollout.GateArm":           "repro/internal/rollout.CheckpointVersion",
 	"repro/internal/rollout.GateCheck":         "repro/internal/rollout.CheckpointVersion",
 	"repro/internal/rollout.StageTransition":   "repro/internal/rollout.CheckpointVersion",
+	"repro/internal/harvestd.FreshnessReport":  "repro/internal/harvestd.FreshnessVersion",
+	"repro/internal/harvestd.SourceFreshness":  "repro/internal/harvestd.FreshnessVersion",
+	"repro/internal/fleet.FleetFreshness":      "repro/internal/harvestd.FreshnessVersion",
+	"repro/internal/fleet.ShardFreshness":      "repro/internal/harvestd.FreshnessVersion",
+	"repro/internal/obswatch.Incident":         "repro/internal/obswatch.IncidentVersion",
 }
 
 // WireLock is the parsed lockfile: fully-qualified symbol → recorded

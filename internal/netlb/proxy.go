@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -32,6 +33,11 @@ type Proxy struct {
 
 	logMu sync.Mutex
 	logW  io.Writer
+	// lastLogNano is the wall time of the last access-log write, for the
+	// log-freshness gauge (0: never). The access log is the head of the
+	// harvest pipeline, so a watcher comparing it against harvestd's fold
+	// watermark can tell "no traffic" apart from "pipeline stuck".
+	lastLogNano atomic.Int64
 
 	health   *HealthChecker
 	numTypes int
@@ -46,9 +52,10 @@ type Proxy struct {
 // locks, so handles are resolved once in SetMetrics and indexed by the
 // routing action on the hot path.
 type proxyMetrics struct {
-	requests []*obs.Counter
-	errors   []*obs.Counter
-	latency  []*obs.Histogram
+	requests   []*obs.Counter
+	errors     []*obs.Counter
+	latency    []*obs.Histogram
+	logRecords *obs.Counter
 }
 
 // SetMetrics registers per-backend instruments on the registry and starts
@@ -76,6 +83,16 @@ func (p *Proxy) SetMetrics(r *obs.Registry) {
 				return float64(p.conns[i])
 			}, "backend", addr)
 	}
+	m.logRecords = r.Counter("netlb_log_records_total",
+		"access-log lines written for the harvester")
+	r.GaugeFunc("netlb_log_last_write_age_seconds",
+		"seconds since the last access-log write (-1 never)", func() float64 {
+			nano := p.lastLogNano.Load()
+			if nano == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(0, nano)).Seconds()
+		})
 	p.metrics = m
 }
 
@@ -331,6 +348,10 @@ func (p *Proxy) logAccess(r *http.Request, status int, bytes int64, rt time.Dura
 	p.logMu.Lock()
 	_, _ = io.WriteString(p.logW, line)
 	p.logMu.Unlock()
+	p.lastLogNano.Store(time.Now().UnixNano())
+	if m := p.metrics; m != nil {
+		m.logRecords.Inc()
+	}
 }
 
 // Conns returns a snapshot of the per-upstream active request counts.

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/des"
@@ -46,11 +47,25 @@ func (c SimClock) Now() time.Time {
 }
 
 // FixedClock is a manually advanced clock for tests that need
-// byte-identical timestamps across renders.
-type FixedClock struct{ T time.Time }
+// byte-identical timestamps across renders. Safe for concurrent use: a
+// test goroutine may Advance while a daemon under test reads Now (e.g.
+// from an HTTP handler).
+type FixedClock struct {
+	T time.Time
+
+	mu sync.Mutex
+}
 
 // Now implements Clock.
-func (c *FixedClock) Now() time.Time { return c.T }
+func (c *FixedClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.T
+}
 
 // Advance moves the clock forward by d.
-func (c *FixedClock) Advance(d time.Duration) { c.T = c.T.Add(d) }
+func (c *FixedClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.T = c.T.Add(d)
+}

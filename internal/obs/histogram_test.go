@@ -193,9 +193,61 @@ func TestHistogramExposition(t *testing.T) {
 		`lat_seconds_bucket{backend="0",le="+Inf"} 3`,
 		`lat_seconds_sum{backend="0"} 3.55`,
 		`lat_seconds_count{backend="0"} 3`,
+		// Quantile pseudo-families, interpolated from the same snapshot:
+		// p50 rank 1.5 lands in (0.1, 1] halfway -> 0.55; p90/p99 land in
+		// the +Inf bucket, which reports the last finite bound.
+		"# TYPE lat_seconds_p50 gauge",
+		`lat_seconds_p50{backend="0"} 0.55`,
+		"# TYPE lat_seconds_p90 gauge",
+		`lat_seconds_p90{backend="0"} 1`,
+		"# TYPE lat_seconds_p99 gauge",
+		`lat_seconds_p99{backend="0"} 1`,
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+// TestHistogramQuantileMergeInvariance is the satellite property test:
+// quantiles computed on K merged per-shard snapshots must equal quantiles
+// of one histogram fed the concatenated observation stream. Quantile reads
+// only the integer bucket counts, so equality is exact — no tolerance.
+func TestHistogramQuantileMergeInvariance(t *testing.T) {
+	buckets := DefLatencyBuckets()
+	const shards = 5
+	r := stats.NewRand(97)
+	whole, err := NewHistogram(buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged HistSnapshot
+	for sh := 0; sh < shards; sh++ {
+		h, err := NewHistogram(buckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 100 + r.Intn(400)
+		for i := 0; i < n; i++ {
+			// Mix of fast and tail latencies across several decades.
+			v := math.Exp(r.NormFloat64()*2 - 6)
+			h.Observe(v)
+			whole.Observe(v)
+		}
+		if sh == 0 {
+			merged = h.Snapshot()
+		} else if err := merged.Merge(h.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws := whole.Snapshot()
+	if merged.Count != ws.Count {
+		t.Fatalf("merged count %d != whole count %d", merged.Count, ws.Count)
+	}
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		mq, wq := merged.Quantile(q), ws.Quantile(q)
+		if mq != wq {
+			t.Errorf("q=%v: merged %v != concatenated %v", q, mq, wq)
 		}
 	}
 }

@@ -251,6 +251,16 @@ func escapeLabel(v string) string {
 	return r.Replace(v)
 }
 
+// escapeHelp escapes HELP text per the Prometheus text format: backslash
+// and newline. (Double quotes are legal in HELP text and stay literal.)
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
 func sameBuckets(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false
@@ -266,6 +276,17 @@ func sameBuckets(a, b []float64) bool {
 // formatFloat renders a float the way the rest of the exposition does.
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// histQuantiles are the quantile pseudo-families every histogram family
+// exposes alongside its buckets.
+var histQuantiles = []struct {
+	suffix string
+	q      float64
+}{
+	{"p50", 0.5},
+	{"p90", 0.9},
+	{"p99", 0.99},
 }
 
 // WritePrometheus renders every family in the Prometheus text format,
@@ -299,9 +320,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		r.mu.Unlock()
 
-		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
-		for _, s := range sers {
+		snaps := make([]*HistSnapshot, len(sers))
+		for si, s := range sers {
 			ls := renderLabels(s.labelPairs, "")
 			switch {
 			case s.counter != nil:
@@ -314,6 +336,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s%s %s\n", f.name, ls, formatFloat(s.gaugeFn()))
 			case s.hist != nil:
 				snap := s.hist.Snapshot()
+				snaps[si] = &snap
 				cum := uint64(0)
 				for i, ub := range snap.Buckets {
 					cum += snap.Counts[i]
@@ -324,6 +347,24 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, renderLabels(s.labelPairs, "+Inf"), cum)
 				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, ls, formatFloat(snap.Sum))
 				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, ls, cum)
+			}
+		}
+		// Histogram families additionally expose linearly interpolated
+		// quantile gauges derived from the same snapshot the buckets were
+		// rendered from, as sibling pseudo-families right after the family
+		// (deterministic placement; empty series render NaN).
+		if f.typ == "histogram" {
+			for _, pq := range histQuantiles {
+				fmt.Fprintf(&b, "# HELP %s_%s %s quantile of %s (interpolated)\n",
+					f.name, pq.suffix, pq.suffix, f.name)
+				fmt.Fprintf(&b, "# TYPE %s_%s gauge\n", f.name, pq.suffix)
+				for si, s := range sers {
+					if snaps[si] == nil {
+						continue
+					}
+					fmt.Fprintf(&b, "%s_%s%s %s\n", f.name, pq.suffix,
+						renderLabels(s.labelPairs, ""), formatFloat(snaps[si].Quantile(pq.q)))
+				}
 			}
 		}
 	}

@@ -76,6 +76,27 @@ func TestRegistryLabelHandling(t *testing.T) {
 	}
 }
 
+// TestHelpEscaping pins the Prometheus-text escaping rules for HELP text:
+// backslashes and newlines must be escaped (a raw newline would split the
+// comment line and corrupt the exposition), while double quotes are legal
+// and stay literal.
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hostile_total", "path C:\\tmp\nsecond \"line\"").Inc()
+	got := render(t, r)
+	want := `# HELP hostile_total path C:\\tmp\nsecond "line"` + "\n"
+	if !strings.Contains(got, want) {
+		t.Errorf("HELP escaping wrong:\ngot:\n%s\nwant line:\n%s", got, want)
+	}
+	// The exposition must not contain a raw mid-comment newline: every
+	// line starts with a comment marker or the metric name.
+	for _, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+		if !strings.HasPrefix(line, "# ") && !strings.HasPrefix(line, "hostile_total") {
+			t.Errorf("stray exposition line %q", line)
+		}
+	}
+}
+
 func TestRegistryMisusePanics(t *testing.T) {
 	cases := []struct {
 		name string

@@ -1,0 +1,266 @@
+package obswatch
+
+// Live kill-a-shard end-to-end test: a real harvestd shard behind a
+// stable frontage, a real fleet aggregator pulling it, and a fleetwatch
+// watcher on a real scrape loop. Killing the shard must burn a
+// shard_stale alert open; reviving it on a fresh port must resolve it.
+// Run under -race this also exercises the scrape loop against the live
+// HTTP surfaces.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/harvestd"
+	"repro/internal/lbsim"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the watcher's scrape loop
+// writes incidents concurrently with the test's final read.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// stableAddr is a fixed frontage for a daemon that can die and come back
+// on another port (the aggregator's shard URL outlives the process).
+type stableAddr struct {
+	mu     sync.Mutex
+	target string // live daemon base URL; "" = down
+	srv    *httptest.Server
+}
+
+func newStableAddr(t *testing.T, target string) *stableAddr {
+	t.Helper()
+	sa := &stableAddr{target: target}
+	sa.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sa.mu.Lock()
+		target := sa.target
+		sa.mu.Unlock()
+		if target == "" {
+			http.Error(w, "shard down", http.StatusBadGateway)
+			return
+		}
+		resp, err := http.Get(target + r.URL.Path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer func() { _ = resp.Body.Close() }()
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(sa.srv.Close)
+	return sa
+}
+
+func (sa *stableAddr) retarget(url string) {
+	sa.mu.Lock()
+	sa.target = url
+	sa.mu.Unlock()
+}
+
+// startShard boots one harvestd with a couple of ingested datapoints.
+func startShard(t *testing.T) *harvestd.Daemon {
+	t.Helper()
+	reg, err := harvestd.NewRegistry(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("always-0", policy.Constant{A: 0}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := harvestd.New(harvestd.Config{
+		Workers: 1, Clip: 10, Delta: 0.05, Addr: "127.0.0.1:0", ShardID: "shard-a",
+	}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRand(7)
+	for i := 0; i < 32; i++ {
+		err := d.Ingest(core.Datapoint{
+			Context:    lbsim.BuildContext([]int{r.Intn(4), r.Intn(4)}, 0, 1),
+			Action:     core.Action(r.Intn(2)),
+			Reward:     float64(r.Intn(1024)) / 1024,
+			Propensity: 0.5,
+			Seq:        int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestE2EKillShardAlertsAndResolves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-daemon topology in -short mode")
+	}
+
+	shard := startShard(t)
+	sa := newStableAddr(t, shard.URL())
+	agg, err := fleet.New(fleet.Config{
+		Shards:       []fleet.Shard{{Name: "shard-a", URL: sa.srv.URL}},
+		PullInterval: 30 * time.Millisecond,
+		PullTimeout:  time.Second,
+		MaxBackoff:   60 * time.Millisecond,
+		StaleAfter:   250 * time.Millisecond,
+		Addr:         "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = agg.Shutdown(ctx)
+	})
+	// Don't start watching until the aggregator has pulled the shard once,
+	// or the very first scrape round sees shard_up=0 and pages spuriously.
+	waitUntil(t, 10*time.Second, "aggregator's first shard pull", func() bool {
+		return agg.View().LiveShards == 1
+	})
+
+	incidents := &syncBuffer{}
+	w, err := New(Config{
+		Targets:  []Target{{Kind: KindHarvestagg, Name: "agg", URL: agg.URL()}},
+		Rules:    DefaultRules(RuleDefaults{StaleSLO: 0.4}),
+		Interval: 25 * time.Millisecond,
+		// The ring must outlive the whole scenario at 25ms per sample.
+		SeriesCap: 4096,
+		IncidentW: incidents,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = w.Shutdown(ctx)
+	})
+
+	alertsNow := func() []Alert { return w.Alerts() }
+	firing := func(rule string) func() bool {
+		return func() bool {
+			for _, a := range alertsNow() {
+				if a.Rule == rule && a.State == "firing" {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	anyFiring := func() bool {
+		for _, a := range alertsNow() {
+			if a.State == "firing" {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Healthy steady state: scrapes succeed and nothing fires.
+	waitUntil(t, 5*time.Second, "first clean scrape rounds", func() bool {
+		st := w.StatusNow()
+		return st.Ticks >= 3 && len(st.Targets) == 1 && st.Targets[0].Up
+	})
+	if f := alertsNow(); len(f) != 0 {
+		t.Fatalf("alerts on a healthy fleet: %+v", f)
+	}
+
+	// Kill the shard. The aggregator's staleness gauge climbs past the
+	// SLO and fleetwatch opens shard_stale (and shard_down once the
+	// aggregator drops the shard from the live set).
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := shard.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	sa.retarget("")
+	waitUntil(t, 10*time.Second, "shard_stale to fire after shard kill", firing("shard_stale"))
+	waitUntil(t, 10*time.Second, "shard_down to fire after shard kill", firing("shard_down"))
+
+	// Revive the shard on a fresh port; both alerts must resolve.
+	shard2 := startShard(t)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = shard2.Shutdown(ctx)
+	})
+	sa.retarget(shard2.URL())
+	waitUntil(t, 10*time.Second, "alerts to resolve after revival", func() bool { return !anyFiring() })
+
+	// The incident log tells the same story: shard_stale opened and then
+	// resolved (interleaved with shard_down's pair).
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := w.Shutdown(ctx2); err != nil {
+		t.Fatal(err)
+	}
+	var opened, resolved bool
+	dec := json.NewDecoder(bytes.NewReader(incidents.Bytes()))
+	for dec.More() {
+		var inc Incident
+		if err := dec.Decode(&inc); err != nil {
+			t.Fatal(err)
+		}
+		if inc.Rule == "shard_stale" && inc.State == "open" {
+			opened = true
+		}
+		if inc.Rule == "shard_stale" && inc.State == "resolved" {
+			if !opened {
+				t.Fatal("shard_stale resolved before opening")
+			}
+			resolved = true
+		}
+	}
+	if !opened || !resolved {
+		t.Fatalf("shard_stale open/resolved = %t/%t, want both:\n%s",
+			opened, resolved, incidents.Bytes())
+	}
+}

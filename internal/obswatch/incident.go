@@ -1,0 +1,84 @@
+package obswatch
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// IncidentVersion guards the incident record schema. The incident JSONL
+// file is the watcher's durable pager history — tracecat summarizes it and
+// CI archives it — so the struct is wire-locked and this constant must
+// move with any field change.
+const IncidentVersion = 1
+
+// Incident is one alert transition, appended to the incident JSONL file
+// at open and at resolve. The pair shares Seq-independent identity via
+// (rule, target, series, opened_unix_milli).
+type Incident struct {
+	Version int `json:"version"`
+	// Seq numbers records from 1 in write order.
+	Seq int64 `json:"seq"`
+	// State is "open" or "resolved".
+	State  string `json:"state"`
+	Rule   string `json:"rule"`
+	Target string `json:"target"`
+	Series string `json:"series"`
+	// TimeUnixMilli stamps this transition; OpenedUnixMilli the alert's
+	// open (so a resolved record self-describes its burn).
+	TimeUnixMilli   int64 `json:"time_unix_milli"`
+	OpenedUnixMilli int64 `json:"opened_unix_milli"`
+	// DurationSeconds is how long the alert burned (resolved records only).
+	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+	// Value and Detail capture the offending evidence at transition time.
+	Value  float64 `json:"value"`
+	Detail string  `json:"detail"`
+}
+
+// openLocked promotes an alert to firing and appends the open record.
+// Called with w.mu held.
+func (w *Watcher) openLocked(st *alertState, now time.Time) {
+	st.firing = true
+	st.openedAt = now
+	w.appendIncidentLocked(Incident{
+		Version: IncidentVersion,
+		State:   "open",
+		Rule:    st.rule.Name, Target: st.target, Series: st.series,
+		TimeUnixMilli:   now.UnixMilli(),
+		OpenedUnixMilli: now.UnixMilli(),
+		Value:           st.value, Detail: st.detail,
+	})
+}
+
+// resolveLocked appends the resolve record for a firing alert. Called
+// with w.mu held; the caller removes the state.
+func (w *Watcher) resolveLocked(st *alertState, now time.Time, value float64, detail string) {
+	w.appendIncidentLocked(Incident{
+		Version: IncidentVersion,
+		State:   "resolved",
+		Rule:    st.rule.Name, Target: st.target, Series: st.series,
+		TimeUnixMilli:   now.UnixMilli(),
+		OpenedUnixMilli: st.openedAt.UnixMilli(),
+		DurationSeconds: now.Sub(st.openedAt).Seconds(),
+		Value:           value, Detail: detail,
+	})
+}
+
+// appendIncidentLocked assigns the next sequence number and writes one
+// JSON line. Called with w.mu held.
+func (w *Watcher) appendIncidentLocked(inc Incident) {
+	w.incidentSeq++
+	inc.Seq = w.incidentSeq
+	w.met.incidents.Inc()
+	w.cfg.Logf("fleetwatch: %s %s %s/%s: %s", inc.State, inc.Rule, inc.Target, inc.Series, inc.Detail)
+	if w.cfg.IncidentW == nil {
+		return
+	}
+	b, err := json.Marshal(inc)
+	if err != nil {
+		w.cfg.Logf("fleetwatch: encoding incident: %v", err)
+		return
+	}
+	if _, err := w.cfg.IncidentW.Write(append(b, '\n')); err != nil {
+		w.cfg.Logf("fleetwatch: writing incident: %v", err)
+	}
+}

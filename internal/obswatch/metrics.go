@@ -1,0 +1,73 @@
+package obswatch
+
+import "repro/internal/obs"
+
+// watchMetrics caches the watcher's own instrument handles.
+type watchMetrics struct {
+	scrapes      *obs.Counter
+	scrapeErrors []*obs.Counter
+	incidents    *obs.Counter
+}
+
+// initMetrics builds the watcher's own /metrics registry — the watcher
+// watches the fleet, and whoever watches the watcher scrapes this.
+func (w *Watcher) initMetrics() {
+	r := obs.NewRegistry()
+	r.GaugeFunc("fleetwatch_uptime_seconds", "seconds since the watcher started", func() float64 {
+		return w.cfg.Clock.Now().Sub(w.start).Seconds()
+	})
+	r.GaugeFunc("fleetwatch_targets", "configured scrape targets", func() float64 {
+		return float64(len(w.cfg.Targets))
+	})
+	r.GaugeFunc("fleetwatch_targets_up", "targets whose last scrape succeeded", func() float64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		n := 0
+		for i := range w.tstat {
+			if w.tstat[i].up {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	r.GaugeFunc("fleetwatch_rules", "alert rules in the table", func() float64 {
+		return float64(len(w.cfg.Rules))
+	})
+	r.GaugeFunc("fleetwatch_series", "retained time series across targets", func() float64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		n := 0
+		for _, m := range w.series {
+			n += len(m)
+		}
+		return float64(n)
+	})
+	r.GaugeFunc("fleetwatch_alerts_pending", "alert instances inside their hysteresis window", func() float64 {
+		return float64(w.countAlerts(false))
+	})
+	r.GaugeFunc("fleetwatch_alerts_firing", "alert instances currently firing", func() float64 {
+		return float64(w.countAlerts(true))
+	})
+	w.met.scrapes = r.Counter("fleetwatch_scrape_rounds_total", "completed scrape-and-evaluate rounds")
+	w.met.incidents = r.Counter("fleetwatch_incidents_total", "incident records written (opens plus resolves)")
+	w.met.scrapeErrors = make([]*obs.Counter, len(w.cfg.Targets))
+	for i, t := range w.cfg.Targets {
+		w.met.scrapeErrors[i] = r.Counter("fleetwatch_scrape_errors_total",
+			"failed /metrics scrapes", "target", t.Name)
+	}
+	obs.RegisterGoRuntime(r)
+	w.reg = r
+}
+
+// countAlerts tallies live alerts by firing state.
+func (w *Watcher) countAlerts(firing bool) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, st := range w.alerts {
+		if st.firing == firing {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,46 @@
+package obswatch
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseProm parses Prometheus text exposition into series key → value.
+// Keys keep their label sets verbatim (`name{label="v"}`); comment and
+// blank lines are skipped, as are unparsable values (+Inf/NaN never make
+// useful alert inputs and would poison JSON output downstream).
+func ParseProm(body []byte) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is everything after the last space; label values may
+		// contain spaces, so splitting from the front is wrong.
+		idx := strings.LastIndexByte(line, ' ')
+		if idx <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		key := strings.TrimSpace(line[:idx])
+		if key == "" {
+			continue
+		}
+		out[key] = v
+	}
+	return out
+}
+
+// seriesBase returns the metric name of a series key, stripping any label
+// set: `name{a="b"}` → `name`.
+func seriesBase(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}

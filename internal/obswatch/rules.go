@@ -1,0 +1,327 @@
+package obswatch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RuleKind selects a rule's condition primitive.
+type RuleKind string
+
+// Rule kinds. Metric rules compare the latest sample of every matching
+// series against the threshold; target_down watches scrape liveness
+// itself. Richer signals (freshness lag, gate flapping) are metric rules
+// over the watcher's own watch_* synthetic series.
+const (
+	RuleMetricAbove RuleKind = "metric_above"
+	RuleMetricBelow RuleKind = "metric_below"
+	RuleTargetDown  RuleKind = "target_down"
+)
+
+// Rule is one row of the declarative alert table. A rule fans out into
+// one alert instance per (target, matching series) pair, each with its
+// own hysteresis timer.
+type Rule struct {
+	// Name identifies the rule in alerts and incident records.
+	Name string   `json:"name"`
+	Kind RuleKind `json:"kind"`
+	// TargetKind restricts the rule to targets of one kind ("" = all).
+	TargetKind string `json:"target_kind,omitempty"`
+	// Metric is the base series name metric rules watch (label sets fan
+	// out into separate alert instances).
+	Metric string `json:"metric,omitempty"`
+	// Threshold is the comparison bound for metric rules.
+	Threshold float64 `json:"threshold,omitempty"`
+	// GuardMetric, when set, gates each series on a sibling series (same
+	// label set) being > 0 — e.g. an ESS-fraction rule guarded on the
+	// policy's sample count, so empty estimators don't page.
+	GuardMetric string `json:"guard_metric,omitempty"`
+	// For is the hysteresis window: the condition must hold continuously
+	// this long before the alert opens (0 opens immediately).
+	For time.Duration `json:"for,omitempty"`
+}
+
+func (r Rule) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("rule name required")
+	}
+	switch r.Kind {
+	case RuleMetricAbove, RuleMetricBelow:
+		if r.Metric == "" {
+			return fmt.Errorf("metric rule needs a metric name")
+		}
+	case RuleTargetDown:
+	default:
+		return fmt.Errorf("unknown rule kind %q", r.Kind)
+	}
+	if r.For < 0 {
+		return fmt.Errorf("negative for-duration")
+	}
+	return nil
+}
+
+// RuleDefaults parameterizes DefaultRules; zero values pick the defaults
+// noted per field.
+type RuleDefaults struct {
+	// ESSFloor pages when a tracked policy's ESS fraction drops below it
+	// (default 0.1).
+	ESSFloor float64
+	// ClipCeiling pages when a policy's clip fraction exceeds it
+	// (default 0.4).
+	ClipCeiling float64
+	// LagSLO pages when a harvest surface's watermark age exceeds it, in
+	// seconds (default 30).
+	LagSLO float64
+	// StaleSLO pages when a fleet shard's last successful pull is older
+	// than it, in seconds (default 15).
+	StaleSLO float64
+	// FlapThreshold pages when a rollout controller's trailing decisions
+	// change outcome at least this many times (default 3).
+	FlapThreshold int
+	// For is the shared hysteresis window (default 0: open immediately).
+	For time.Duration
+}
+
+// DefaultRules builds the standard fleet alert table: scrape liveness for
+// every target, estimator-health collapse on both harvest tiers, shard
+// staleness/downness as seen by the aggregator, pipeline freshness SLOs,
+// and rollout gate flapping.
+func DefaultRules(d RuleDefaults) []Rule {
+	if d.ESSFloor == 0 {
+		d.ESSFloor = 0.1
+	}
+	if d.ClipCeiling == 0 {
+		d.ClipCeiling = 0.4
+	}
+	if d.LagSLO == 0 {
+		d.LagSLO = 30
+	}
+	if d.StaleSLO == 0 {
+		d.StaleSLO = 15
+	}
+	if d.FlapThreshold == 0 {
+		d.FlapThreshold = 3
+	}
+	// Metric rules compare strictly; an integer flap count fires at >=
+	// FlapThreshold via a half-step-down threshold.
+	flapThr := float64(d.FlapThreshold) - 0.5
+	return []Rule{
+		{Name: "target_down", Kind: RuleTargetDown, For: d.For},
+		{Name: "ess_collapse", Kind: RuleMetricBelow, TargetKind: KindHarvestd,
+			Metric: "harvestd_policy_ess_fraction", GuardMetric: "harvestd_policy_n",
+			Threshold: d.ESSFloor, For: d.For},
+		{Name: "fleet_ess_collapse", Kind: RuleMetricBelow, TargetKind: KindHarvestagg,
+			Metric: "harvestagg_policy_ess_fraction", GuardMetric: "harvestagg_policy_n",
+			Threshold: d.ESSFloor, For: d.For},
+		{Name: "clip_ceiling", Kind: RuleMetricAbove, TargetKind: KindHarvestd,
+			Metric: "harvestd_policy_clip_fraction", Threshold: d.ClipCeiling, For: d.For},
+		{Name: "fleet_clip_ceiling", Kind: RuleMetricAbove, TargetKind: KindHarvestagg,
+			Metric: "harvestagg_policy_clip_fraction", Threshold: d.ClipCeiling, For: d.For},
+		{Name: "shard_stale", Kind: RuleMetricAbove, TargetKind: KindHarvestagg,
+			Metric: "harvestagg_shard_staleness_seconds", Threshold: d.StaleSLO, For: d.For},
+		{Name: "shard_down", Kind: RuleMetricBelow, TargetKind: KindHarvestagg,
+			Metric: "harvestagg_shard_up", Threshold: 1, For: d.For},
+		{Name: "freshness_lag", Kind: RuleMetricAbove,
+			Metric: "watch_watermark_age_seconds", Threshold: d.LagSLO, For: d.For},
+		{Name: "gate_flap", Kind: RuleMetricAbove, TargetKind: KindRolloutd,
+			Metric: "watch_gate_outcome_changes", Threshold: flapThr, For: d.For},
+	}
+}
+
+// alertState is one live alert instance's lifecycle state.
+type alertState struct {
+	rule   Rule
+	target string
+	series string
+	// since is when the condition first became (continuously) true.
+	since time.Time
+	// firing flips once the condition has held for the rule's For window;
+	// openedAt stamps that transition.
+	firing   bool
+	openedAt time.Time
+	value    float64
+	detail   string
+}
+
+// Alert is one row of the /alerts payload.
+type Alert struct {
+	Rule   string `json:"rule"`
+	Target string `json:"target"`
+	Series string `json:"series"`
+	// State is "pending" (condition true, hysteresis running) or "firing".
+	State           string  `json:"state"`
+	SinceUnixMilli  int64   `json:"since_unix_milli"`
+	OpenedUnixMilli int64   `json:"opened_unix_milli,omitempty"`
+	Value           float64 `json:"value"`
+	Detail          string  `json:"detail"`
+}
+
+// condEval is one evaluated condition instance.
+type condEval struct {
+	rule   Rule
+	target string
+	series string
+	cond   bool
+	value  float64
+	detail string
+}
+
+func alertKey(rule, target, series string) string {
+	return rule + "|" + target + "|" + series
+}
+
+// evaluateLocked runs the rule table against the latest samples and
+// advances every alert's state machine, appending an incident record per
+// open/resolve transition. Called with w.mu held, immediately after a
+// scrape round stamped `now` — a series' condition is only evaluated when
+// it was scraped this round (last sample time == now), and metric alerts
+// on an unreachable target are frozen rather than resolved (no evidence
+// either way; target_down covers the outage itself).
+func (w *Watcher) evaluateLocked(now time.Time) {
+	nowMilli := now.UnixMilli()
+	var evals []condEval
+	frozen := map[string]bool{}
+	for _, rule := range w.cfg.Rules {
+		for ti, t := range w.cfg.Targets {
+			if rule.TargetKind != "" && rule.TargetKind != t.Kind {
+				continue
+			}
+			if rule.Kind == RuleTargetDown {
+				up := w.tstat[ti].up
+				upVal := 0.0
+				detail := fmt.Sprintf("scrape failed: %s", w.tstat[ti].lastErr)
+				if up {
+					upVal, detail = 1, "scrape ok"
+				}
+				evals = append(evals, condEval{rule: rule, target: t.Name,
+					series: "watch_up", cond: !up, value: upVal, detail: detail})
+				continue
+			}
+			if !w.tstat[ti].up {
+				prefix := alertKey(rule.Name, t.Name, "")
+				for k := range w.alerts {
+					if strings.HasPrefix(k, prefix) {
+						frozen[k] = true
+					}
+				}
+				continue
+			}
+			series := w.series[t.Name]
+			keys := make([]string, 0, 4)
+			for k := range series {
+				if seriesBase(k) == rule.Metric {
+					keys = append(keys, k)
+				}
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				last, ok := series[k].Last()
+				if !ok || last.T != nowMilli {
+					continue
+				}
+				if rule.GuardMetric != "" && !w.guardPasses(series, rule, k, nowMilli) {
+					continue
+				}
+				cond := last.V > rule.Threshold
+				cmp := ">"
+				if rule.Kind == RuleMetricBelow {
+					cond = last.V < rule.Threshold
+					cmp = "<"
+				}
+				evals = append(evals, condEval{rule: rule, target: t.Name, series: k,
+					cond: cond, value: last.V,
+					detail: fmt.Sprintf("%s = %g (alert when %s %g)", k, last.V, cmp, rule.Threshold)})
+			}
+		}
+	}
+
+	evaluated := map[string]bool{}
+	for _, e := range evals {
+		key := alertKey(e.rule.Name, e.target, e.series)
+		evaluated[key] = true
+		st := w.alerts[key]
+		switch {
+		case e.cond && st == nil:
+			st = &alertState{rule: e.rule, target: e.target, series: e.series,
+				since: now, value: e.value, detail: e.detail}
+			w.alerts[key] = st
+			if e.rule.For == 0 {
+				w.openLocked(st, now)
+			}
+		case e.cond:
+			st.value, st.detail = e.value, e.detail
+			if !st.firing && now.Sub(st.since) >= e.rule.For {
+				w.openLocked(st, now)
+			}
+		case st != nil:
+			if st.firing {
+				w.resolveLocked(st, now, e.value, e.detail)
+			}
+			delete(w.alerts, key)
+		}
+	}
+
+	// Conditions that vanished (a series or its guard disappeared) read as
+	// false — unless frozen above. Sorted for a deterministic incident
+	// order.
+	var gone []string
+	for key := range w.alerts {
+		if !evaluated[key] && !frozen[key] {
+			gone = append(gone, key)
+		}
+	}
+	sort.Strings(gone)
+	for _, key := range gone {
+		st := w.alerts[key]
+		if st.firing {
+			w.resolveLocked(st, now, st.value, st.detail+" (series gone)")
+		}
+		delete(w.alerts, key)
+	}
+}
+
+// guardPasses checks a metric rule's guard: the sibling series with the
+// guard metric's name and the watched series' label set must have been
+// scraped this round with a positive value.
+func (w *Watcher) guardPasses(series map[string]*Series, rule Rule, key string, nowMilli int64) bool {
+	labels := ""
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		labels = key[i:]
+	}
+	g, ok := series[rule.GuardMetric+labels]
+	if !ok {
+		return false
+	}
+	last, ok := g.Last()
+	return ok && last.T == nowMilli && last.V > 0
+}
+
+// Alerts returns the live alert instances, sorted by (rule, target,
+// series) key.
+func (w *Watcher) Alerts() []Alert {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	keys := make([]string, 0, len(w.alerts))
+	for k := range w.alerts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Alert, 0, len(keys))
+	for _, k := range keys {
+		st := w.alerts[k]
+		a := Alert{
+			Rule: st.rule.Name, Target: st.target, Series: st.series,
+			State:          "pending",
+			SinceUnixMilli: st.since.UnixMilli(),
+			Value:          st.value, Detail: st.detail,
+		}
+		if st.firing {
+			a.State = "firing"
+			a.OpenedUnixMilli = st.openedAt.UnixMilli()
+		}
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package obswatch
+
+// Sample is one scraped observation.
+type Sample struct {
+	// T is the sample time in unix milliseconds (from the injected clock).
+	T int64 `json:"t"`
+	// V is the scraped value.
+	V float64 `json:"v"`
+}
+
+// Series is a fixed-capacity ring buffer of samples: appends are O(1) and
+// memory per series is bounded no matter how long the watcher runs. The
+// zero value is unusable; use NewSeries.
+type Series struct {
+	buf  []Sample
+	head int // index of the oldest sample
+	n    int
+}
+
+// NewSeries builds an empty series holding at most cap samples.
+func NewSeries(capacity int) *Series {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Series{buf: make([]Sample, capacity)}
+}
+
+// Append pushes one sample, evicting the oldest when full.
+func (s *Series) Append(t int64, v float64) {
+	if s.n < len(s.buf) {
+		s.buf[(s.head+s.n)%len(s.buf)] = Sample{T: t, V: v}
+		s.n++
+		return
+	}
+	s.buf[s.head] = Sample{T: t, V: v}
+	s.head = (s.head + 1) % len(s.buf)
+}
+
+// Len returns the number of retained samples.
+func (s *Series) Len() int { return s.n }
+
+// Last returns the most recent sample; ok is false when empty.
+func (s *Series) Last() (Sample, bool) {
+	if s.n == 0 {
+		return Sample{}, false
+	}
+	return s.buf[(s.head+s.n-1)%len(s.buf)], true
+}
+
+// Samples returns the retained samples, oldest first.
+func (s *Series) Samples() []Sample {
+	out := make([]Sample, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.buf[(s.head+i)%len(s.buf)]
+	}
+	return out
+}

@@ -22,6 +22,30 @@ type HarvestClient interface {
 	Diagnostics(ctx context.Context) (harvestd.DiagnosticsReport, error)
 }
 
+// WatermarkInfo is the slice of a /freshness payload the watermark guard
+// reads. Both harvestd's FreshnessReport and harvestagg's FleetFreshness
+// render these fields at top level, so one decode shape gates on either
+// tier.
+type WatermarkInfo struct {
+	// Seq is the folded-record sequence watermark (-1 unknown).
+	Seq int64 `json:"watermark_seq"`
+	// AgeSeconds is how old the last fold behind the estimates is
+	// (-1: nothing folded yet).
+	AgeSeconds float64 `json:"watermark_age_seconds"`
+	// Behind counts records ingested but not yet folded.
+	Behind int64 `json:"behind"`
+}
+
+// FreshnessClient is the optional extension a HarvestClient implements
+// when its estimate surface also serves pipeline watermarks. The
+// controller type-asserts for it: clients without it (older daemons,
+// scripted tests) simply skip the watermark guard.
+type FreshnessClient interface {
+	// Freshness returns the current watermark view, or (nil, nil) when the
+	// surface does not serve one.
+	Freshness(ctx context.Context) (*WatermarkInfo, error)
+}
+
 // HTTPHarvest reads /estimates and /diagnostics from a harvestd or
 // harvestagg base URL.
 type HTTPHarvest struct {
@@ -71,6 +95,37 @@ func (h *HTTPHarvest) Diagnostics(ctx context.Context) (harvestd.DiagnosticsRepo
 		return harvestd.DiagnosticsReport{}, err
 	}
 	return out, nil
+}
+
+// Freshness implements FreshnessClient. A 404 reports (nil, nil): the
+// daemon predates the /freshness endpoint and the watermark guard is
+// simply unavailable, which must not fail the control cycle.
+func (h *HTTPHarvest) Freshness(ctx context.Context) (*WatermarkInfo, error) {
+	client := h.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.BaseURL+"/freshness", nil)
+	if err != nil {
+		return nil, fmt.Errorf("rollout: building /freshness request: %w", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("rollout: fetching /freshness: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("rollout: /freshness: status %d: %s", resp.StatusCode, body)
+	}
+	var out WatermarkInfo
+	if err := json.NewDecoder(io.LimitReader(resp.Body, core.MaxRecordBytes)).Decode(&out); err != nil {
+		return nil, fmt.Errorf("rollout: decoding /freshness: %w", err)
+	}
+	return &out, nil
 }
 
 // fetchArms pulls one coherent estimate+diagnostics pair and extracts the

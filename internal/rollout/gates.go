@@ -132,7 +132,11 @@ type gateInputs struct {
 	Cand, Base   GateArm
 	StageSamples int64         // candidate datapoints since entering this stage
 	StaleFor     time.Duration // time since the candidate count last grew
-	Seq          *abtest.Sequential
+	// Watermark is the harvest surface's pipeline watermark, when it serves
+	// one (nil otherwise — the guard is then skipped entirely, keeping
+	// decision records of watermark-less clients unchanged).
+	Watermark *WatermarkInfo
+	Seq       *abtest.Sequential
 }
 
 // better orients a comparison: is a better than b under the objective?
@@ -177,13 +181,32 @@ func evaluate(cfg *Config, in gateInputs) GateDecision {
 		d.Outcome, d.Reason = OutcomeRollback, "estimates stale: "+d.Checks[len(d.Checks)-1].Detail
 		return d
 	}
-	essOK := cfg.ESSFloor < 0 || in.Cand.N == 0 || in.Cand.ESSFraction >= cfg.ESSFloor
+	if in.Watermark != nil {
+		// The staleness guard above watches sample counts from the outside;
+		// the watermark guard reads the pipeline's own account of how old
+		// the folds behind those estimates are. Age -1 means nothing folded
+		// yet — min_samples holds in that case, no need to roll back.
+		wmOK := cfg.StaleAfter <= 0 || in.Watermark.AgeSeconds < 0 ||
+			in.Watermark.AgeSeconds < cfg.StaleAfter.Seconds()
+		if !check("watermark", wmOK, "fold watermark age %gs (limit %s; seq %d, %d behind)",
+			in.Watermark.AgeSeconds, cfg.StaleAfter, in.Watermark.Seq, in.Watermark.Behind) {
+			d.Outcome, d.Reason = OutcomeRollback, "estimates stale: "+d.Checks[len(d.Checks)-1].Detail
+			return d
+		}
+	}
+	// ESS and clip fractions computed from fewer than a stage's worth of
+	// samples are noise, not a health verdict (the first poll of a fresh
+	// harvest can legitimately see ESS 0 when every record so far carried
+	// zero candidate weight) — below MinStageSamples the health guards
+	// pass and min_samples holds instead.
+	warm := in.Cand.N >= cfg.MinStageSamples
+	essOK := cfg.ESSFloor < 0 || !warm || in.Cand.ESSFraction >= cfg.ESSFloor
 	if !check("ess", essOK, "candidate ESS fraction %g (floor %g)",
 		in.Cand.ESSFraction, cfg.ESSFloor) {
 		d.Outcome, d.Reason = OutcomeRollback, "estimator health collapsed: "+d.Checks[len(d.Checks)-1].Detail
 		return d
 	}
-	clipOK := cfg.ClipCeiling <= 0 || in.Cand.ClipFraction <= cfg.ClipCeiling
+	clipOK := cfg.ClipCeiling <= 0 || !warm || in.Cand.ClipFraction <= cfg.ClipCeiling
 	if !check("clip", clipOK, "candidate clip fraction %g (ceiling %g)",
 		in.Cand.ClipFraction, cfg.ClipCeiling) {
 		d.Outcome, d.Reason = OutcomeRollback, "estimator health collapsed: "+d.Checks[len(d.Checks)-1].Detail

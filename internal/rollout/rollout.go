@@ -421,6 +421,18 @@ func (c *Controller) Step(ctx context.Context) (GateDecision, error) {
 		c.met.pollErrors.Inc()
 		return GateDecision{}, err
 	}
+	// Pipeline watermarks are advisory evidence: fetched when the client
+	// offers them, and a fetch failure degrades to "no watermark" rather
+	// than aborting the cycle (the staleness guard still protects us).
+	var wm *WatermarkInfo
+	if fc, ok := c.cfg.Harvest.(FreshnessClient); ok {
+		var werr error
+		wm, werr = fc.Freshness(ctx)
+		if werr != nil {
+			c.cfg.Logf("rollout: freshness poll failed: %v", werr)
+			wm = nil
+		}
+	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -466,6 +478,7 @@ func (c *Controller) Step(ctx context.Context) (GateDecision, error) {
 		Base:         gateArm(&c.cfg, c.cfg.Baseline, selectEstimator(base, c.cfg.Estimator), base.N, diagOf(diag, c.cfg.Baseline)),
 		StageSamples: candTot.N - c.stageEnteredN,
 		StaleFor:     now.Sub(c.lastProgress),
+		Watermark:    wm,
 		Seq:          c.seq,
 	}
 	d := evaluate(&c.cfg, in)

@@ -67,7 +67,10 @@ type fakeHarvest struct {
 	cand    simArm
 	base    simArm
 	workers int
-	srv     *httptest.Server
+	// fresh scripts the /freshness payload; nil keeps the endpoint a 404
+	// (a daemon predating watermarks), which must leave decisions unchanged.
+	fresh *harvestd.FreshnessReport
+	srv   *httptest.Server
 }
 
 func newFakeHarvest(t *testing.T, workers int) *fakeHarvest {
@@ -91,9 +94,24 @@ func newFakeHarvest(t *testing.T, workers int) *fakeHarvest {
 			},
 		})
 	})
+	mux.HandleFunc("/freshness", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.fresh == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, f.fresh)
+	})
 	f.srv = httptest.NewServer(mux)
 	t.Cleanup(f.srv.Close)
 	return f
+}
+
+func (f *fakeHarvest) setFreshness(rep *harvestd.FreshnessReport) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fresh = rep
 }
 
 func (f *fakeHarvest) policyEstimate(name string, a *simArm) harvestd.PolicyEstimate {
@@ -412,6 +430,73 @@ func TestSimStaleEstimatesRollBack(t *testing.T) {
 	}
 	if last.Outcome != OutcomeRollback || !strings.Contains(last.Reason, "stale") {
 		t.Fatalf("outcome %s (%s), want staleness rollback", last.Outcome, last.Reason)
+	}
+}
+
+// TestSimWatermarkGate drives the pipeline-watermark guard through its
+// three regimes: absent /freshness (no check at all — older daemons keep
+// their exact decision records), a fresh watermark (check passes), and a
+// watermark older than StaleAfter (rollback even while sample counts are
+// still growing — the case the count-based staleness guard cannot see).
+func TestSimWatermarkGate(t *testing.T) {
+	f := newFakeHarvest(t, 4)
+	clock := &obs.FixedClock{T: time.Unix(1700000000, 0).UTC()}
+	rec := &shareRecorder{}
+	c := simController(t, f, clock, rec, nil)
+
+	checkOf := func(d GateDecision, name string) *GateCheck {
+		for i := range d.Checks {
+			if d.Checks[i].Name == name {
+				return &d.Checks[i]
+			}
+		}
+		return nil
+	}
+
+	// Regime 1: no /freshness endpoint — the guard must not appear.
+	f.feed(300, 0.8, 0.05, 300, 0.5, 0.05)
+	d := step(t, c, clock)
+	if d.Outcome != OutcomePromote {
+		t.Fatalf("poll 1 outcome %s (%s), want promote", d.Outcome, d.Reason)
+	}
+	if checkOf(d, "watermark") != nil {
+		t.Fatalf("watermark check present without a /freshness endpoint: %+v", d.Checks)
+	}
+
+	// Regime 2: a fresh watermark passes and is recorded as evidence.
+	f.setFreshness(&harvestd.FreshnessReport{
+		Version: harvestd.FreshnessVersion, WatermarkSeq: 900,
+		WatermarkAgeSeconds: 1.5, Behind: 2,
+	})
+	f.feed(300, 0.8, 0.05, 300, 0.5, 0.05)
+	d = step(t, c, clock)
+	if d.Outcome != OutcomePromote {
+		t.Fatalf("poll 2 outcome %s (%s), want promote", d.Outcome, d.Reason)
+	}
+	wc := checkOf(d, "watermark")
+	if wc == nil || !wc.OK {
+		t.Fatalf("watermark check missing or failed with fresh watermark: %+v", d.Checks)
+	}
+	if !strings.Contains(wc.Detail, "1.5s") || !strings.Contains(wc.Detail, "seq 900") {
+		t.Fatalf("watermark detail %q lacks the evidence", wc.Detail)
+	}
+
+	// Regime 3: the shard keeps answering and counts keep growing, but its
+	// fold watermark is older than StaleAfter (1m) — rollback.
+	f.setFreshness(&harvestd.FreshnessReport{
+		Version: harvestd.FreshnessVersion, WatermarkSeq: 900,
+		WatermarkAgeSeconds: 120, Behind: 5000,
+	})
+	f.feed(300, 0.8, 0.05, 300, 0.5, 0.05)
+	d = step(t, c, clock)
+	if d.Outcome != OutcomeRollback || !strings.Contains(d.Reason, "fold watermark age 120s") {
+		t.Fatalf("poll 3 outcome %s (%s), want watermark rollback", d.Outcome, d.Reason)
+	}
+	if wc := checkOf(d, "watermark"); wc == nil || wc.OK {
+		t.Fatalf("failed watermark check not recorded: %+v", d.Checks)
+	}
+	if got := c.Stage(); got != StageRolledBack {
+		t.Fatalf("final stage %s, want %s", got, StageRolledBack)
 	}
 }
 

@@ -1,0 +1,150 @@
+#!/bin/sh
+# Fleetwatch smoke test over the rollout-demo topology (DESIGN.md §13):
+# lbd serves a retunable canary blend, harvestd tails an exploration log,
+# rolloutd gates the candidate — and fleetwatch scrapes all three, builds
+# time series, and evaluates the standard alert table. A healthy demo
+# fleet must produce scrape rounds and series on every target and ZERO
+# open alerts; the live alert/status state lands in ALERTS_fleetwatch.json
+# and the incident log must validate under tracecat -incidents. Headless
+# (exits 0 on success), so CI runs it as the fleetwatch smoke test.
+set -eu
+
+TMP="${TMPDIR:-/tmp}/fleetwatch-smoke.$$"
+mkdir -p "$TMP"
+PIDS=""
+cleanup() {
+	[ -n "$PIDS" ] && kill $PIDS 2>/dev/null || true
+	wait 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building lbd + harvestd + rolloutd + fleetwatch + tracecat"
+go build -o "$TMP/lbd" ./cmd/lbd
+go build -o "$TMP/harvestd" ./cmd/harvestd
+go build -o "$TMP/rolloutd" ./cmd/rolloutd
+go build -o "$TMP/fleetwatch" ./cmd/fleetwatch
+go build -o "$TMP/tracecat" ./cmd/tracecat
+
+: >"$TMP/access.log"
+
+echo "== starting lbd (metrics :8470, share admin :8471)"
+"$TMP/lbd" -backends 2 -requests 0 -log "" \
+	-canary leastloaded -canary-share 0 \
+	-metrics-addr 127.0.0.1:8470 -admin-addr 127.0.0.1:8471 &
+PIDS="$PIDS $!"
+
+echo "== starting harvestd tailing the exploration log (:8472)"
+"$TMP/harvestd" -addr 127.0.0.1:8472 -policies uniform,leastloaded \
+	-workers 1 -nginx "$TMP/access.log" -follow &
+PIDS="$PIDS $!"
+
+wait_http() { # URL
+	for _ in $(seq 1 100); do
+		curl -sf "$1" >/dev/null 2>&1 && return 0
+		sleep 0.2
+	done
+	echo "fleetwatch smoke: timed out waiting for $1" >&2
+	return 1
+}
+wait_http http://127.0.0.1:8470/metrics
+wait_http http://127.0.0.1:8472/healthz
+
+echo "== starting rolloutd gating leastloaded vs uniform (:8473)"
+"$TMP/rolloutd" -addr 127.0.0.1:8473 \
+	-harvest http://127.0.0.1:8472 \
+	-candidate leastloaded -baseline uniform -objective min \
+	-delta 0.1 -shares 0.05,0.25 -min-samples 400 -term-hi 0.03 \
+	-poll-interval 200ms -actuate http://127.0.0.1:8471/share \
+	-checkpoint "$TMP/rollout.ckpt" &
+PIDS="$PIDS $!"
+wait_http http://127.0.0.1:8473/healthz
+
+# Promotions legitimately change gate outcomes (hold -> promote -> hold),
+# so the flap threshold is raised above anything a healthy ramp produces.
+echo "== starting fleetwatch scraping all three daemons (:8474)"
+"$TMP/fleetwatch" -addr 127.0.0.1:8474 \
+	-targets "lbd:lb=http://127.0.0.1:8470,harvestd:shard-a=http://127.0.0.1:8472,rolloutd:ctl=http://127.0.0.1:8473" \
+	-interval 300ms -flap-threshold 8 \
+	-incidents "$TMP/incidents.jsonl" &
+PIDS="$PIDS $!"
+wait_http http://127.0.0.1:8474/healthz
+
+# Feed harvested exploration data (same synthetic workload as the rollout
+# demo) so harvestd folds real records while fleetwatch watches.
+append_chunk() { # SEED N
+	awk -v seed="$1" -v n="$2" 'BEGIN {
+		s = seed
+		for (i = 0; i < n; i++) {
+			s = (s * 48271) % 2147483647; a = s % 2
+			s = (s * 48271) % 2147483647; c0 = s % 8
+			s = (s * 48271) % 2147483647; c1 = s % 8
+			min = c0 < c1 ? c0 : c1
+			ca = a == 0 ? c0 : c1
+			rt = ca == min ? 0.002 : 0.010
+			printf "127.0.0.1:1 - - [06/Jul/2026:10:30:00 +0000] \"GET /r/%d HTTP/1.1\" 200 42 \"-\" \"t\" rt=%.6f upstream=%d conns=%d|%d prop=0.500000\n", i, rt, a, c0, c1
+		}
+	}' >>"$TMP/access.log"
+}
+
+echo "== feeding exploration bursts while fleetwatch scrapes"
+for round in 1 2 3 4; do
+	append_chunk "$((round * 7 + 3))" 1500
+	sleep 1
+	echo "  round $round: $(curl -sf http://127.0.0.1:8474/healthz)"
+done
+
+echo "== asserting fleetwatch state: all targets up, series flowing, no alerts"
+healthz="$(curl -sf http://127.0.0.1:8474/healthz)"
+echo "fleetwatch /healthz: $healthz"
+case "$healthz" in
+*"targets=3/3"*) ;;
+*)
+	echo "fleetwatch smoke: not all targets up" >&2
+	curl -sf http://127.0.0.1:8474/status >&2 || true
+	exit 1
+	;;
+esac
+case "$healthz" in
+*"firing=0"*) ;;
+*)
+	echo "fleetwatch smoke: unexpected open alerts on a healthy fleet" >&2
+	curl -sf http://127.0.0.1:8474/alerts >&2 || true
+	exit 1
+	;;
+esac
+
+series="$(curl -sf http://127.0.0.1:8474/series)"
+for want in watch_up harvestd_folded_total netlb_log_records_total rolloutd_uptime_seconds; do
+	case "$series" in
+	*"$want"*) ;;
+	*)
+		echo "fleetwatch smoke: no $want series collected" >&2
+		exit 1
+		;;
+	esac
+done
+
+alerts="$(curl -sf http://127.0.0.1:8474/alerts)"
+case "$alerts" in
+"[]"*) ;;
+*)
+	echo "fleetwatch smoke: unexpected alerts: $alerts" >&2
+	exit 1
+	;;
+esac
+
+echo "== writing watcher state -> ALERTS_fleetwatch.json"
+{
+	printf '{\n"status": '
+	curl -sf http://127.0.0.1:8474/status
+	printf ',\n"alerts": '
+	curl -sf http://127.0.0.1:8474/alerts
+	printf '\n}\n'
+} >ALERTS_fleetwatch.json
+
+echo "== validating the incident log with tracecat -incidents"
+"$TMP/tracecat" -incidents "$TMP/incidents.jsonl"
+
+ticks="$(sed -n 's/.*"ticks": \([0-9]*\).*/\1/p' ALERTS_fleetwatch.json)"
+echo "fleetwatch smoke: ok after $ticks scrape rounds, 3/3 targets up, zero alerts"
